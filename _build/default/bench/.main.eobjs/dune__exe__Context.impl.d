@@ -1,0 +1,1 @@
+bench/context.ml: Arch Epi List Machine Measurement Microprobe Power_model Printf String Uarch_def Unix Workloads

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Arch Array Context Dse Float Hashtbl Instruction List Machine Matrix Measurement Microprobe Mp_util Power_model Stressmark String Text_table Uarch_def Util

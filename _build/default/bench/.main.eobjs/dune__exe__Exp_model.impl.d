@@ -1,0 +1,1 @@
+bench/exp_model.ml: Array Context Float List Machine Measurement Microprobe Mp_util Power_model Stats Text_table Uarch_def Workloads

@@ -1,0 +1,1 @@
+bench/exp_stressmark.ml: Arch Array Context Float Instruction List Machine Measurement Microprobe Mp_util Printf Stats Stressmark String Text_table Uarch_def Workloads

@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Arch Array Builder Cache_geometry Context Epi Float List Machine Measurement Microprobe Mp_util Passes Printf Stats Synthesizer Text_table Workloads

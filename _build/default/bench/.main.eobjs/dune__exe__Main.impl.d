@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Context Exp_ablation Exp_model Exp_stressmark Exp_tables List Printf String Sys Unix

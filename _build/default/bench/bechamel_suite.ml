@@ -1,0 +1,102 @@
+(* Bechamel micro-timings of the framework's hot kernels: one Test.make
+   per pipeline stage (synthesis, deployment+simulation, model fitting,
+   a GA step and the analytical memory planner). *)
+
+open Bechamel
+open Toolkit
+open Microprobe
+
+let tests (ctx : Context.t) =
+  let arch = ctx.Context.arch in
+  let machine = ctx.Context.machine in
+  let cfg1 = Context.config ctx ~cores:1 ~smt:1 in
+  let cfg84 = Context.config ctx ~cores:8 ~smt:4 in
+  let add = Arch.find_instruction arch "add" in
+  let lbz = Arch.find_instruction arch "lbz" in
+  let mk_synth () =
+    let s = Synthesizer.create ~name:"bench" arch in
+    Synthesizer.add_pass s (Passes.skeleton ~size:1024);
+    Synthesizer.add_pass s (Passes.fill_uniform [ add; lbz ]);
+    Synthesizer.add_pass s (Passes.memory_model [ (Cache_geometry.L1, 1.0) ]);
+    Synthesizer.add_pass s (Passes.dependency (Builder.Random_range (1, 8)));
+    s
+  in
+  let synth = mk_synth () in
+  let program = Synthesizer.synthesize ~seed:1 synth in
+  let counter = ref 0 in
+  let dataset =
+    (* a small regression problem representative of model training *)
+    let rng = Util.Rng.create 7 in
+    let rows =
+      Array.init 200 (fun _ -> Array.init 8 (fun _ -> Util.Rng.float rng 1.0))
+    in
+    let y = Array.map (fun r -> Array.fold_left ( +. ) 0.1 r) rows in
+    (Util.Matrix.of_arrays rows, y)
+  in
+  [
+    Test.make ~name:"synthesize 1K-instruction loop"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Synthesizer.synthesize ~seed:!counter synth)));
+    Test.make ~name:"simulate+measure @1c-smt1"
+      (Staged.stage (fun () -> ignore (Machine.run machine cfg1 program)));
+    Test.make ~name:"simulate+measure @8c-smt4"
+      (Staged.stage (fun () -> ignore (Machine.run machine cfg84 program)));
+    Test.make ~name:"NNLS fit (200x8)"
+      (Staged.stage (fun () ->
+           let x, y = dataset in
+           ignore (Util.Matrix.nnls ~iterations:200 x y)));
+    Test.make ~name:"OLS fit (200x8)"
+      (Staged.stage (fun () ->
+           let x, y = dataset in
+           ignore (Util.Matrix.ols x y)));
+    Test.make ~name:"analytical memory plan (4 levels)"
+      (Staged.stage (fun () ->
+           let plan =
+             Set_assoc_model.create ~uarch:arch.Arch.uarch
+               ~distribution:
+                 [ (Cache_geometry.L1, 0.25); (Cache_geometry.L2, 0.25);
+                   (Cache_geometry.L3, 0.25); (Cache_geometry.MEM, 0.25) ]
+               ()
+           in
+           let rng = Util.Rng.create 3 in
+           ignore
+             (Set_assoc_model.coordinated_streams plan rng
+                ~targets:(Array.make 64 Cache_geometry.L2))));
+    Test.make ~name:"emit asm (1K loop)"
+      (Staged.stage (fun () -> ignore (Emit.to_asm program)));
+  ]
+
+let run (ctx : Context.t) =
+  Context.section "Bechamel — framework kernel timings";
+  let cfg =
+    Benchmark.cfg ~limit:500
+      ~quota:(Time.second (if ctx.Context.quick then 0.25 else 0.5))
+      ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw =
+    Benchmark.all cfg [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"microprobe" (tests ctx))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Mp_util.Text_table.create [ "Kernel"; "ns/run"; "R^2" ] in
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%.0f" e
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r when not (Float.is_nan r) -> Printf.sprintf "%.3f" r
+        | _ -> "-"
+      in
+      Mp_util.Text_table.add_row table [ name; est; r2 ])
+    (List.sort compare !rows);
+  Mp_util.Text_table.print table

@@ -1,0 +1,196 @@
+(* Shared experimental context for the benchmark harness: the machine,
+   the training suite, the measurement datasets and the trained models.
+   Everything is built lazily and exactly once, mirroring the paper's
+   measurement campaign (Section 3). *)
+
+open Microprobe
+
+type t = {
+  arch : Arch.t;
+  machine : Machine.t;
+  quick : bool;
+  mutable families : Workloads.Training.family list option;
+  mutable spec : (Uarch_def.config * Measurement.t list) list option;
+  mutable train_smt1 : Measurement.t list option;
+  mutable train_smt_on : Measurement.t list option;
+  mutable random_multi : Measurement.t list option;
+  mutable micro_multi : Measurement.t list option;
+  mutable bu : Power_model.Bottom_up.t option;
+  mutable props : Epi.Bootstrap.props list option;
+}
+
+let create ~quick =
+  let arch = get_architecture "POWER7" in
+  {
+    arch;
+    machine = Machine.create arch.Arch.uarch;
+    quick;
+    families = None;
+    spec = None;
+    train_smt1 = None;
+    train_smt_on = None;
+    random_multi = None;
+    micro_multi = None;
+    bu = None;
+    props = None;
+  }
+
+let config t ~cores ~smt = Uarch_def.config ~cores ~smt t.arch.Arch.uarch
+
+let all_configs t = Uarch_def.all_configs t.arch.Arch.uarch
+
+let log fmt = Printf.printf (fmt ^^ "\n%!")
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n%!" title (String.make (String.length title) '=')
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  log "[%s: %.1fs]" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ----- datasets ---------------------------------------------------------- *)
+
+let families t =
+  match t.families with
+  | Some f -> f
+  | None ->
+    let f =
+      timed "generate Table-2 training suite" (fun () ->
+          Workloads.Training.table2 ~machine:t.machine ~arch:t.arch
+            ~quick:t.quick ())
+    in
+    t.families <- Some f;
+    f
+
+let family_programs ?(skip = 1) ?only_random ?(exclude_random = false) t =
+  let fams = families t in
+  let fams =
+    match only_random with
+    | Some true ->
+      List.filter
+        (fun (f : Workloads.Training.family) ->
+          f.Workloads.Training.family_name = "Random")
+        fams
+    | _ ->
+      if exclude_random then
+        List.filter
+          (fun (f : Workloads.Training.family) ->
+            f.Workloads.Training.family_name <> "Random")
+          fams
+      else fams
+  in
+  Workloads.Training.all_entries fams
+  |> List.filteri (fun i _ -> i mod skip = 0)
+  |> List.map (fun (e : Workloads.Training.entry) -> e.Workloads.Training.program)
+
+let run_programs t config programs =
+  List.map (Machine.run t.machine config) programs
+
+let train_smt1 t =
+  match t.train_smt1 with
+  | Some d -> d
+  | None ->
+    let d =
+      timed "measure suite @ 1c-smt1" (fun () ->
+          run_programs t (config t ~cores:1 ~smt:1) (family_programs t))
+    in
+    t.train_smt1 <- Some d;
+    d
+
+let train_smt_on t =
+  match t.train_smt_on with
+  | Some d -> d
+  | None ->
+    let d =
+      timed "measure suite @ 1c-smt{2,4}" (fun () ->
+          run_programs t (config t ~cores:1 ~smt:2) (family_programs ~skip:2 t)
+          @ run_programs t (config t ~cores:1 ~smt:4) (family_programs ~skip:2 t))
+    in
+    t.train_smt_on <- Some d;
+    d
+
+let random_multi t =
+  match t.random_multi with
+  | Some d -> d
+  | None ->
+    let programs = family_programs ~skip:3 ~only_random:true t in
+    let d =
+      timed "measure random set on every configuration" (fun () ->
+          List.concat_map
+            (fun c -> run_programs t c programs)
+            (all_configs t))
+    in
+    t.random_multi <- Some d;
+    d
+
+let micro_multi t =
+  match t.micro_multi with
+  | Some d -> d
+  | None ->
+    let programs = family_programs ~skip:3 ~exclude_random:true t in
+    let configs =
+      List.filter
+        (fun (c : Uarch_def.config) ->
+          List.mem c.Uarch_def.cores [ 1; 2; 4; 6; 8 ])
+        (all_configs t)
+    in
+    let d =
+      timed "measure micro-architecture set across configurations" (fun () ->
+          List.concat_map (fun c -> run_programs t c programs) configs)
+    in
+    t.micro_multi <- Some d;
+    d
+
+let spec t =
+  match t.spec with
+  | Some d -> d
+  | None ->
+    let suite = Workloads.Spec.suite ~arch:t.arch () in
+    let configs =
+      if t.quick then
+        [ config t ~cores:1 ~smt:1; config t ~cores:4 ~smt:2;
+          config t ~cores:8 ~smt:4 ]
+      else all_configs t
+    in
+    let d =
+      timed "measure SPEC CPU2006 surrogate on every configuration" (fun () ->
+          List.map
+            (fun c ->
+              (c, List.map (fun b -> Workloads.Spec.run ~machine:t.machine ~config:c b) suite))
+            configs)
+    in
+    t.spec <- Some d;
+    d
+
+let spec_all t = List.concat_map snd (spec t)
+
+let spec_at t c = List.assoc c (spec t)
+
+let bottom_up t =
+  match t.bu with
+  | Some m -> m
+  | None ->
+    let m =
+      timed "train the bottom-up model" (fun () ->
+          Power_model.Bottom_up.train
+            ~baseline:(Machine.baseline_reading t.machine)
+            ~smt1:(train_smt1 t) ~smt_on:(train_smt_on t)
+            ~multi:(random_multi t) ())
+    in
+    t.bu <- Some m;
+    m
+
+let bootstrap_props t =
+  match t.props with
+  | Some p -> p
+  | None ->
+    let p =
+      timed "bootstrap the ISA (latency/throughput/units/EPI)" (fun () ->
+          Epi.Bootstrap.run ~machine:t.machine ~arch:t.arch
+            ~size:(if t.quick then 512 else 1024)
+            ())
+    in
+    t.props <- Some p;
+    p

@@ -1,0 +1,207 @@
+(* Case study A experiments: Figures 5a, 5b, 6, 7 and 8. *)
+
+open Microprobe
+open Mp_util
+
+let pct x = Text_table.cell_pct ~decimals:1 x
+
+(* ----- Figure 5a: SPEC power tracking with component breakdown ----------------- *)
+
+let fig5a (ctx : Context.t) =
+  Context.section
+    "Figure 5a — SPEC CPU2006 power tracking, 4 cores / SMT4 (breakdown)";
+  let bu = Context.bottom_up ctx in
+  let c = Context.config ctx ~cores:4 ~smt:4 in
+  let suite = Workloads.Spec.suite ~arch:ctx.Context.arch () in
+  let table =
+    Text_table.create
+      [ "Benchmark"; "Measured"; "Predicted"; "WrkldInd"; "Uncore"; "CMP";
+        "SMT"; "Dynamic"; "Err%" ]
+  in
+  let errs = ref [] in
+  List.iter
+    (fun b ->
+      let m = Workloads.Spec.run ~machine:ctx.Context.machine ~config:c b in
+      let d = Power_model.Bottom_up.decompose bu m in
+      let predicted = Power_model.Bottom_up.breakdown_total d in
+      let err =
+        Float.abs (predicted -. m.Measurement.power) /. m.Measurement.power
+        *. 100.0
+      in
+      errs := err :: !errs;
+      Text_table.add_row table
+        [ b.Workloads.Spec.name;
+          Text_table.cell_f ~decimals:1 m.Measurement.power;
+          Text_table.cell_f ~decimals:1 predicted;
+          Text_table.cell_f ~decimals:1 d.Power_model.Bottom_up.workload_independent;
+          Text_table.cell_f ~decimals:1 d.Power_model.Bottom_up.uncore_part;
+          Text_table.cell_f ~decimals:1 d.Power_model.Bottom_up.cmp_part;
+          Text_table.cell_f ~decimals:1 d.Power_model.Bottom_up.smt_part;
+          Text_table.cell_f ~decimals:1 d.Power_model.Bottom_up.dynamic;
+          pct err ])
+    suite;
+  Text_table.print table;
+  Context.log
+    "Only the dynamic component varies with the workload; the others are\n\
+     fixed by the 4-core/SMT4 configuration — the decomposability the\n\
+     bottom-up methodology provides.";
+  Context.log "Mean tracking error: %s"
+    (pct (Stats.mean (Array.of_list !errs)))
+
+(* ----- Figure 5b: BU PAAE per configuration ------------------------------------ *)
+
+let fig5b (ctx : Context.t) =
+  Context.section "Figure 5b — bottom-up model PAAE per configuration (SPEC)";
+  let bu = Context.bottom_up ctx in
+  let predict = Power_model.Bottom_up.predict bu in
+  let table = Text_table.create [ "Config"; "PAAE"; "Max err" ] in
+  let all = ref [] in
+  List.iter
+    (fun (c, ms) ->
+      all := ms @ !all;
+      Text_table.add_row table
+        [ Uarch_def.config_to_string c;
+          pct (Power_model.Validation.paae ~predict ms);
+          pct (Power_model.Validation.max_error ~predict ms) ])
+    (Context.spec ctx);
+  Text_table.add_separator table;
+  Text_table.add_row table
+    [ "average"; pct (Power_model.Validation.paae ~predict !all);
+      pct (Power_model.Validation.max_error ~predict !all) ];
+  Text_table.print table;
+  Context.log "[paper: most configurations below 2.3%%, max around 4%%]"
+
+(* ----- Figure 6: BU vs top-down models ------------------------------------------ *)
+
+let top_down_models (ctx : Context.t) =
+  let td_micro =
+    Power_model.Top_down.train ~name:"TD_Micro" (Context.micro_multi ctx)
+  in
+  let td_random =
+    Power_model.Top_down.train ~name:"TD_Random" (Context.random_multi ctx)
+  in
+  let td_spec = Power_model.Top_down.train ~name:"TD_SPEC" (Context.spec_all ctx) in
+  [ td_micro; td_random; td_spec ]
+
+let fig6 (ctx : Context.t) =
+  Context.section
+    "Figure 6 — PAAE on SPEC per configuration: bottom-up vs top-down models";
+  let bu = Context.bottom_up ctx in
+  let tds = top_down_models ctx in
+  let headers =
+    [ "Config"; "BU" ]
+    @ List.map (fun (t : Power_model.Top_down.t) -> t.Power_model.Top_down.training_set) tds
+  in
+  let table = Text_table.create headers in
+  let add_row label ms =
+    Text_table.add_row table
+      ([ label;
+         pct (Power_model.Validation.paae
+                ~predict:(Power_model.Bottom_up.predict bu) ms) ]
+      @ List.map
+          (fun td ->
+            pct (Power_model.Validation.paae
+                   ~predict:(Power_model.Top_down.predict td) ms))
+          tds)
+  in
+  List.iter
+    (fun (c, ms) -> add_row (Uarch_def.config_to_string c) ms)
+    (Context.spec ctx);
+  Text_table.add_separator table;
+  add_row "average" (Context.spec_all ctx);
+  Text_table.print table;
+  Context.log
+    "[paper: all models land in the 2-4%% band on SPEC, the BU model\n\
+     closest to the optimistic TD_SPEC; TD_SPEC is optimistic because it\n\
+     trains on the validation suite]"
+
+(* ----- Figure 7: extreme cases ----------------------------------------------------- *)
+
+let fig7 (ctx : Context.t) =
+  Context.section "Figure 7 — PAAE on the extreme activity cases";
+  let bu = Context.bottom_up ctx in
+  let tds = top_down_models ctx in
+  let cases = Workloads.Extreme.cases ~arch:ctx.Context.arch () in
+  let configs =
+    if ctx.Context.quick then
+      [ Context.config ctx ~cores:1 ~smt:1; Context.config ctx ~cores:8 ~smt:4 ]
+    else
+      List.filter
+        (fun (c : Uarch_def.config) -> List.mem c.Uarch_def.cores [ 1; 4; 8 ])
+        (Context.all_configs ctx)
+  in
+  let table =
+    Text_table.create
+      ([ "Case"; "BU" ]
+      @ List.map
+          (fun (t : Power_model.Top_down.t) -> t.Power_model.Top_down.training_set)
+          tds)
+  in
+  let worst_td_random = ref 0.0 in
+  List.iter
+    (fun (case : Workloads.Extreme.case) ->
+      let ms =
+        List.map
+          (fun c -> Machine.run ctx.Context.machine c case.Workloads.Extreme.program)
+          configs
+      in
+      let td_cells =
+        List.map
+          (fun (td : Power_model.Top_down.t) ->
+            let e =
+              Power_model.Validation.paae
+                ~predict:(Power_model.Top_down.predict td) ms
+            in
+            if td.Power_model.Top_down.training_set = "TD_Random" then
+              worst_td_random := Float.max !worst_td_random e;
+            pct e)
+          tds
+      in
+      Text_table.add_row table
+        ([ case.Workloads.Extreme.name;
+           pct (Power_model.Validation.paae
+                  ~predict:(Power_model.Bottom_up.predict bu) ms) ]
+        @ td_cells))
+    cases;
+  Text_table.print table;
+  Context.log
+    "Worst TD_Random extreme-case error: %s [paper: 62%% on FXU High] —\n\
+     workload-trained models are biased toward the activities they saw;\n\
+     micro-architecture-aware training sets stay accurate."
+    (pct !worst_td_random)
+
+(* ----- Figure 8: average power breakdown per configuration --------------------------- *)
+
+let fig8 (ctx : Context.t) =
+  Context.section
+    "Figure 8 — average SPEC power breakdown per configuration (% of total)";
+  let bu = Context.bottom_up ctx in
+  let table =
+    Text_table.create
+      [ "Config"; "WrkldInd"; "Uncore"; "CMP"; "SMT"; "Dynamic"; "WI+Unc" ]
+  in
+  List.iter
+    (fun (c, ms) ->
+      let parts =
+        List.map
+          (fun m ->
+            let d = Power_model.Bottom_up.decompose bu m in
+            let tot = Power_model.Bottom_up.breakdown_total d in
+            Power_model.Bottom_up.
+              [| d.workload_independent /. tot; d.uncore_part /. tot;
+                 d.cmp_part /. tot; d.smt_part /. tot; d.dynamic /. tot |])
+          ms
+      in
+      let n = float_of_int (List.length parts) in
+      let avg i =
+        List.fold_left (fun acc p -> acc +. p.(i)) 0.0 parts /. n *. 100.0
+      in
+      Text_table.add_row table
+        [ Uarch_def.config_to_string c;
+          pct (avg 0); pct (avg 1); pct (avg 2); pct (avg 3); pct (avg 4);
+          pct (avg 0 +. avg 1) ])
+    (Context.spec ctx);
+  Text_table.print table;
+  Context.log
+    "[paper: workload-independent + uncore fall from ~85%% (1 core SMT1)\n\
+     toward ~50%% (8 cores SMT4); the SMT effect stays below 3%%]"

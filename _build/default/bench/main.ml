@@ -1,0 +1,66 @@
+(* The reproduction harness: regenerates every table and figure of the
+   paper's evaluation (Tables 2-3, Figures 3, 5a, 5b, 6, 7, 8, 9), then
+   times the framework's kernels with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, full scale
+     dune exec bench/main.exe -- --quick      # reduced sweeps (~4x faster)
+     dune exec bench/main.exe -- table3 fig9  # selected experiments *)
+
+let experiments : (string * string * (Context.t -> unit)) list =
+  [
+    ("table2", "Training micro-benchmark suite", Exp_tables.table2);
+    ("table3", "EPI-based instruction taxonomy", Exp_tables.table3);
+    ("fig3", "Analytical cache model validation", Exp_tables.fig3);
+    ("fig5a", "SPEC power tracking with breakdown (4c-SMT4)", Exp_model.fig5a);
+    ("fig5b", "Bottom-up model PAAE per configuration", Exp_model.fig5b);
+    ("fig6", "Bottom-up vs top-down models", Exp_model.fig6);
+    ("fig7", "Extreme activity cases", Exp_model.fig7);
+    ("fig8", "Power breakdown per configuration", Exp_model.fig8);
+    ("fig9", "Max-power stressmark sets", Exp_stressmark.fig9);
+    ("order", "Instruction-order power experiment", Exp_stressmark.order_experiment);
+    ("hetero", "Heterogeneous per-thread stressmarks", Exp_stressmark.heterogeneous);
+    ("ablation", "Design-choice ablations", Exp_ablation.run);
+    ("bechamel", "Kernel timings", Bechamel_suite.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [experiment ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr)
+    experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args then usage ()
+  else begin
+    let quick = List.mem "--quick" args in
+    let selected =
+      List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+    in
+    let to_run =
+      match selected with
+      | [] -> experiments
+      | names ->
+        List.filter_map
+          (fun n ->
+            match
+              List.find_opt (fun (name, _, _) -> name = n) experiments
+            with
+            | Some e -> Some e
+            | None ->
+              Printf.eprintf "unknown experiment %S (try --help)\n" n;
+              exit 2)
+          names
+    in
+    Printf.printf
+      "MicroProbe reproduction harness (%s mode)\n\
+       Paper: Bertran et al., 'Systematic Energy Characterization of\n\
+       CMP/SMT Processor Systems via Automated Micro-Benchmarks', MICRO 2012\n"
+      (if quick then "quick" else "full");
+    let ctx = Context.create ~quick in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, _, f) -> f ctx) to_run;
+    Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  end

@@ -1,0 +1,307 @@
+(* microprobe — command-line front end to the framework.
+
+   Sub-commands:
+     list-isa    print the instruction registry (with filters)
+     isa-text    dump the ISA definition in the text-file format
+     generate    synthesize a micro-benchmark and emit asm/C
+     measure     synthesize, deploy and measure a micro-benchmark
+     bootstrap   derive latency/throughput/units/EPI for instructions
+     stressmark  run a compact max-power search
+*)
+
+open Microprobe
+open Cmdliner
+
+let arch = lazy (get_architecture "POWER7")
+
+(* ----- shared argument parsing ------------------------------------------- *)
+
+let parse_mix arch_v s =
+  (* "add:2,mulld:1" or "add,mulld" *)
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun item ->
+         match String.split_on_char ':' (String.trim item) with
+         | [ m ] -> (Arch.find_instruction arch_v m, 1.0)
+         | [ m; w ] -> (Arch.find_instruction arch_v m, float_of_string w)
+         | _ -> failwith ("bad mix item: " ^ item))
+
+let parse_mem s =
+  (* "L1:50,L2:50" *)
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun item ->
+         match String.split_on_char ':' (String.trim item) with
+         | [ l; w ] ->
+           (match Cache_geometry.level_of_string (String.trim l) with
+            | Some level -> (level, float_of_string w)
+            | None -> failwith ("bad level: " ^ l))
+         | _ -> failwith ("bad memory item: " ^ item))
+
+let build_program ~mix ~mem ~dep ~size ~seed ~zero_data =
+  let a = Lazy.force arch in
+  let weighted = parse_mix a mix in
+  let synth = Synthesizer.create ~name:"cli" a in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_weighted weighted);
+  (match mem with
+   | "" ->
+     if List.exists (fun (i, _) -> Instruction.is_memory i) weighted then
+       Synthesizer.add_pass synth
+         (Passes.memory_model [ (Cache_geometry.L1, 1.0) ])
+   | spec -> Synthesizer.add_pass synth (Passes.memory_model (parse_mem spec)));
+  let dep_mode =
+    match dep with
+    | 0 -> Builder.No_deps
+    | d when d > 0 -> Builder.Fixed d
+    | _ -> Builder.Random_range (1, 8)
+  in
+  Synthesizer.add_pass synth (Passes.dependency dep_mode);
+  let policy =
+    if zero_data then Builder.Constant 0L else Builder.Random_values
+  in
+  Synthesizer.add_pass synth (Passes.init_registers policy);
+  Synthesizer.add_pass synth (Passes.init_immediates policy);
+  Synthesizer.synthesize ~seed synth
+
+(* common options *)
+let size_t =
+  Arg.(value & opt int 4096 & info [ "size" ] ~docv:"N" ~doc:"Loop body size.")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generation seed.")
+
+let mix_t =
+  Arg.(
+    value
+    & opt string "add"
+    & info [ "mix" ] ~docv:"SPEC"
+        ~doc:"Instruction mix, e.g. $(b,add:2,mulld:1).")
+
+let mem_t =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "mem" ] ~docv:"SPEC"
+        ~doc:"Memory distribution, e.g. $(b,L1:50,L2:50). Levels: L1 L2 L3 MEM.")
+
+let dep_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "dep" ] ~docv:"D"
+        ~doc:"Dependency distance: 0 = none, -1 = random, d>0 = fixed.")
+
+let zero_data_t =
+  Arg.(value & flag & info [ "zero-data" ] ~doc:"Initialise data to zero.")
+
+let cores_t =
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc:"Enabled cores (1-8).")
+
+let smt_t =
+  Arg.(value & opt int 1 & info [ "smt" ] ~docv:"K" ~doc:"SMT mode (1, 2 or 4).")
+
+(* ----- list-isa ------------------------------------------------------------ *)
+
+let list_isa filter =
+  let a = Lazy.force arch in
+  let pred (i : Instruction.t) =
+    match filter with
+    | "" -> true
+    | "load" -> Instruction.is_load i
+    | "store" -> Instruction.is_store i
+    | "memory" -> Instruction.is_memory i
+    | "vector" -> Instruction.is_vector i
+    | "float" -> Instruction.is_float i
+    | "integer" -> Instruction.is_integer i
+    | "branch" -> Instruction.is_branch i
+    | other -> failwith ("unknown filter: " ^ other)
+  in
+  let table =
+    Util.Text_table.create
+      [ "Mnemonic"; "Class"; "Form"; "Width"; "Units"; "Peak IPC";
+        "Description" ]
+  in
+  List.iter
+    (fun (i : Instruction.t) ->
+      if pred i then
+        Util.Text_table.add_row table
+          [ i.Instruction.mnemonic;
+            Instruction.exec_class_to_string i.Instruction.exec_class;
+            Instruction.form_to_string i.Instruction.form;
+            string_of_int i.Instruction.width;
+            String.concat "+"
+              (List.map Pipe.unit_to_string
+                 (Uarch_def.units_stressed a.Arch.uarch i));
+            Printf.sprintf "%.2f" (Uarch_def.peak_ipc a.Arch.uarch i);
+            i.Instruction.description ])
+    (Isa_def.instructions a.Arch.isa);
+  Util.Text_table.print table;
+  0
+
+let list_isa_cmd =
+  let filter =
+    Arg.(
+      value & opt string ""
+      & info [ "filter" ] ~docv:"KIND"
+          ~doc:"Only list $(docv): load, store, memory, vector, float, \
+                integer or branch.")
+  in
+  Cmd.v (Cmd.info "list-isa" ~doc:"Print the instruction registry")
+    Term.(const list_isa $ filter)
+
+(* ----- isa-text ------------------------------------------------------------- *)
+
+let isa_text () =
+  print_string (Power_isa.definition_text ());
+  0
+
+let isa_text_cmd =
+  Cmd.v
+    (Cmd.info "isa-text" ~doc:"Dump the ISA definition in the text-file format")
+    Term.(const isa_text $ const ())
+
+(* ----- generate --------------------------------------------------------------- *)
+
+let generate mix mem dep size seed zero_data emit_c out =
+  let p = build_program ~mix ~mem ~dep ~size ~seed ~zero_data in
+  let text = if emit_c then Emit.to_c p else Emit.to_asm p in
+  (match out with
+   | "" -> print_string text
+   | file ->
+     let oc = open_out file in
+     output_string oc text;
+     close_out oc;
+     Printf.printf "wrote %s (%d instructions)\n" file (Ir.size p));
+  0
+
+let generate_cmd =
+  let emit_c =
+    Arg.(value & flag & info [ "c" ] ~doc:"Emit a C harness instead of asm.")
+  in
+  let out =
+    Arg.(value & opt string "" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Synthesize a micro-benchmark")
+    Term.(
+      const generate $ mix_t $ mem_t $ dep_t $ size_t $ seed_t $ zero_data_t
+      $ emit_c $ out)
+
+(* ----- measure ------------------------------------------------------------------ *)
+
+let measure mix mem dep size seed zero_data cores smt =
+  let a = Lazy.force arch in
+  let p = build_program ~mix ~mem ~dep ~size ~seed ~zero_data in
+  let machine = Machine.create a.Arch.uarch in
+  let config = Uarch_def.config ~cores ~smt a.Arch.uarch in
+  let m = Machine.run machine config p in
+  let c = Measurement.core_counters m in
+  Printf.printf "configuration   : %s\n" (Uarch_def.config_to_string config);
+  Printf.printf "core IPC        : %.3f\n" m.Measurement.core_ipc;
+  Printf.printf "chip power      : %.2f (idle %.2f)\n" m.Measurement.power
+    (Machine.idle_reading machine config);
+  List.iter
+    (fun id ->
+      Printf.printf "%-15s : %.0f\n" (Pmc.name id) (Measurement.read c id))
+    Pmc.all;
+  0
+
+let measure_cmd =
+  Cmd.v
+    (Cmd.info "measure" ~doc:"Synthesize, deploy and measure a micro-benchmark")
+    Term.(
+      const measure $ mix_t $ mem_t $ dep_t $ size_t $ seed_t $ zero_data_t
+      $ cores_t $ smt_t)
+
+(* ----- bootstrap ----------------------------------------------------------------- *)
+
+let bootstrap mnemonics =
+  let a = Lazy.force arch in
+  let machine = Machine.create a.Arch.uarch in
+  let instructions =
+    match mnemonics with
+    | [] -> None
+    | ms -> Some (List.map (Arch.find_instruction a) ms)
+  in
+  let props = Epi.Bootstrap.run ~machine ~arch:a ?instructions () in
+  let table =
+    Util.Text_table.create
+      [ "Instr."; "Latency"; "Thread IPC"; "Core IPC"; "EPI"; "Units" ]
+  in
+  List.iter
+    (fun (p : Epi.Bootstrap.props) ->
+      Util.Text_table.add_row table
+        [ p.Epi.Bootstrap.mnemonic;
+          Printf.sprintf "%.1f" p.Epi.Bootstrap.derived_latency;
+          Printf.sprintf "%.2f" p.Epi.Bootstrap.throughput;
+          Printf.sprintf "%.2f" p.Epi.Bootstrap.core_ipc;
+          Printf.sprintf "%.3f" p.Epi.Bootstrap.epi;
+          String.concat "+"
+            (List.map Pipe.unit_to_string p.Epi.Bootstrap.units) ])
+    props;
+  Util.Text_table.print table;
+  0
+
+let bootstrap_cmd =
+  let mnemonics =
+    Arg.(value & pos_all string [] & info [] ~docv:"MNEMONIC"
+           ~doc:"Instructions to bootstrap (default: the whole ISA).")
+  in
+  Cmd.v
+    (Cmd.info "bootstrap"
+       ~doc:"Derive latency, throughput, units and EPI from measurements")
+    Term.(const bootstrap $ mnemonics)
+
+(* ----- stressmark ----------------------------------------------------------------- *)
+
+let stressmark subsample =
+  let a = Lazy.force arch in
+  let machine = Machine.create a.Arch.uarch in
+  let pool =
+    [ "mulldo"; "mullw"; "lxvw4x"; "lxvd2x"; "xvnmsubmdp"; "xvmaddadp" ]
+  in
+  Printf.printf "bootstrapping candidates...\n%!";
+  let props =
+    Epi.Bootstrap.run ~machine ~arch:a
+      ~instructions:(List.map (Arch.find_instruction a) pool)
+      ()
+  in
+  let picks = Stressmark.microprobe_instructions ~isa:a.Arch.isa props in
+  Printf.printf "per-unit IPCxEPI picks: %s\n%!"
+    (String.concat ", "
+       (List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) picks));
+  let space =
+    Stressmark.exhaustive_sequences picks ~length:6
+    |> List.filteri (fun i _ -> i mod max 1 subsample = 0)
+  in
+  Printf.printf "searching %d sequences x 3 SMT modes...\n%!"
+    (List.length space);
+  let s = Stressmark.evaluate_set ~machine ~arch:a ~name:"cli" space in
+  Printf.printf
+    "power range %.1f .. %.1f; best %.1f with [%s] on SMT%d\n"
+    s.Stressmark.min_power s.Stressmark.max_power
+    s.Stressmark.best.Stressmark.power
+    (String.concat ", " s.Stressmark.best.Stressmark.sequence)
+    s.Stressmark.best.Stressmark.smt;
+  0
+
+let stressmark_cmd =
+  let subsample =
+    Arg.(value & opt int 3 & info [ "subsample" ] ~docv:"K"
+           ~doc:"Evaluate every $(docv)-th sequence (1 = exhaustive).")
+  in
+  Cmd.v (Cmd.info "stressmark" ~doc:"Run a compact max-power search")
+    Term.(const stressmark $ subsample)
+
+(* ----- main ------------------------------------------------------------------------- *)
+
+let () =
+  let doc = "automated micro-benchmark generation for energy characterization" in
+  let info = Cmd.info "microprobe" ~version ~doc in
+  let group =
+    Cmd.group info
+      [ list_isa_cmd; isa_text_cmd; generate_cmd; measure_cmd; bootstrap_cmd;
+        stressmark_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/cache_fractions.ml: Arch Array Builder Cache_geometry Instruction List Machine Measurement Microprobe Passes Printf Set_assoc_model String Synthesizer Sys Uarch_def

@@ -1,0 +1,1 @@
+examples/epi_survey.ml: Arch Epi List Machine Microprobe Pipe Printf String Util

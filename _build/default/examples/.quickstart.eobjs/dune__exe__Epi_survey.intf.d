@@ -1,0 +1,1 @@
+examples/epi_survey.mli:

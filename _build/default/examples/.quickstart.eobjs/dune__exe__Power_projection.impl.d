@@ -1,0 +1,1 @@
+examples/power_projection.ml: Arch Builder Cache_geometry Float Format Instruction List Machine Measurement Microprobe Passes Power_model Printf Synthesizer Uarch_def Util Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Builder Cache_geometry Emit Format Instruction Ir List Machine Measurement Microprobe Passes Printf String Synthesizer Uarch_def

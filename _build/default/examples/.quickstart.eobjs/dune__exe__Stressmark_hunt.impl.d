@@ -1,0 +1,1 @@
+examples/stressmark_hunt.ml: Arch Epi Float Instruction List Machine Measurement Microprobe Printf Stressmark String Uarch_def Util Workloads

@@ -1,0 +1,1 @@
+examples/stressmark_hunt.mli:

@@ -1,0 +1,77 @@
+(* Cache fractions: demonstrate the analytical set-associative cache
+   model — ask for any hit distribution over L1/L2/L3/MEM and get a
+   loop that realises it, statically, with no design-space search
+   (paper Section 2.1.3 / Figure 3).
+
+   Run with: dune exec examples/cache_fractions.exe [l1 l2 l3 mem]
+   e.g.      dune exec examples/cache_fractions.exe -- 10 20 30 40 *)
+
+open Microprobe
+
+let () =
+  let weights =
+    match Array.to_list Sys.argv with
+    | [ _; a; b; c; d ] ->
+      [ float_of_string a; float_of_string b; float_of_string c;
+        float_of_string d ]
+    | _ -> [ 40.0; 30.0; 20.0; 10.0 ]
+  in
+  let dist = List.combine Cache_geometry.all_levels weights in
+  let arch = get_architecture "POWER7" in
+  Printf.printf "Requested distribution: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (l, w) ->
+            Printf.sprintf "%s %.0f%%" (Cache_geometry.level_to_string l)
+              (w /. List.fold_left ( +. ) 0.0 weights *. 100.0))
+          dist));
+  (* inspect the plan the analytical model builds *)
+  let plan = Set_assoc_model.create ~uarch:arch.Arch.uarch ~distribution:dist () in
+  List.iter
+    (fun level ->
+      let pool = Set_assoc_model.pool_lines plan level in
+      if Array.length pool > 0 then
+        Printf.printf
+          "%s pool: %d lines, first at 0x%x (L1 set %d)\n"
+          (Cache_geometry.level_to_string level)
+          (Array.length pool) pool.(0)
+          (Cache_geometry.set_index
+             (Uarch_def.cache arch.Arch.uarch Cache_geometry.L1)
+             pool.(0)))
+    Cache_geometry.all_levels;
+  Printf.printf "Total footprint: %d bytes\n\n"
+    (Set_assoc_model.footprint_bytes plan);
+  (* build the loop and measure on every SMT mode *)
+  let loads =
+    Arch.select arch (fun i ->
+        Instruction.is_load i && (not i.Instruction.prefetch)
+        && not i.Instruction.update)
+  in
+  let synth = Synthesizer.create ~name:"fractions" arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size:1024);
+  Synthesizer.add_pass synth (Passes.fill_uniform loads);
+  Synthesizer.add_pass synth (Passes.memory_model dist);
+  Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+  let p = Synthesizer.synthesize ~seed:2 synth in
+  let machine = Machine.create arch.Arch.uarch in
+  List.iter
+    (fun smt ->
+      let c = Uarch_def.config ~cores:1 ~smt arch.Arch.uarch in
+      let m = Machine.run machine c p in
+      let k = Measurement.core_counters m in
+      let total =
+        Measurement.(k.l1 +. k.l2 +. k.l3 +. k.mem)
+      in
+      Printf.printf
+        "SMT%d measured: L1 %4.1f%%  L2 %4.1f%%  L3 %4.1f%%  MEM %4.1f%%  \
+         (IPC %.2f, power %.1f)\n"
+        smt
+        (100.0 *. k.Measurement.l1 /. total)
+        (100.0 *. k.Measurement.l2 /. total)
+        (100.0 *. k.Measurement.l3 /. total)
+        (100.0 *. k.Measurement.mem /. total)
+        m.Measurement.core_ipc m.Measurement.power)
+    [ 1; 2; 4 ];
+  print_endline
+    "\nNo search was needed: the disjoint-set construction guarantees the\n\
+     distribution statically (paper Section 2.1.3)."

@@ -1,0 +1,1 @@
+lib/codegen/arch.ml: Format Mp_isa Mp_uarch

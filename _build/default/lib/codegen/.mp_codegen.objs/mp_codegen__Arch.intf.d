@@ -1,0 +1,1 @@
+lib/codegen/arch.mli: Format Mp_isa Mp_uarch

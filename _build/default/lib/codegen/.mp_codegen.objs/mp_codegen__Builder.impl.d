@@ -1,0 +1,1 @@
+lib/codegen/builder.ml: Arch Array Hashtbl Instruction Int64 Ir List Mp_isa Mp_util Printf Reg Reg_alloc

@@ -1,0 +1,1 @@
+lib/codegen/builder.mli: Arch Ir Mp_isa Mp_util

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Instruction Int64 Ir List Mp_isa Mp_uarch Printf Reg String

@@ -1,0 +1,1 @@
+lib/codegen/ir.ml: Array Format Hashtbl Instruction Int64 List Mp_isa Mp_uarch Option Printf Reg String

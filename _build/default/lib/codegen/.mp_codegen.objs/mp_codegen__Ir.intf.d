@@ -1,0 +1,1 @@
+lib/codegen/ir.mli: Format Mp_isa Mp_uarch Reg

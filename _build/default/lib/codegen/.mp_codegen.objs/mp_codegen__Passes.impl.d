@@ -1,0 +1,1 @@
+lib/codegen/passes.ml: Array Builder Float Instruction List Mp_isa Mp_util Printf

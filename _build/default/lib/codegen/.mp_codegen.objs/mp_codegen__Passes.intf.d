@@ -1,0 +1,1 @@
+lib/codegen/passes.mli: Builder Ir Mp_isa

@@ -1,0 +1,1 @@
+lib/codegen/reg.ml: Format Mp_isa Printf Stdlib

@@ -1,0 +1,1 @@
+lib/codegen/reg.mli: Format Mp_isa

@@ -1,0 +1,1 @@
+lib/codegen/reg_alloc.ml: Array Instruction Mp_isa Reg

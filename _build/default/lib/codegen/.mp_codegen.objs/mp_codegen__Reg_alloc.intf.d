@@ -1,0 +1,1 @@
+lib/codegen/reg_alloc.mli: Mp_isa Reg

@@ -1,0 +1,1 @@
+lib/codegen/synthesizer.ml: Arch Builder Hashtbl List Mp_util Passes Printf

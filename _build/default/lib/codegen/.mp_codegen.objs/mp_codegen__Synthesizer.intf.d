@@ -1,0 +1,1 @@
+lib/codegen/synthesizer.mli: Arch Ir Passes

@@ -1,0 +1,18 @@
+module Pipe = Mp_uarch.Pipe
+
+type t = { isa : Mp_isa.Isa_def.t; uarch : Mp_uarch.Uarch_def.t }
+
+let power7 () =
+  let uarch = Mp_uarch.Power7.define () in
+  { isa = Mp_uarch.Power7.isa uarch; uarch }
+
+let find_instruction t m = Mp_isa.Isa_def.find_exn t.isa m
+
+let select t pred = Mp_isa.Isa_def.select t.isa pred
+
+let stressing t unit =
+  select t (fun i -> Mp_uarch.Uarch_def.stresses t.uarch i unit)
+
+let pp ppf t =
+  Format.fprintf ppf "%s / %a" t.uarch.Mp_uarch.Uarch_def.name
+    Mp_isa.Isa_def.pp t.isa

@@ -1,0 +1,21 @@
+(** The architecture handle a generation policy is bound to: an ISA
+    registry plus a micro-architecture definition (paper Figure 2,
+    [MP.arch.get_architecture "POWER7"]). *)
+
+module Pipe = Mp_uarch.Pipe
+(** Re-export for callers of {!stressing}. *)
+
+type t = { isa : Mp_isa.Isa_def.t; uarch : Mp_uarch.Uarch_def.t }
+
+val power7 : unit -> t
+(** Fresh POWER7 handle. *)
+
+val find_instruction : t -> string -> Mp_isa.Instruction.t
+(** Raises [Failure] with the mnemonic when absent. *)
+
+val select : t -> (Mp_isa.Instruction.t -> bool) -> Mp_isa.Instruction.t list
+
+val stressing : t -> Pipe.unit_kind -> Mp_isa.Instruction.t list
+(** Instructions that stress a functional unit (Figure 2 lines 14–16). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,231 @@
+open Mp_isa
+
+type dep_mode = No_deps | Fixed of int | Random_range of int * int
+
+type value_policy = Random_values | Constant of int64
+
+type slot = {
+  mutable op : Instruction.t option;
+  mutable mem_target : Ir.level option;
+  mutable pattern : bool array option;
+}
+
+type t = {
+  arch : Arch.t;
+  rng : Mp_util.Rng.t;
+  mutable name : string;
+  mutable slots : slot array;
+  mutable mem_distribution : (Ir.level * float) list option;
+  mutable dep_mode : dep_mode;
+  mutable reg_policy : value_policy;
+  mutable imm_policy : value_policy;
+  mutable provenance : string list;
+}
+
+let create arch rng =
+  {
+    arch;
+    rng;
+    name = "ubench";
+    slots = [||];
+    mem_distribution = None;
+    dep_mode = No_deps;
+    reg_policy = Random_values;
+    imm_policy = Random_values;
+    provenance = [];
+  }
+
+let set_skeleton t n =
+  if Array.length t.slots > 0 then failwith "Builder: skeleton already defined";
+  if n <= 0 then failwith "Builder: skeleton size must be positive";
+  t.slots <- Array.init n (fun _ -> { op = None; mem_target = None; pattern = None })
+
+let size t = Array.length t.slots
+
+let require_skeleton t pass =
+  if size t = 0 then failwith (Printf.sprintf "pass %S requires a skeleton" pass)
+
+let require_filled t pass =
+  if size t = 0 then require_skeleton t pass;
+  Array.iteri
+    (fun i s ->
+      if s.op = None then
+        failwith (Printf.sprintf "pass %S: slot %d has no instruction" pass i))
+    t.slots
+
+let record t name = t.provenance <- name :: t.provenance
+
+(* ----- operand wiring --------------------------------------------------- *)
+
+type wired = {
+  w_op : Instruction.t;
+  mutable w_dests : Reg.t list;
+  mutable w_srcs : Reg.t list;
+  w_imm : int64 option;
+  w_mem : Ir.level option;
+  w_pattern : bool array option;
+}
+
+let imm_value t (op : Instruction.t) =
+  if not op.has_imm then None
+  else
+    let bits = max 1 (min 62 op.imm_bits) in
+    match t.imm_policy with
+    | Constant v -> Some (Int64.logand v (Int64.sub (Int64.shift_left 1L bits) 1L))
+    | Random_values ->
+      Some (Int64.of_int (Mp_util.Rng.int t.rng (1 lsl (min bits 30))))
+
+(* First wiring pass: default allocation from the rotating pools. *)
+let default_wire t alloc (op : Instruction.t) slot_mem slot_pattern =
+  let imm = imm_value t op in
+  match op.mem with
+  | Instruction.Load ->
+    let b = Reg_alloc.base alloc in
+    let srcs =
+      b :: (if op.indexed then [ Reg_alloc.source alloc Instruction.Gpr ] else [])
+    in
+    let dests =
+      (if op.has_dest then [ Reg_alloc.dest alloc op.data_class ] else [])
+      @ (if op.update then [ b ] else [])
+    in
+    { w_op = op; w_dests = dests; w_srcs = srcs; w_imm = imm;
+      w_mem = slot_mem; w_pattern = None }
+  | Instruction.Store ->
+    let b = Reg_alloc.base alloc in
+    let data = Reg_alloc.source alloc op.data_class in
+    let srcs =
+      data :: b
+      :: (if op.indexed then [ Reg_alloc.source alloc Instruction.Gpr ] else [])
+    in
+    let dests = if op.update then [ b ] else [] in
+    { w_op = op; w_dests = dests; w_srcs = srcs; w_imm = imm;
+      w_mem = slot_mem; w_pattern = None }
+  | Instruction.No_mem ->
+    if Instruction.is_branch op then
+      { w_op = op; w_dests = []; w_srcs = []; w_imm = imm; w_mem = None;
+        w_pattern = slot_pattern }
+    else
+      let dests =
+        if op.exec_class = Instruction.Cmp_op then
+          [ Reg_alloc.dest alloc Instruction.Cr ]
+        else if op.has_dest then [ Reg_alloc.dest alloc op.data_class ]
+        else []
+      in
+      let srcs =
+        List.init op.srcs (fun _ -> Reg_alloc.source alloc op.data_class)
+      in
+      { w_op = op; w_dests = dests; w_srcs = srcs; w_imm = imm; w_mem = None;
+        w_pattern = slot_pattern }
+
+(* Dependency pass: point the first data source (the base register, for
+   loads) at the destination of the instruction [d] earlier whose result
+   class matches, scanning a small window backwards for a compatible
+   producer. *)
+let apply_dependency t (wired : wired array) =
+  let n = Array.length wired in
+  let pick_distance i =
+    ignore i;
+    match t.dep_mode with
+    | No_deps -> None
+    | Fixed d -> if d >= 1 && d < n then Some d else None
+    | Random_range (lo, hi) ->
+      let lo = max 1 lo and hi = max 1 (min hi (n - 1)) in
+      if hi < lo then None else Some (Mp_util.Rng.int_in t.rng lo hi)
+  in
+  let wanted_class (w : wired) =
+    let op = w.w_op in
+    match op.mem with
+    | Instruction.Load -> Some Instruction.Gpr (* chase through the base *)
+    | Instruction.Store -> Some op.data_class
+    | Instruction.No_mem ->
+      if Instruction.is_branch op || op.srcs = 0 then None
+      else Some op.data_class
+  in
+  let producer_of_class j cls =
+    List.find_opt (fun r -> Reg.class_of r = cls) wired.(j).w_dests
+  in
+  Array.iteri
+    (fun i w ->
+      match (pick_distance i, wanted_class w) with
+      | None, _ | _, None -> ()
+      | Some d, Some cls ->
+        (* the chain wraps around the endless loop: instruction i
+           consumes the result produced d slots earlier, modulo the
+           body, so the dependence carries across iterations *)
+        let rec scan j steps =
+          if steps > 8 then None
+          else
+            let j = ((j mod n) + n) mod n in
+            match producer_of_class j cls with
+            | Some r -> Some r
+            | None -> scan (j - 1) (steps + 1)
+        in
+        (match scan (i - d) 0 with
+         | None -> ()
+         | Some producer ->
+           (match w.w_srcs with
+            | [] -> ()
+            | first :: rest ->
+              (* loads: replace the base; others: the first data source *)
+              let replace_at0 = Instruction.is_load w.w_op || not (Instruction.is_store w.w_op) in
+              if replace_at0 && Reg.class_of first = cls then
+                w.w_srcs <- producer :: rest
+              else
+                (* stores: the data source comes first in our layout *)
+                if Reg.class_of first = cls then w.w_srcs <- producer :: rest)))
+    wired
+
+let value_for t =
+  match t.reg_policy with
+  | Constant v -> fun _ -> v
+  | Random_values -> fun () -> Mp_util.Rng.bits64 t.rng
+
+let finalize t =
+  require_filled t "finalize";
+  let alloc = Reg_alloc.create () in
+  let wired =
+    Array.map
+      (fun s ->
+        match s.op with
+        | None -> assert false
+        | Some op -> default_wire t alloc op s.mem_target s.pattern)
+      t.slots
+  in
+  apply_dependency t wired;
+  let seen = Hashtbl.create 64 in
+  let value = value_for t in
+  let reg_init = ref [] in
+  let note r =
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      reg_init := (r, value ()) :: !reg_init
+    end
+  in
+  Array.iter
+    (fun w ->
+      List.iter note w.w_srcs;
+      List.iter note w.w_dests)
+    wired;
+  let body =
+    Array.mapi
+      (fun index w ->
+        { Ir.index; op = w.w_op; dests = w.w_dests; srcs = w.w_srcs;
+          imm = w.w_imm; mem_target = w.w_mem; taken_pattern = w.w_pattern })
+      wired
+  in
+  let program =
+    {
+      Ir.name = t.name;
+      body;
+      reg_init = List.rev !reg_init;
+      imm_policy =
+        (match t.imm_policy with
+         | Random_values -> "random"
+         | Constant v -> Printf.sprintf "const:%Ld" v);
+      memory_distribution = t.mem_distribution;
+      provenance = List.rev t.provenance;
+    }
+  in
+  match Ir.validate program with
+  | Ok () -> program
+  | Error e -> failwith (Printf.sprintf "Builder.finalize: %s" e)

@@ -1,0 +1,13 @@
+(** Emitters: render a generated micro-benchmark as pseudo-assembly or
+    as a self-contained C file with an inline-asm endless loop — the
+    forms the real MicroProbe writes to disk. *)
+
+val to_asm : Ir.t -> string
+(** GNU-style assembly listing: register initialisation, loop label,
+    body, closing [bdnz]. *)
+
+val to_c : Ir.t -> string
+(** C harness embedding the loop as an [asm volatile] block. *)
+
+val operand_string : Ir.instr -> string
+(** The operand list of one instruction as it appears in the listing. *)

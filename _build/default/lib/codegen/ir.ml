@@ -1,0 +1,117 @@
+open Mp_isa
+
+type level = Mp_uarch.Cache_geometry.level
+
+type instr = {
+  index : int;
+  op : Instruction.t;
+  dests : Reg.t list;
+  srcs : Reg.t list;
+  imm : int64 option;
+  mem_target : level option;
+  taken_pattern : bool array option;
+}
+
+type t = {
+  name : string;
+  body : instr array;
+  reg_init : (Reg.t * int64) list;
+  imm_policy : string;
+  memory_distribution : (level * float) list option;
+  provenance : string list;
+}
+
+let size t = Array.length t.body
+
+let instruction_mix t =
+  let table = Hashtbl.create 32 in
+  Array.iter
+    (fun i ->
+      let m = i.op.Instruction.mnemonic in
+      Hashtbl.replace table m (1 + Option.value ~default:0 (Hashtbl.find_opt table m)))
+    t.body;
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let memory_instructions t =
+  Array.to_list t.body
+  |> List.filter (fun i -> Instruction.is_memory i.op)
+
+let check_instr i =
+  let op = i.op in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if Instruction.is_memory op && i.mem_target = None then
+    fail "%s at %d: memory op without target level" op.mnemonic i.index
+  else if (not (Instruction.is_memory op)) && i.mem_target <> None then
+    fail "%s at %d: non-memory op with target level" op.mnemonic i.index
+  else
+    let src_ok =
+      match op.mem with
+      | Instruction.No_mem ->
+        (* data sources follow the instruction's register file *)
+        Instruction.is_branch op
+        || List.for_all (fun r -> Reg.class_of r = op.data_class) i.srcs
+      | Instruction.Load ->
+        (* only address sources, which are GPRs *)
+        List.for_all (fun r -> Reg.class_of r = Instruction.Gpr) i.srcs
+      | Instruction.Store ->
+        (* exactly one data source of the data class; addresses are GPRs *)
+        let data, addr =
+          List.partition
+            (fun r ->
+              Reg.class_of r = op.data_class
+              && op.data_class <> Instruction.Gpr)
+            i.srcs
+        in
+        List.length data <= 1
+        && List.for_all (fun r -> Reg.class_of r = Instruction.Gpr) addr
+    in
+    if not src_ok then
+      fail "%s at %d: source register class mismatch" op.mnemonic i.index
+    else Ok ()
+
+let validate t =
+  let rec check idx =
+    if idx = Array.length t.body then Ok ()
+    else
+      let i = t.body.(idx) in
+      if i.index <> idx then
+        Error (Printf.sprintf "instruction %d carries index %d" idx i.index)
+      else
+        match check_instr i with Ok () -> check (idx + 1) | Error e -> Error e
+  in
+  check 0
+
+let popcount64 v =
+  let rec go acc v =
+    if Int64.equal v 0L then acc
+    else go (acc + 1) Int64.(logand v (sub v 1L))
+  in
+  go 0 v
+
+let data_activity_factor t =
+  (* register data only: immediates are narrow fields whose 64-bit
+     popcount would skew the factor *)
+  match List.map snd t.reg_init with
+  | [] -> 0.5 (* uninitialised: assume typical random switching *)
+  | vs ->
+    let total =
+      List.fold_left (fun acc v -> acc +. (float_of_int (popcount64 v) /. 64.0))
+        0.0 vs
+    in
+    total /. float_of_int (List.length vs)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>%s: %d instructions, %d distinct opcodes"
+    t.name (size t) (List.length (instruction_mix t));
+  (match t.memory_distribution with
+   | None -> ()
+   | Some d ->
+     Format.fprintf ppf ", mem={%s}"
+       (String.concat ","
+          (List.map
+             (fun (l, w) ->
+               Printf.sprintf "%s:%.0f%%"
+                 (Mp_uarch.Cache_geometry.level_to_string l) (w *. 100.0))
+             d)));
+  Format.fprintf ppf "@]"

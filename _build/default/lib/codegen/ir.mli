@@ -1,0 +1,52 @@
+(** Micro-benchmark internal representation.
+
+    A micro-benchmark is an endless loop: a body of payload
+    instructions plus an implicit loop-closing [bdnz]. Memory
+    instructions carry a {e target hierarchy level}; the concrete
+    address streams are instantiated at deployment time (per hardware
+    thread) by the measurement harness, so that one program can be
+    replicated over any SMT partition without violating the analytical
+    model's disjointness guarantees. *)
+
+type level = Mp_uarch.Cache_geometry.level
+
+type instr = {
+  index : int;
+  op : Mp_isa.Instruction.t;
+  dests : Reg.t list;           (** results, including update write-backs *)
+  srcs : Reg.t list;            (** register data + address sources *)
+  imm : int64 option;
+  mem_target : level option;    (** [Some _] iff [op] is a memory op *)
+  taken_pattern : bool array option;
+      (** conditional branches: outcome per dynamic execution, cycled *)
+}
+
+type t = {
+  name : string;
+  body : instr array;
+  reg_init : (Reg.t * int64) list;
+  imm_policy : string;          (** provenance of immediate initialisation *)
+  memory_distribution : (level * float) list option;
+  provenance : string list;     (** names of the passes applied, in order *)
+}
+
+val size : t -> int
+(** Payload instructions in the loop body. *)
+
+val instruction_mix : t -> (string * int) list
+(** Mnemonic histogram, descending count. *)
+
+val memory_instructions : t -> instr list
+
+val validate : t -> (unit, string) result
+(** Structural invariants: indices are dense, memory ops have targets
+    and non-memory ops do not, operand register classes agree with the
+    instruction signature, register indices are within file bounds. *)
+
+val data_activity_factor : t -> float
+(** Mean normalised population count of the register initialisation
+    values, in [\[0, 1\]]. Random data sits near 0.5; all-zero data at
+    0. The power ground-truth uses this to model data-dependent
+    switching. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+open Mp_isa
+
+type t = { name : string; apply : Builder.t -> unit }
+
+let skeleton ~size =
+  let name = Printf.sprintf "skeleton(%d)" size in
+  { name; apply = (fun b -> Builder.set_skeleton b size) }
+
+let check_candidates name = function
+  | [] -> failwith (Printf.sprintf "pass %S: no candidate instructions" name)
+  | _ -> ()
+
+let fill_weighted weighted =
+  let name = "fill_weighted" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_skeleton b name;
+        check_candidates name weighted;
+        let ops = Array.of_list (List.map fst weighted) in
+        let w = Array.of_list (List.map snd weighted) in
+        Array.iter
+          (fun (s : Builder.slot) ->
+            s.op <- Some ops.(Mp_util.Rng.weighted_index b.rng w))
+          b.slots);
+  }
+
+let fill_uniform candidates =
+  let name = "fill_uniform" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_skeleton b name;
+        check_candidates name (List.map (fun c -> (c, 1.0)) candidates);
+        let ops = Array.of_list candidates in
+        Array.iter
+          (fun (s : Builder.slot) -> s.op <- Some (Mp_util.Rng.choose b.rng ops))
+          b.slots);
+  }
+
+let fill_sequence pattern =
+  let name = "fill_sequence" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_skeleton b name;
+        check_candidates name (List.map (fun c -> (c, 1.0)) pattern);
+        let ops = Array.of_list pattern in
+        Array.iteri
+          (fun i (s : Builder.slot) ->
+            s.op <- Some ops.(i mod Array.length ops))
+          b.slots);
+  }
+
+let fill_interleaved mix =
+  let name = "fill_interleaved" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_skeleton b name;
+        check_candidates name (List.map (fun (c, _) -> (c, 1.0)) mix);
+        let round =
+          List.concat_map (fun (ins, k) -> List.init (max 0 k) (fun _ -> ins)) mix
+        in
+        if round = [] then failwith (Printf.sprintf "pass %S: empty round" name);
+        let round = Array.of_list round in
+        Array.iteri
+          (fun i (s : Builder.slot) ->
+            s.op <- Some round.(i mod Array.length round))
+          b.slots);
+  }
+
+let memory_model distribution =
+  let name = "memory_model" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_filled b name;
+        let mem_slots =
+          Array.to_list b.slots
+          |> List.filter (fun (s : Builder.slot) ->
+                 match s.op with
+                 | Some op -> Instruction.is_memory op && not op.prefetch
+                 | None -> false)
+        in
+        let n = List.length mem_slots in
+        if n = 0 then
+          failwith (Printf.sprintf "pass %S: no memory instructions to model" name);
+        (* normalise and apportion by largest remainder *)
+        let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 distribution in
+        if total <= 0.0 then failwith (Printf.sprintf "pass %S: zero weights" name);
+        let dist = List.map (fun (l, w) -> (l, w /. total)) distribution in
+        let quotas = List.map (fun (l, w) -> (l, w *. float_of_int n)) dist in
+        let floors =
+          List.map (fun (l, q) -> (l, int_of_float (Float.floor q), q)) quotas
+        in
+        let assigned = List.fold_left (fun a (_, f, _) -> a + f) 0 floors in
+        let by_rem =
+          List.sort
+            (fun (_, f1, q1) (_, f2, q2) ->
+              compare (q2 -. float_of_int f2) (q1 -. float_of_int f1))
+            floors
+        in
+        let counts =
+          List.mapi
+            (fun i (l, f, _) -> (l, if i < n - assigned then f + 1 else f))
+            by_rem
+        in
+        let levels =
+          List.concat_map (fun (l, c) -> List.init c (fun _ -> l)) counts
+          |> Array.of_list
+        in
+        Mp_util.Rng.shuffle_in_place b.rng levels;
+        List.iteri
+          (fun i (s : Builder.slot) -> s.mem_target <- Some levels.(i))
+          mem_slots;
+        b.mem_distribution <- Some dist);
+  }
+
+let branch_model ~bc ~frequency ~taken_ratio ~pattern_length =
+  let name = "branch_model" in
+  {
+    name;
+    apply =
+      (fun b ->
+        Builder.require_filled b name;
+        if frequency < 0.0 || frequency > 1.0 then
+          failwith (Printf.sprintf "pass %S: frequency out of range" name);
+        let n = Builder.size b in
+        let count = int_of_float (Float.round (frequency *. float_of_int n)) in
+        let idx = Array.init n (fun i -> i) in
+        Mp_util.Rng.shuffle_in_place b.rng idx;
+        for k = 0 to count - 1 do
+          let s = b.slots.(idx.(k)) in
+          let taken = int_of_float (Float.round (taken_ratio *. float_of_int pattern_length)) in
+          let pat = Array.init pattern_length (fun i -> i < taken) in
+          Mp_util.Rng.shuffle_in_place b.rng pat;
+          s.op <- Some bc;
+          s.mem_target <- None;
+          s.pattern <- Some pat
+        done);
+  }
+
+let init_registers policy =
+  let name =
+    match policy with
+    | Builder.Random_values -> "init_registers(random)"
+    | Builder.Constant v -> Printf.sprintf "init_registers(0x%Lx)" v
+  in
+  { name; apply = (fun b -> b.reg_policy <- policy) }
+
+let init_immediates policy =
+  let name =
+    match policy with
+    | Builder.Random_values -> "init_immediates(random)"
+    | Builder.Constant v -> Printf.sprintf "init_immediates(0x%Lx)" v
+  in
+  { name; apply = (fun b -> b.imm_policy <- policy) }
+
+let dependency mode =
+  let name =
+    match mode with
+    | Builder.No_deps -> "dependency(none)"
+    | Builder.Fixed d -> Printf.sprintf "dependency(%d)" d
+    | Builder.Random_range (lo, hi) -> Printf.sprintf "dependency(%d..%d)" lo hi
+  in
+  { name; apply = (fun b -> b.dep_mode <- mode) }
+
+let rename n =
+  { name = Printf.sprintf "rename(%s)" n; apply = (fun b -> b.name <- n) }
+
+let custom ~name apply = { name; apply }

@@ -1,0 +1,46 @@
+(** The repository of standard transformation passes (paper Section
+    2.2). A pass is a named transformation over a {!Builder.t}; the
+    synthesizer applies them in user order. New passes are created with
+    {!custom} — the framework is extensible at user level. *)
+
+type t = { name : string; apply : Builder.t -> unit }
+
+val skeleton : size:int -> t
+(** "Single end-less loop of [size] instructions." *)
+
+val fill_weighted : (Mp_isa.Instruction.t * float) list -> t
+(** Fill every slot by weighted sampling — the instruction-distribution
+    pass. *)
+
+val fill_uniform : Mp_isa.Instruction.t list -> t
+(** Uniform random distribution over the candidates. *)
+
+val fill_sequence : Mp_isa.Instruction.t list -> t
+(** Replicate a fixed instruction sequence cyclically (the stressmark
+    building block). *)
+
+val fill_interleaved : (Mp_isa.Instruction.t * int) list -> t
+(** Deterministic mix: [(ins, k)] contributes [k] slots per round,
+    round-robin — gives exact ratios for IPC-targeted benchmarks. *)
+
+val memory_model : (Ir.level * float) list -> t
+(** Assign data-source levels to the memory instructions according to
+    the distribution (largest-remainder apportionment over the actual
+    memory slots), and record the distribution for deployment-time
+    address-stream instantiation by the analytical cache model. *)
+
+val branch_model :
+  bc:Mp_isa.Instruction.t -> frequency:float -> taken_ratio:float ->
+  pattern_length:int -> t
+(** Overwrite a [frequency] fraction of slots with conditional branches
+    whose outcome pattern has the given taken ratio. *)
+
+val init_registers : Builder.value_policy -> t
+val init_immediates : Builder.value_policy -> t
+
+val dependency : Builder.dep_mode -> t
+(** "Set instruction dependency distance" — fixed, random or none. *)
+
+val rename : string -> t
+
+val custom : name:string -> (Builder.t -> unit) -> t

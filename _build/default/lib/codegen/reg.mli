@@ -1,0 +1,17 @@
+(** Architected registers referenced by generated code. *)
+
+type t = Gpr of int | Fpr of int | Vsr of int | Cr_field of int | Ctr
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val class_of : t -> Mp_isa.Instruction.reg_class
+(** The register file a register belongs to ([Ctr] reports [Cr]). *)
+
+val file_size : Mp_isa.Instruction.reg_class -> int
+(** 32 GPRs/FPRs, 64 VSRs, 8 CR fields. *)
+
+val make : Mp_isa.Instruction.reg_class -> int -> t
+(** Raises [Invalid_argument] if the index exceeds the file size. *)

@@ -1,0 +1,38 @@
+type t = {
+  arch : Arch.t;
+  name : string;
+  mutable passes : Passes.t list;  (* reverse order *)
+  mutable counter : int;
+}
+
+let create ?(name = "ubench") arch = { arch; name; passes = []; counter = 0 }
+
+let arch t = t.arch
+
+let add_pass t p = t.passes <- p :: t.passes
+
+let pass_names t = List.rev_map (fun (p : Passes.t) -> p.name) t.passes
+
+let synthesize ?seed t =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+      t.counter <- t.counter + 1;
+      t.counter * 0x9E37 + Hashtbl.hash t.name
+  in
+  let rng = Mp_util.Rng.create seed in
+  let b = Builder.create t.arch rng in
+  b.name <- Printf.sprintf "%s-%d" t.name seed;
+  List.iter
+    (fun (p : Passes.t) ->
+      p.apply b;
+      Builder.record b p.name)
+    (List.rev t.passes);
+  Builder.finalize b
+
+let synthesize_many ?seed t n =
+  List.init n (fun i ->
+      match seed with
+      | Some s -> synthesize ~seed:(s + i) t
+      | None -> synthesize t)

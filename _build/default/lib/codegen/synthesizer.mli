@@ -1,0 +1,27 @@
+(** The micro-benchmark synthesizer (paper Figure 2, lines 5–31).
+
+    A synthesizer holds an architecture handle and an ordered list of
+    passes; each {!synthesize} call applies the passes to a fresh
+    builder and returns the finished program. Repeated calls with the
+    same seed are identical; successive calls without a seed draw fresh
+    randomness (Figure 2 generates ten distinct benchmarks from one
+    policy). *)
+
+type t
+
+val create : ?name:string -> Arch.t -> t
+
+val arch : t -> Arch.t
+
+val add_pass : t -> Passes.t -> unit
+(** Append a pass to the policy. *)
+
+val pass_names : t -> string list
+
+val synthesize : ?seed:int -> t -> Ir.t
+(** Apply the passes in order. Without [seed], an internal counter
+    advances so each call yields a distinct program. Raises [Failure]
+    when a pass's requirements are not met (e.g. distribution before
+    skeleton). *)
+
+val synthesize_many : ?seed:int -> t -> int -> Ir.t list

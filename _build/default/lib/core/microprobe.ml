@@ -1,0 +1,38 @@
+let registry = [ ("POWER7", Mp_codegen.Arch.power7) ]
+
+let get_architecture name =
+  match List.assoc_opt name registry with
+  | Some make -> make ()
+  | None -> raise Not_found
+
+let architectures () = List.map fst registry
+
+let version = "1.0.0"
+
+module Isa = Mp_isa
+module Instruction = Mp_isa.Instruction
+module Isa_def = Mp_isa.Isa_def
+module Power_isa = Mp_isa.Power_isa
+module Disasm = Mp_isa.Disasm
+module Uarch = Mp_uarch
+module Uarch_def = Mp_uarch.Uarch_def
+module Pipe = Mp_uarch.Pipe
+module Cache_geometry = Mp_uarch.Cache_geometry
+module Pmc = Mp_uarch.Pmc
+module Set_assoc_model = Mp_mem.Set_assoc_model
+module Arch = Mp_codegen.Arch
+module Reg = Mp_codegen.Reg
+module Ir = Mp_codegen.Ir
+module Builder = Mp_codegen.Builder
+module Passes = Mp_codegen.Passes
+module Synthesizer = Mp_codegen.Synthesizer
+module Emit = Mp_codegen.Emit
+module Dse = Mp_dse
+module Machine = Mp_sim.Machine
+module Measurement = Mp_sim.Measurement
+module Trace = Mp_potra.Trace
+module Power_model = Mp_model
+module Workloads = Mp_workloads
+module Epi = Mp_epi
+module Stressmark = Mp_stressmark.Stressmark
+module Util = Mp_util

@@ -1,0 +1,65 @@
+(** MicroProbe — automated micro-benchmark generation for systematic
+    energy characterization of CMP/SMT processor systems.
+
+    OCaml reproduction of Bertran et al., MICRO 2012. The module mirrors
+    the paper's Python scripting interface (Figure 2):
+
+    {[
+      let arch = Microprobe.get_architecture "POWER7" in
+      let synth = Microprobe.Synthesizer.create arch in
+      Microprobe.Synthesizer.add_pass synth (Microprobe.Passes.skeleton ~size:4096);
+      ...
+      let ubench = Microprobe.Synthesizer.synthesize synth in
+      print_string (Microprobe.Emit.to_asm ubench)
+    ]}
+
+    Sub-libraries are re-exported under topical names; see DESIGN.md
+    for the system inventory. *)
+
+val get_architecture : string -> Mp_codegen.Arch.t
+(** Architecture registry lookup. Currently ships ["POWER7"]. Raises
+    [Not_found] for unknown names. *)
+
+val architectures : unit -> string list
+
+val version : string
+
+(* The architecture module *)
+module Isa = Mp_isa
+module Instruction = Mp_isa.Instruction
+module Isa_def = Mp_isa.Isa_def
+module Power_isa = Mp_isa.Power_isa
+module Disasm = Mp_isa.Disasm
+module Uarch = Mp_uarch
+module Uarch_def = Mp_uarch.Uarch_def
+module Pipe = Mp_uarch.Pipe
+module Cache_geometry = Mp_uarch.Cache_geometry
+module Pmc = Mp_uarch.Pmc
+
+(* Micro-architecture analytical models *)
+module Set_assoc_model = Mp_mem.Set_assoc_model
+
+(* The code generation module *)
+module Arch = Mp_codegen.Arch
+module Reg = Mp_codegen.Reg
+module Ir = Mp_codegen.Ir
+module Builder = Mp_codegen.Builder
+module Passes = Mp_codegen.Passes
+module Synthesizer = Mp_codegen.Synthesizer
+module Emit = Mp_codegen.Emit
+
+(* The design space exploration module *)
+module Dse = Mp_dse
+
+(* The measurement substrate (simulated machine) *)
+module Machine = Mp_sim.Machine
+module Measurement = Mp_sim.Measurement
+module Trace = Mp_potra.Trace
+
+(* Case studies *)
+module Power_model = Mp_model
+module Workloads = Mp_workloads
+module Epi = Mp_epi
+module Stressmark = Mp_stressmark.Stressmark
+
+module Util = Mp_util

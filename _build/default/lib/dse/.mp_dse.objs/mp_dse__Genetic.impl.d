@@ -1,0 +1,1 @@
+lib/dse/genetic.ml: Array Driver List Mp_util

@@ -1,0 +1,1 @@
+lib/dse/genetic.mli: Driver Mp_util

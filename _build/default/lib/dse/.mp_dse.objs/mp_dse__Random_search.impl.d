@@ -1,0 +1,1 @@
+lib/dse/random_search.ml: Driver List

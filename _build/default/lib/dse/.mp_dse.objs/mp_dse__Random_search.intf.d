@@ -1,0 +1,1 @@
+lib/dse/random_search.mli: Driver Mp_util

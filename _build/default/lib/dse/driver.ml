@@ -1,0 +1,16 @@
+type 'p evaluation = { point : 'p; score : float }
+
+type 'p result = {
+  best : 'p evaluation;
+  evaluations : int;
+  all : 'p evaluation list;
+}
+
+let best_of = function
+  | [] -> invalid_arg "Driver.best_of: empty"
+  | e :: rest ->
+    List.fold_left (fun acc x -> if x.score > acc.score then x else acc) e rest
+
+let top n evals =
+  let sorted = List.sort (fun a b -> compare b.score a.score) evals in
+  List.filteri (fun i _ -> i < n) sorted

@@ -1,0 +1,15 @@
+(** Common result shape of the search drivers. *)
+
+type 'p evaluation = { point : 'p; score : float }
+
+type 'p result = {
+  best : 'p evaluation;
+  evaluations : int;
+  all : 'p evaluation list;  (** every evaluated point, in evaluation order *)
+}
+
+val best_of : 'p evaluation list -> 'p evaluation
+(** Highest score; raises [Invalid_argument] on an empty list. *)
+
+val top : int -> 'p evaluation list -> 'p evaluation list
+(** The [n] highest-scoring evaluations, best first. *)

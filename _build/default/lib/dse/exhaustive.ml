@@ -1,0 +1,13 @@
+let search ?on_progress ~eval points =
+  if points = [] then invalid_arg "Exhaustive.search: empty space";
+  let count = ref 0 in
+  let all =
+    List.map
+      (fun p ->
+        let e = { Driver.point = p; score = eval p } in
+        incr count;
+        (match on_progress with Some f -> f !count e | None -> ());
+        e)
+      points
+  in
+  { Driver.best = Driver.best_of all; evaluations = !count; all }

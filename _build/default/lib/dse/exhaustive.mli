@@ -1,0 +1,12 @@
+(** Exhaustive search over an enumerated design space — feasible once
+    micro-architecture heuristics have constrained the space to the
+    points of interest (the paper's Section 6 argument). *)
+
+val search :
+  ?on_progress:(int -> 'p Driver.evaluation -> unit) ->
+  eval:('p -> float) ->
+  'p list ->
+  'p Driver.result
+(** Evaluate every point. [on_progress] fires after each evaluation
+    with the running count. Raises [Invalid_argument] on an empty
+    space. *)

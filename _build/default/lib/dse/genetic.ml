@@ -1,0 +1,55 @@
+type 'p operators = {
+  init : Mp_util.Rng.t -> 'p;
+  mutate : Mp_util.Rng.t -> 'p -> 'p;
+  crossover : Mp_util.Rng.t -> 'p -> 'p -> 'p;
+}
+
+let search ~rng ~ops ~eval ?(population = 24) ?(generations = 12) ?(elite = 4)
+    ?(mutation_rate = 0.3) ?(seeds = []) () =
+  if population < 2 then invalid_arg "Genetic.search: population";
+  if elite >= population then invalid_arg "Genetic.search: elite";
+  let evaluate p = { Driver.point = p; score = eval p } in
+  let all = ref [] in
+  let note e = all := e :: !all in
+  let tournament pop =
+    let a = Mp_util.Rng.choose rng pop and b = Mp_util.Rng.choose rng pop in
+    if a.Driver.score >= b.Driver.score then a else b
+  in
+  let seeds = Array.of_list seeds in
+  let initial =
+    Array.init population (fun i ->
+        let p =
+          if i < Array.length seeds then seeds.(i) else ops.init rng
+        in
+        let e = evaluate p in
+        note e;
+        e)
+  in
+  let current = ref initial in
+  for _gen = 1 to generations do
+    let sorted =
+      Array.of_list
+        (List.sort
+           (fun a b -> compare b.Driver.score a.Driver.score)
+           (Array.to_list !current))
+    in
+    let next =
+      Array.init population (fun i ->
+          if i < elite then sorted.(i)
+          else begin
+            let a = tournament sorted and b = tournament sorted in
+            let child = ops.crossover rng a.Driver.point b.Driver.point in
+            let child =
+              if Mp_util.Rng.float rng 1.0 < mutation_rate then
+                ops.mutate rng child
+              else child
+            in
+            let e = evaluate child in
+            note e;
+            e
+          end)
+    in
+    current := next
+  done;
+  let all = List.rev !all in
+  { Driver.best = Driver.best_of all; evaluations = List.length all; all }

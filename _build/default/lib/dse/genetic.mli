@@ -1,0 +1,26 @@
+(** Genetic-algorithm driver (the search previous stressmark work
+    relied on exclusively; here one option among several). Maximises
+    the fitness returned by [eval]. *)
+
+type 'p operators = {
+  init : Mp_util.Rng.t -> 'p;
+  mutate : Mp_util.Rng.t -> 'p -> 'p;
+  crossover : Mp_util.Rng.t -> 'p -> 'p -> 'p;
+}
+
+val search :
+  rng:Mp_util.Rng.t ->
+  ops:'p operators ->
+  eval:('p -> float) ->
+  ?population:int ->
+  ?generations:int ->
+  ?elite:int ->
+  ?mutation_rate:float ->
+  ?seeds:'p list ->
+  unit ->
+  'p Driver.result
+(** Defaults: population 24, generations 12, elite 4, mutation rate
+    0.3. Selection is 2-way tournament; elites carry over unchanged.
+    [seeds] are placed in the initial population (truncated to the
+    population size); the rest comes from [ops.init]. Deterministic
+    given [rng]. *)

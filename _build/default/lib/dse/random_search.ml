@@ -1,0 +1,8 @@
+let search ~rng ~sample ~eval ~budget =
+  if budget <= 0 then invalid_arg "Random_search.search: budget";
+  let all =
+    List.init budget (fun _ ->
+        let p = sample rng in
+        { Driver.point = p; score = eval p })
+  in
+  { Driver.best = Driver.best_of all; evaluations = budget; all }

@@ -1,0 +1,8 @@
+(** Budgeted random sampling of a design space — the baseline driver. *)
+
+val search :
+  rng:Mp_util.Rng.t ->
+  sample:(Mp_util.Rng.t -> 'p) ->
+  eval:('p -> float) ->
+  budget:int ->
+  'p Driver.result

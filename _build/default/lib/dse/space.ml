@@ -1,0 +1,50 @@
+let cartesian dims =
+  List.fold_right
+    (fun dim acc ->
+      List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) dim)
+    dims [ [] ]
+
+let sequences alphabet ~length =
+  cartesian (List.init length (fun _ -> alphabet))
+
+let combinations_with_repetition alphabet ~length =
+  (* choose non-decreasing index sequences *)
+  let arr = Array.of_list alphabet in
+  let n = Array.length arr in
+  let rec go start remaining =
+    if remaining = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (n - start) (fun off ->
+             let i = start + off in
+             List.map (fun rest -> arr.(i) :: rest) (go i (remaining - 1))))
+  in
+  if n = 0 && length > 0 then [] else go 0 length
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rec remove_first = function
+          | [] -> []
+          | y :: ys -> if y == x then ys else y :: remove_first ys
+        in
+        List.map (fun rest -> x :: rest) (permutations (remove_first l)))
+      l
+
+let distinct_permutations l =
+  List.sort_uniq compare (permutations l)
+
+let rec power base = function 0 -> 1 | n -> base * power base (n - 1)
+
+let size_sequences ~alphabet ~length = power alphabet length
+
+let size_combinations ~alphabet ~length =
+  (* C(alphabet + length - 1, length) *)
+  let rec binom n k =
+    if k = 0 || k = n then 1
+    else binom (n - 1) (k - 1) * n / k
+  in
+  if alphabet = 0 then (if length = 0 then 1 else 0)
+  else binom (alphabet + length - 1) length

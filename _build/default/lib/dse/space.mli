@@ -1,0 +1,21 @@
+(** Design-space construction combinators. *)
+
+val cartesian : 'a list list -> 'a list list
+(** All tuples picking one element per dimension. The empty dimension
+    list yields [\[\[\]\]]. *)
+
+val sequences : 'a list -> length:int -> 'a list list
+(** All length-[length] sequences over the alphabet (k^n points). *)
+
+val combinations_with_repetition : 'a list -> length:int -> 'a list list
+(** Multisets of the alphabet, represented as sorted-by-alphabet-order
+    lists (C(k+n-1, n) points). *)
+
+val permutations : 'a list -> 'a list list
+(** All orderings; duplicates appear when elements repeat. *)
+
+val distinct_permutations : 'a list -> 'a list list
+(** Orderings deduplicated by structural equality. *)
+
+val size_sequences : alphabet:int -> length:int -> int
+val size_combinations : alphabet:int -> length:int -> int

@@ -1,0 +1,1 @@
+lib/epi/bootstrap.ml: Arch Array Builder Float Hashtbl Instruction List Machine Measurement Mp_codegen Mp_isa Mp_sim Mp_uarch Passes Printf Synthesizer

@@ -1,0 +1,1 @@
+lib/epi/bootstrap.mli: Mp_codegen Mp_isa Mp_sim Mp_uarch

@@ -1,0 +1,1 @@
+lib/epi/taxonomy.ml: Bootstrap Float Hashtbl List Mp_isa Mp_uarch Option Pipe String

@@ -1,0 +1,1 @@
+lib/epi/taxonomy.mli: Bootstrap Mp_isa

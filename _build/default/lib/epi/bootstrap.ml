@@ -1,0 +1,109 @@
+open Mp_codegen
+open Mp_isa
+open Mp_sim
+
+type props = {
+  mnemonic : string;
+  derived_latency : float;
+  throughput : float;
+  core_ipc : float;
+  epi : float;
+  events_per_instr : (Mp_uarch.Pipe.unit_kind * float) list;
+  units : Mp_uarch.Pipe.unit_kind list;
+}
+
+let ubench ~arch ~size ~deps ~zero_data (ins : Instruction.t) =
+  let name =
+    Printf.sprintf "boot-%s-%s" ins.Instruction.mnemonic
+      (if deps then "dep" else "nodep")
+  in
+  let synth = Synthesizer.create ~name arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_sequence [ ins ]);
+  if Instruction.is_memory ins && not ins.Instruction.prefetch then
+    Synthesizer.add_pass synth
+      (Passes.memory_model [ (Mp_uarch.Cache_geometry.L1, 1.0) ]);
+  Synthesizer.add_pass synth
+    (Passes.dependency (if deps then Builder.Fixed 1 else Builder.No_deps));
+  let policy =
+    if zero_data then Builder.Constant 0L else Builder.Random_values
+  in
+  Synthesizer.add_pass synth (Passes.init_registers policy);
+  Synthesizer.add_pass synth (Passes.init_immediates policy);
+  Synthesizer.add_pass synth (Passes.rename name);
+  Synthesizer.synthesize ~seed:(Hashtbl.hash name) synth
+
+let stress_threshold = 0.20
+
+let instruction_props ~machine ~arch ?config ?(size = 1024) ?(zero_data = false)
+    ins =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Mp_uarch.Uarch_def.config ~cores:8 ~smt:1 arch.Arch.uarch
+  in
+  let run_one deps =
+    (* three measured iterations: shrinks the warmup-drain bias on the
+       dependent-chain latency estimate *)
+    Machine.run machine ~measure:3 config
+      (ubench ~arch ~size ~deps ~zero_data ins)
+  in
+  let nodep = run_one false in
+  let dep = run_one true in
+  let core = Measurement.core_counters nodep in
+  let instrs = Float.max 1.0 core.Measurement.instrs in
+  let events =
+    [
+      (Mp_uarch.Pipe.FXU, core.Measurement.fxu /. instrs);
+      (Mp_uarch.Pipe.LSU, (core.Measurement.lsu +. core.Measurement.st) /. instrs);
+      (Mp_uarch.Pipe.VSU, core.Measurement.vsu /. instrs);
+      (Mp_uarch.Pipe.BRU, core.Measurement.bru /. instrs);
+    ]
+  in
+  let units =
+    List.filter_map
+      (fun (u, r) -> if r >= stress_threshold then Some u else None)
+      events
+  in
+  let idle = Machine.idle_reading machine config in
+  let chip_rate =
+    nodep.Measurement.core_ipc
+    *. float_of_int config.Mp_uarch.Uarch_def.cores
+  in
+  let epi =
+    if chip_rate <= 0.0 then 0.0
+    else Float.max 0.0 (nodep.Measurement.power -. idle) /. chip_rate
+  in
+  let dep_thread_ipc =
+    match Array.to_list dep.Measurement.threads with
+    | c :: _ -> Measurement.ipc c
+    | [] -> 0.0
+  in
+  let nodep_thread_ipc =
+    match Array.to_list nodep.Measurement.threads with
+    | c :: _ -> Measurement.ipc c
+    | [] -> 0.0
+  in
+  {
+    mnemonic = ins.Instruction.mnemonic;
+    derived_latency = (if dep_thread_ipc > 0.0 then 1.0 /. dep_thread_ipc else 0.0);
+    throughput = nodep_thread_ipc;
+    core_ipc = nodep.Measurement.core_ipc;
+    epi;
+    events_per_instr = events;
+    units;
+  }
+
+let bootstrappable (i : Instruction.t) =
+  (not i.Instruction.privileged)
+  && (not (Instruction.is_branch i))
+  && (not i.Instruction.prefetch)
+  && i.Instruction.exec_class <> Instruction.Nop_op
+
+let run ~machine ~arch ?config ?size ?instructions () =
+  let instrs =
+    match instructions with
+    | Some l -> l
+    | None -> Arch.select arch bootstrappable
+  in
+  List.map (fun i -> instruction_props ~machine ~arch ?config ?size i) instrs

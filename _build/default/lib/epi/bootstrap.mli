@@ -1,0 +1,44 @@
+(** The automatic bootstrap process (paper Section 2.1.2): for every
+    instruction of the ISA, generate two micro-benchmarks — an endless
+    loop of instances chained by dependencies, and the same loop with
+    no dependencies — execute both, and derive the instruction's
+    latency, throughput, stressed units and energy-per-instruction from
+    the performance counters and the power sensor alone. Inputs are
+    randomised to minimise data-switching effects, enabling fair
+    comparison between instructions (Tiwari et al.). *)
+
+type props = {
+  mnemonic : string;
+  derived_latency : float;   (** 1 / dependent-chain IPC *)
+  throughput : float;        (** thread IPC with no dependencies *)
+  core_ipc : float;          (** core IPC with no dependencies *)
+  epi : float;               (** dynamic energy per instruction (sensor units) *)
+  events_per_instr : (Mp_uarch.Pipe.unit_kind * float) list;
+      (** unit-counter events per completed instruction *)
+  units : Mp_uarch.Pipe.unit_kind list;
+      (** units whose event rate crosses the stress threshold *)
+}
+
+val instruction_props :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?config:Mp_uarch.Uarch_def.config ->
+  ?size:int ->
+  ?zero_data:bool ->
+  Mp_isa.Instruction.t ->
+  props
+(** Bootstrap one instruction (default configuration: 8 cores SMT1, as
+    in the paper's Section 5; default loop [size] 1024). [zero_data]
+    initialises registers and immediates to zero instead of random —
+    for studying data-dependent energy. *)
+
+val run :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?config:Mp_uarch.Uarch_def.config ->
+  ?size:int ->
+  ?instructions:Mp_isa.Instruction.t list ->
+  unit ->
+  props list
+(** Bootstrap the whole ISA (or a subset): every non-privileged,
+    non-branch, non-prefetch instruction. *)

@@ -1,0 +1,193 @@
+open Mp_uarch
+
+type category = {
+  label : string;
+  members : Bootstrap.props list;
+}
+
+let event p u =
+  match List.assoc_opt u p.Bootstrap.events_per_instr with
+  | Some r -> r
+  | None -> 0.0
+
+let category_label (p : Bootstrap.props) is_memory =
+  let fxu = event p Pipe.FXU and lsu = event p Pipe.LSU and vsu = event p Pipe.VSU in
+  if is_memory then begin
+    let parts = [ "LSU" ] in
+    let parts =
+      if vsu >= 0.3 then parts @ [ "VSU" ] else parts
+    in
+    let parts =
+      if fxu >= 1.5 then parts @ [ "2FXU" ]
+      else if fxu >= 0.5 then parts @ [ "FXU" ]
+      else parts
+    in
+    String.concat " and " parts
+  end
+  else if fxu >= 0.2 && lsu >= 0.2 then "FXU or LSU"
+  else if fxu >= 0.2 then "FXU"
+  else if lsu >= 0.2 then "LSU"
+  else if vsu >= 0.2 then "VSU"
+  else "Other"
+
+let category_rank = function
+  | "FXU" -> 0
+  | "LSU" -> 1
+  | "VSU" -> 2
+  | "FXU or LSU" -> 3
+  | "LSU and FXU" -> 4
+  | "LSU and 2FXU" -> 5
+  | "LSU and VSU" -> 6
+  | "LSU and VSU and FXU" -> 7
+  | "LSU and VSU and 2FXU" -> 8
+  | _ -> 9
+
+let categorize ~isa props =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Bootstrap.props) ->
+      let is_memory =
+        match Mp_isa.Isa_def.find isa p.Bootstrap.mnemonic with
+        | Some i -> Mp_isa.Instruction.is_memory i
+        | None -> false
+      in
+      let label = category_label p is_memory in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt table label) in
+      Hashtbl.replace table label (p :: prev))
+    props;
+  Hashtbl.fold
+    (fun label members acc ->
+      let members =
+        List.sort
+          (fun (a : Bootstrap.props) b -> compare b.Bootstrap.epi a.Bootstrap.epi)
+          members
+      in
+      { label; members } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         compare (category_rank a.label, a.label) (category_rank b.label, b.label))
+
+type row = {
+  category : string;
+  mnemonic : string;
+  core_ipc : float;
+  epi_global : float;
+  epi_category : float;
+  ipc_epi_product : float;
+}
+
+let same_ipc a b = Float.abs (a -. b) < 0.07
+
+(* Group members by IPC (within tolerance); groups are lists sorted by
+   descending EPI. *)
+let ipc_groups members =
+  let groups = ref [] in
+  List.iter
+    (fun (p : Bootstrap.props) ->
+      match
+        List.find_opt
+          (fun (ipc, _) -> same_ipc ipc p.Bootstrap.core_ipc)
+          !groups
+      with
+      | Some (ipc, g) ->
+        groups :=
+          (ipc, p :: g) :: List.filter (fun (i, _) -> i <> ipc) !groups
+      | None -> groups := (p.Bootstrap.core_ipc, [ p ]) :: !groups)
+    members;
+  List.map
+    (fun (ipc, g) ->
+      (ipc,
+       List.sort
+         (fun (a : Bootstrap.props) b -> compare b.Bootstrap.epi a.Bootstrap.epi)
+         g))
+    !groups
+
+let group_contrast = function
+  | [] -> 0.0
+  | (g : Bootstrap.props list) ->
+    let epis = List.filter_map (fun p ->
+        if p.Bootstrap.epi > 0.0 then Some p.Bootstrap.epi else None) g in
+    (match epis with
+     | [] | [ _ ] -> 0.0
+     | _ ->
+       List.fold_left Float.max neg_infinity epis
+       /. List.fold_left Float.min infinity epis)
+
+let select_members ?(per_category = 3) (c : category) =
+  match c.members with
+  | [] -> []
+  | members ->
+    (* the top row: highest IPCxEPI product in the category *)
+    let top =
+      List.fold_left
+        (fun best (p : Bootstrap.props) ->
+          if p.Bootstrap.core_ipc *. p.Bootstrap.epi
+             > best.Bootstrap.core_ipc *. best.Bootstrap.epi
+          then p
+          else best)
+        (List.hd members) members
+    in
+    (* companions: the same-IPC group (top excluded) with the widest EPI
+       contrast — "same core IPC but notably different EPI" *)
+    let rest = List.filter (fun p -> p != top) members in
+    let groups = ipc_groups rest in
+    let best_group =
+      List.fold_left
+        (fun acc (_, g) ->
+          if group_contrast g > group_contrast acc then g else acc)
+        [] groups
+    in
+    let companions =
+      match best_group with
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: rest ->
+        (* highest- and lowest-EPI exemplars of the group *)
+        let rec last = function [ y ] -> y | _ :: t -> last t | [] -> x in
+        let mids = List.filteri (fun i _ -> i < per_category - 3) rest in
+        (x :: mids) @ [ last rest ]
+    in
+    top :: List.filteri (fun i _ -> i < per_category - 1) companions
+
+let table3 ?(per_category = 3) categories =
+  let selected =
+    List.concat_map
+      (fun c ->
+        List.map (fun p -> (c.label, p)) (select_members ~per_category c))
+      categories
+  in
+  let epis = List.map (fun (_, (p : Bootstrap.props)) -> p.Bootstrap.epi) selected in
+  let global_min =
+    List.fold_left Float.min infinity
+      (List.filter (fun e -> e > 0.0) epis)
+  in
+  let global_min = if global_min = infinity then 1.0 else global_min in
+  List.map
+    (fun (label, (p : Bootstrap.props)) ->
+      let cat_min =
+        List.fold_left
+          (fun acc (l, (q : Bootstrap.props)) ->
+            if l = label && q.Bootstrap.epi > 0.0 then Float.min acc q.Bootstrap.epi
+            else acc)
+          infinity selected
+      in
+      let cat_min = if cat_min = infinity then 1.0 else cat_min in
+      {
+        category = label;
+        mnemonic = p.Bootstrap.mnemonic;
+        core_ipc = p.Bootstrap.core_ipc;
+        epi_global = p.Bootstrap.epi /. global_min;
+        epi_category = p.Bootstrap.epi /. cat_min;
+        ipc_epi_product = p.Bootstrap.core_ipc *. p.Bootstrap.epi;
+      })
+    selected
+
+let epi_spread c =
+  (* the paper's statement concerns instructions stressing the same
+     unit *at the same rate*: compare within same-IPC groups only *)
+  List.fold_left
+    (fun acc (_, g) ->
+      let r = group_contrast g in
+      if r > 0.0 then Float.max acc ((r -. 1.0) *. 100.0) else acc)
+    0.0
+    (ipc_groups c.members)

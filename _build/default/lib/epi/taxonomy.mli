@@ -1,0 +1,39 @@
+(** The energy-based instruction taxonomy of the paper's Section 5 /
+    Table 3: instructions grouped into categories by the functional
+    units they stress, with EPI normalised globally and within each
+    category, and per-category exemplar rows (the top IPC×EPI
+    instruction plus same-IPC/different-EPI contrasts). *)
+
+type category = {
+  label : string;   (** e.g. "FXU", "FXU or LSU", "LSU and 2FXU" *)
+  members : Bootstrap.props list;  (** sorted by descending EPI *)
+}
+
+val category_label : Bootstrap.props -> bool -> string
+(** [category_label props is_memory]: the category name derived from
+    the measured per-instruction unit events. *)
+
+val categorize :
+  isa:Mp_isa.Isa_def.t -> Bootstrap.props list -> category list
+(** Group bootstrapped instructions; categories ordered as in Table 3
+    (single units first, then combinations). *)
+
+type row = {
+  category : string;
+  mnemonic : string;
+  core_ipc : float;
+  epi_global : float;    (** normalised to the minimum selected EPI *)
+  epi_category : float;  (** normalised within the category *)
+  ipc_epi_product : float;
+}
+
+val table3 : ?per_category:int -> category list -> row list
+(** For each category: the highest-IPC×EPI instruction, plus exemplars
+    from the same-IPC group with the widest EPI contrast (the paper's
+    "same core IPC but notably different EPI" companions); [per_category]
+    rows total (default 3). Normalisations follow the paper. *)
+
+val epi_spread : category -> float
+(** Largest max/min EPI ratio (minus one, as a percentage) among the
+    category's same-IPC groups — instructions stressing the same unit
+    at the same rate. The paper reports spreads up to ~78%. *)

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Encoding Instruction Isa_def List Printf

@@ -1,0 +1,1 @@
+lib/isa/instruction.ml: Format Int32 List Printf

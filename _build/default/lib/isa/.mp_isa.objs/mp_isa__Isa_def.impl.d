@@ -1,0 +1,1 @@
+lib/isa/isa_def.ml: Buffer Format Hashtbl Instruction List Printf String

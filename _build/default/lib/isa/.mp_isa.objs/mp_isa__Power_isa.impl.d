@@ -1,0 +1,1 @@
+lib/isa/power_isa.ml: Instruction Isa_def

@@ -1,0 +1,1 @@
+lib/isa/power_isa.mli: Isa_def

@@ -1,0 +1,48 @@
+type match_result = {
+  instruction : Instruction.t;
+  fields : Instruction.Encoding.fields;
+}
+
+let matches (i : Instruction.t) word =
+  Instruction.Encoding.opcode_of_word word = i.Instruction.opcode
+  && Instruction.Encoding.xo_of_word i.Instruction.form word = i.Instruction.xo
+
+let decode_all isa word =
+  List.filter_map
+    (fun (i : Instruction.t) ->
+      if matches i word then
+        Some { instruction = i; fields = Instruction.Encoding.decode_fields i word }
+      else None)
+    (Isa_def.instructions isa)
+
+let decode isa word =
+  match decode_all isa word with [] -> None | m :: _ -> Some m
+
+let to_string m =
+  let i = m.instruction and f = m.fields in
+  let open Instruction in
+  let r n = Printf.sprintf "r%d" n in
+  match i.form with
+  | D | DS ->
+    if Instruction.is_memory i then
+      Printf.sprintf "%s r%d, %d(%s)" i.mnemonic f.Encoding.rt f.Encoding.imm
+        (r f.Encoding.ra)
+    else
+      Printf.sprintf "%s r%d, %s, %d" i.mnemonic f.Encoding.rt
+        (r f.Encoding.ra) f.Encoding.imm
+  | I_form -> Printf.sprintf "%s %d" i.mnemonic f.Encoding.imm
+  | B_form -> Printf.sprintf "%s %d" i.mnemonic f.Encoding.imm
+  | X | XO | A | XX3 | VX ->
+    Printf.sprintf "%s r%d, %s, %s" i.mnemonic f.Encoding.rt (r f.Encoding.ra)
+      (r f.Encoding.rb)
+  | MD ->
+    Printf.sprintf "%s r%d, %s, %d" i.mnemonic f.Encoding.rt (r f.Encoding.ra)
+      f.Encoding.imm
+
+let roundtrip isa i f =
+  let word = Instruction.Encoding.encode i f in
+  List.exists
+    (fun m ->
+      m.instruction.Instruction.mnemonic = i.Instruction.mnemonic
+      && m.fields = Instruction.Encoding.decode_fields i word)
+    (decode_all isa word)

@@ -1,0 +1,27 @@
+(** Disassembly: identify an encoded 32-bit word against a registry.
+
+    The inverse of {!Instruction.Encoding.encode} at registry level:
+    candidate instructions are matched on (primary opcode, form-specific
+    extended opcode). Forms with clashing field layouts (e.g. A vs X on
+    the same primary opcode) are disambiguated by trying candidates in
+    registry order. *)
+
+type match_result = {
+  instruction : Instruction.t;
+  fields : Instruction.Encoding.fields;
+}
+
+val decode : Isa_def.t -> int32 -> match_result option
+(** First registry instruction whose opcode/xo match the word. *)
+
+val decode_all : Isa_def.t -> int32 -> match_result list
+(** All matching instructions (aliases such as [bdnz]/[bc] both match). *)
+
+val to_string : match_result -> string
+(** A one-line listing, e.g. ["add r3, r4, r5"]. *)
+
+val roundtrip :
+  Isa_def.t -> Instruction.t -> Instruction.Encoding.fields -> bool
+(** [roundtrip isa i f] encodes and decodes and checks that the original
+    instruction is among the matches with equal fields — the property
+    the binary codification must satisfy for every registry entry. *)

@@ -1,0 +1,275 @@
+type reg_class = Gpr | Fpr | Vsr | Cr
+
+type exec_class =
+  | Simple_int
+  | Complex_int
+  | Mul_int
+  | Div_int
+  | Fp_arith
+  | Fp_fma
+  | Fp_heavy
+  | Vec_logic
+  | Vec_arith
+  | Vec_fma
+  | Dec_arith
+  | Cmp_op
+  | Branch_op
+  | Nop_op
+  | Mem_op
+
+type mem_kind = No_mem | Load | Store
+
+type form = D | DS | X | XO | A | XX3 | VX | I_form | B_form | MD
+
+type t = {
+  mnemonic : string;
+  exec_class : exec_class;
+  mem : mem_kind;
+  update : bool;
+  algebraic : bool;
+  indexed : bool;
+  data_class : reg_class;
+  width : int;
+  has_imm : bool;
+  imm_bits : int;
+  srcs : int;
+  has_dest : bool;
+  conditional : bool;
+  privileged : bool;
+  prefetch : bool;
+  form : form;
+  opcode : int;
+  xo : int;
+  description : string;
+}
+
+let xo_bits = function
+  | D | I_form | B_form -> 0
+  | DS -> 2
+  | X | XO -> 10
+  | A -> 5
+  | XX3 -> 8
+  | VX -> 11
+  | MD -> 4
+
+let make ~mnemonic ~exec_class ?(mem = No_mem) ?(update = false)
+    ?(algebraic = false) ?(indexed = false) ?(data_class = Gpr) ?(width = 64)
+    ?(has_imm = false) ?(imm_bits = 16) ?(srcs = 2) ?(has_dest = true)
+    ?(conditional = false) ?(privileged = false) ?(prefetch = false)
+    ?(form = X) ~opcode ?(xo = 0) ?(description = "") () =
+  if mnemonic = "" then invalid_arg "Instruction.make: empty mnemonic";
+  if opcode < 0 || opcode > 63 then invalid_arg "Instruction.make: opcode";
+  let max_xo = (1 lsl xo_bits form) - 1 in
+  if xo < 0 || (xo_bits form > 0 && xo > max_xo) then
+    invalid_arg (Printf.sprintf "Instruction.make: xo out of range for %s" mnemonic);
+  (match width with
+   | 8 | 16 | 32 | 64 | 128 -> ()
+   | _ -> invalid_arg "Instruction.make: width");
+  if srcs < 0 || srcs > 3 then invalid_arg "Instruction.make: srcs";
+  { mnemonic; exec_class; mem; update; algebraic; indexed; data_class; width;
+    has_imm; imm_bits; srcs; has_dest; conditional; privileged; prefetch;
+    form; opcode; xo; description }
+
+let is_load i = i.mem = Load
+let is_store i = i.mem = Store
+let is_memory i = i.mem <> No_mem
+let is_branch i = i.exec_class = Branch_op
+
+let is_vector i =
+  i.data_class = Vsr
+  || (match i.exec_class with
+      | Vec_logic | Vec_arith | Vec_fma -> true
+      | Simple_int | Complex_int | Mul_int | Div_int | Fp_arith | Fp_fma
+      | Fp_heavy | Dec_arith | Cmp_op | Branch_op | Nop_op | Mem_op -> false)
+
+let is_float i =
+  i.data_class = Fpr
+  || (match i.exec_class with
+      | Fp_arith | Fp_fma | Fp_heavy -> true
+      | Simple_int | Complex_int | Mul_int | Div_int | Vec_logic | Vec_arith
+      | Vec_fma | Dec_arith | Cmp_op | Branch_op | Nop_op | Mem_op -> false)
+
+let is_decimal i = i.exec_class = Dec_arith
+
+let is_integer i =
+  (match i.exec_class with
+   | Simple_int | Complex_int | Mul_int | Div_int | Cmp_op -> true
+   | Fp_arith | Fp_fma | Fp_heavy | Vec_logic | Vec_arith | Vec_fma
+   | Dec_arith | Branch_op | Nop_op -> false
+   | Mem_op -> i.data_class = Gpr)
+
+let add_count cls n acc =
+  if n = 0 then acc
+  else
+    match List.assoc_opt cls acc with
+    | None -> (cls, n) :: acc
+    | Some m -> (cls, n + m) :: List.remove_assoc cls acc
+
+let reads i =
+  match i.mem with
+  | No_mem ->
+    if is_branch i then (if i.conditional then [ (Cr, 1) ] else [])
+    else add_count i.data_class i.srcs []
+  | Load ->
+    (* base (+ index) address registers *)
+    add_count Gpr (if i.indexed then 2 else 1) []
+  | Store ->
+    add_count Gpr (if i.indexed then 2 else 1) (add_count i.data_class 1 [])
+
+let writes i =
+  match i.mem with
+  | No_mem ->
+    if is_branch i then []
+    else if i.exec_class = Cmp_op then [ (Cr, 1) ]
+    else if i.has_dest then [ (i.data_class, 1) ]
+    else []
+  | Load ->
+    add_count i.data_class 1 (if i.update then [ (Gpr, 1) ] else [])
+  | Store -> if i.update then [ (Gpr, 1) ] else []
+
+let exec_class_to_string = function
+  | Simple_int -> "simple_int"
+  | Complex_int -> "complex_int"
+  | Mul_int -> "mul_int"
+  | Div_int -> "div_int"
+  | Fp_arith -> "fp_arith"
+  | Fp_fma -> "fp_fma"
+  | Fp_heavy -> "fp_heavy"
+  | Vec_logic -> "vec_logic"
+  | Vec_arith -> "vec_arith"
+  | Vec_fma -> "vec_fma"
+  | Dec_arith -> "dec_arith"
+  | Cmp_op -> "cmp"
+  | Branch_op -> "branch"
+  | Nop_op -> "nop"
+  | Mem_op -> "mem"
+
+let exec_class_of_string = function
+  | "simple_int" -> Some Simple_int
+  | "complex_int" -> Some Complex_int
+  | "mul_int" -> Some Mul_int
+  | "div_int" -> Some Div_int
+  | "fp_arith" -> Some Fp_arith
+  | "fp_fma" -> Some Fp_fma
+  | "fp_heavy" -> Some Fp_heavy
+  | "vec_logic" -> Some Vec_logic
+  | "vec_arith" -> Some Vec_arith
+  | "vec_fma" -> Some Vec_fma
+  | "dec_arith" -> Some Dec_arith
+  | "cmp" -> Some Cmp_op
+  | "branch" -> Some Branch_op
+  | "nop" -> Some Nop_op
+  | "mem" -> Some Mem_op
+  | _ -> None
+
+let form_to_string = function
+  | D -> "D"
+  | DS -> "DS"
+  | X -> "X"
+  | XO -> "XO"
+  | A -> "A"
+  | XX3 -> "XX3"
+  | VX -> "VX"
+  | I_form -> "I"
+  | B_form -> "B"
+  | MD -> "MD"
+
+let form_of_string = function
+  | "D" -> Some D
+  | "DS" -> Some DS
+  | "X" -> Some X
+  | "XO" -> Some XO
+  | "A" -> Some A
+  | "XX3" -> Some XX3
+  | "VX" -> Some VX
+  | "I" -> Some I_form
+  | "B" -> Some B_form
+  | "MD" -> Some MD
+  | _ -> None
+
+let reg_class_to_string = function
+  | Gpr -> "gpr"
+  | Fpr -> "fpr"
+  | Vsr -> "vsr"
+  | Cr -> "cr"
+
+let reg_class_of_string = function
+  | "gpr" -> Some Gpr
+  | "fpr" -> Some Fpr
+  | "vsr" -> Some Vsr
+  | "cr" -> Some Cr
+  | _ -> None
+
+let pp ppf i =
+  Format.fprintf ppf "%s(%s%s, %d-bit, op=%d xo=%d)" i.mnemonic
+    (exec_class_to_string i.exec_class)
+    (match i.mem with No_mem -> "" | Load -> ",load" | Store -> ",store")
+    i.width i.opcode i.xo
+
+module Encoding = struct
+  type fields = { rt : int; ra : int; rb : int; imm : int }
+
+  let check_reg name limit v =
+    if v < 0 || v >= limit then
+      invalid_arg (Printf.sprintf "Encoding: %s=%d out of range" name v)
+
+  let mask bits v = v land ((1 lsl bits) - 1)
+
+  (* Layout (simplified, big-endian bit numbering flattened to an int32):
+     [opcode:6][rt:5][ra:5][rb-or-imm-hi...] with the extended opcode
+     placed in the low bits according to the form's width. *)
+  let encode i f =
+    let reg_limit = if i.data_class = Vsr then 64 else 32 in
+    check_reg "rt" reg_limit f.rt;
+    check_reg "ra" 32 f.ra;
+    check_reg "rb" (if i.form = XX3 then 64 else 32) f.rb;
+    let top = (i.opcode lsl 26) lor (mask 5 f.rt lsl 21) lor (mask 5 f.ra lsl 16) in
+    let word =
+      match i.form with
+      | D -> top lor mask 16 f.imm
+      | DS ->
+        (* 14-bit displacement scaled by 4, extended opcode in the low bits *)
+        top lor (mask 14 f.imm lsl 2) lor i.xo
+      | I_form -> (i.opcode lsl 26) lor mask 26 f.imm
+      | B_form -> top lor mask 16 f.imm
+      | X | XO -> top lor (mask 5 f.rb lsl 11) lor (i.xo lsl 1)
+      | A -> top lor (mask 5 f.rb lsl 11) lor (mask 5 f.imm lsl 6) lor (i.xo lsl 1)
+      | XX3 ->
+        (* extra VSR bit of rt/rb folded into the low bits *)
+        top lor (mask 5 f.rb lsl 11) lor (i.xo lsl 3)
+        lor ((f.rt lsr 5) lsl 1) lor ((f.rb lsr 5) lsl 2)
+      | VX -> top lor (mask 5 f.rb lsl 11) lor i.xo
+      | MD -> top lor (mask 6 f.imm lsl 10) lor (i.xo lsl 2)
+    in
+    Int32.of_int (word land 0xFFFFFFFF)
+
+  let decode_fields i word =
+    let w = Int32.to_int word land 0xFFFFFFFF in
+    let rt = (w lsr 21) land 31 and ra = (w lsr 16) land 31 in
+    let rb = (w lsr 11) land 31 in
+    match i.form with
+    | D | B_form -> { rt; ra; rb = 0; imm = w land 0xFFFF }
+    | DS -> { rt; ra; rb = 0; imm = (w land 0xFFFF) lsr 2 }
+    | I_form -> { rt = 0; ra = 0; rb = 0; imm = w land 0x3FFFFFF }
+    | X | XO -> { rt; ra; rb; imm = 0 }
+    | A -> { rt; ra; rb; imm = (w lsr 6) land 31 }
+    | XX3 ->
+      let rt = rt lor (((w lsr 1) land 1) lsl 5) in
+      let rb = rb lor (((w lsr 2) land 1) lsl 5) in
+      { rt; ra; rb; imm = 0 }
+    | VX -> { rt; ra; rb; imm = 0 }
+    | MD -> { rt; ra; rb = 0; imm = (w lsr 10) land 63 }
+
+  let opcode_of_word word = (Int32.to_int word lsr 26) land 63
+
+  let xo_of_word form word =
+    let w = Int32.to_int word land 0xFFFFFFFF in
+    match form with
+    | D | I_form | B_form -> 0
+    | DS -> w land 3
+    | X | XO -> (w lsr 1) land 0x3FF
+    | A -> (w lsr 1) land 0x1F
+    | XX3 -> (w lsr 3) land 0xFF
+    | VX -> w land 0x7FF
+    | MD -> (w lsr 2) land 0xF
+end

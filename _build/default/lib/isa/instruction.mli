@@ -1,0 +1,138 @@
+(** Instruction semantic records — the ISA-definition module of the
+    paper (Section 2.1.1).
+
+    Each instruction carries the "rich set of semantic information" the
+    paper enumerates: type, operand length, conditional execution,
+    privilege level, prefetch-ness, registers used/defined and binary
+    codification. The micro-architecture mapping (units stressed,
+    latency, throughput, EPI) deliberately lives elsewhere
+    ({!Mp_uarch}): the ISA is implementation-independent. *)
+
+type reg_class = Gpr | Fpr | Vsr | Cr
+(** Register files: general-purpose, floating-point, vector-scalar,
+    condition. *)
+
+type exec_class =
+  | Simple_int   (** add/logical ops executable by FXU {e or} LSU *)
+  | Complex_int  (** FXU-only integer (rotates, extends, popcount) *)
+  | Mul_int
+  | Div_int
+  | Fp_arith
+  | Fp_fma
+  | Fp_heavy     (** divide/sqrt class floating point *)
+  | Vec_logic
+  | Vec_arith
+  | Vec_fma
+  | Dec_arith    (** decimal floating point *)
+  | Cmp_op
+  | Branch_op
+  | Nop_op
+  | Mem_op       (** loads and stores; refined by [mem] below *)
+
+type mem_kind = No_mem | Load | Store
+
+type form = D | DS | X | XO | A | XX3 | VX | I_form | B_form | MD
+(** Binary encoding layout families of the Power ISA. *)
+
+type t = private {
+  mnemonic : string;
+  exec_class : exec_class;
+  mem : mem_kind;
+  update : bool;      (** writes the effective address back to the base GPR *)
+  algebraic : bool;   (** sign-extending load (extra fixed-point work) *)
+  indexed : bool;     (** X-form base+index addressing *)
+  data_class : reg_class;  (** register file of the data operand(s) *)
+  width : int;        (** operand length in bits (8..128) *)
+  has_imm : bool;
+  imm_bits : int;
+  srcs : int;         (** number of register data sources *)
+  has_dest : bool;
+  conditional : bool;
+  privileged : bool;
+  prefetch : bool;
+  form : form;
+  opcode : int;       (** primary opcode, 6 bits *)
+  xo : int;           (** extended opcode (width depends on [form]) *)
+  description : string;
+}
+
+val make :
+  mnemonic:string ->
+  exec_class:exec_class ->
+  ?mem:mem_kind ->
+  ?update:bool ->
+  ?algebraic:bool ->
+  ?indexed:bool ->
+  ?data_class:reg_class ->
+  ?width:int ->
+  ?has_imm:bool ->
+  ?imm_bits:int ->
+  ?srcs:int ->
+  ?has_dest:bool ->
+  ?conditional:bool ->
+  ?privileged:bool ->
+  ?prefetch:bool ->
+  ?form:form ->
+  opcode:int ->
+  ?xo:int ->
+  ?description:string ->
+  unit ->
+  t
+(** Smart constructor; validates field ranges (opcode fits 6 bits, xo
+    fits its form, width is a power of two between 8 and 128). *)
+
+(* Semantic predicates, mirroring the queries of the paper's Figure 2. *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_memory : t -> bool
+val is_branch : t -> bool
+val is_vector : t -> bool
+(** True for VSR-file operations (vector or VSX scalar). *)
+
+val is_float : t -> bool
+(** True for FPR-file or VSX floating-point arithmetic. *)
+
+val is_integer : t -> bool
+val is_decimal : t -> bool
+
+val reads : t -> (reg_class * int) list
+(** Register file reads implied by the operand signature, including the
+    base/index GPRs of memory operations. *)
+
+val writes : t -> (reg_class * int) list
+(** Register file writes, including base-update side effects. *)
+
+val exec_class_to_string : exec_class -> string
+val exec_class_of_string : string -> exec_class option
+val form_to_string : form -> string
+val form_of_string : string -> form option
+val reg_class_to_string : reg_class -> string
+val reg_class_of_string : string -> reg_class option
+
+val pp : Format.formatter -> t -> unit
+
+module Encoding : sig
+  (** Binary codification: a simplified but invertible 32-bit Power-like
+      encoding. Field layout depends on the form. *)
+
+  type fields = {
+    rt : int;  (** target register index (or BO for branches) *)
+    ra : int;  (** first source / base register (or BI) *)
+    rb : int;  (** second source / index register *)
+    imm : int; (** immediate / displacement, sign-truncated to the form's width *)
+  }
+
+  val encode : t -> fields -> int32
+  (** Raises [Invalid_argument] when a register index exceeds the file
+      (32 entries, or 64 for VSRs). *)
+
+  val decode_fields : t -> int32 -> fields
+  (** Inverse of {!encode} for the same instruction descriptor. *)
+
+  val opcode_of_word : int32 -> int
+  (** Extract the primary opcode of any encoded word. *)
+
+  val xo_of_word : form -> int32 -> int
+  (** Extract the extended opcode given the form. *)
+end

@@ -1,0 +1,188 @@
+type t = {
+  name : string;
+  order : string list;  (* mnemonics in definition order *)
+  table : (string, Instruction.t) Hashtbl.t;
+}
+
+let name t = t.name
+
+let instructions t = List.map (Hashtbl.find t.table) t.order
+
+let size t = List.length t.order
+
+let find t m = Hashtbl.find_opt t.table m
+
+let find_exn t m =
+  match find t m with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Isa_def.find_exn: unknown mnemonic %S" m)
+
+let mem t m = Hashtbl.mem t.table m
+
+let select t pred = List.filter pred (instructions t)
+
+let create ~name instrs =
+  let table = Hashtbl.create (List.length instrs * 2) in
+  let order =
+    List.map
+      (fun (i : Instruction.t) ->
+        if Hashtbl.mem table i.mnemonic then
+          invalid_arg (Printf.sprintf "Isa_def.create: duplicate %S" i.mnemonic);
+        Hashtbl.add table i.mnemonic i;
+        i.mnemonic)
+      instrs
+  in
+  { name; order; table }
+
+let add t (i : Instruction.t) =
+  if mem t i.mnemonic then
+    invalid_arg (Printf.sprintf "Isa_def.add: duplicate %S" i.mnemonic);
+  create ~name:t.name (instructions t @ [ i ])
+
+let remove t m =
+  create ~name:t.name
+    (List.filter (fun (i : Instruction.t) -> i.mnemonic <> m) (instructions t))
+
+(* --- text format ------------------------------------------------------- *)
+
+type entry = { mutable fields : (string * string) list; line : int }
+
+let parse_bool line v =
+  match String.lowercase_ascii v with
+  | "true" | "yes" | "1" -> true
+  | "false" | "no" | "0" -> false
+  | _ -> failwith (Printf.sprintf "line %d: bad boolean %S" line v)
+
+let parse_int line v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "line %d: bad integer %S" line v)
+
+let instruction_of_entry e =
+  let get k = List.assoc_opt k e.fields in
+  let require k =
+    match get k with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "line %d: missing field %S" e.line k)
+  in
+  let mnemonic = require "mnemonic" in
+  let exec_class =
+    match Instruction.exec_class_of_string (require "class") with
+    | Some c -> c
+    | None -> failwith (Printf.sprintf "line %d: bad class" e.line)
+  in
+  let form =
+    match get "form" with
+    | None -> Instruction.X
+    | Some f ->
+      (match Instruction.form_of_string f with
+       | Some f -> f
+       | None -> failwith (Printf.sprintf "line %d: bad form %S" e.line f))
+  in
+  let mem_kind =
+    match get "mem" with
+    | None -> Instruction.No_mem
+    | Some "load" -> Instruction.Load
+    | Some "store" -> Instruction.Store
+    | Some other -> failwith (Printf.sprintf "line %d: bad mem %S" e.line other)
+  in
+  let data_class =
+    match get "data" with
+    | None -> Instruction.Gpr
+    | Some d ->
+      (match Instruction.reg_class_of_string d with
+       | Some c -> c
+       | None -> failwith (Printf.sprintf "line %d: bad data class" e.line))
+  in
+  let geti k default = match get k with None -> default | Some v -> parse_int e.line v in
+  let getb k default = match get k with None -> default | Some v -> parse_bool e.line v in
+  let imm_bits = geti "imm" 0 in
+  Instruction.make ~mnemonic ~exec_class ~mem:mem_kind
+    ~update:(getb "update" false) ~algebraic:(getb "algebraic" false)
+    ~indexed:(getb "indexed" false) ~data_class ~width:(geti "width" 64)
+    ~has_imm:(imm_bits > 0) ~imm_bits:(if imm_bits > 0 then imm_bits else 16)
+    ~srcs:(geti "srcs" 2) ~has_dest:(getb "dest" true)
+    ~conditional:(getb "conditional" false)
+    ~privileged:(getb "privileged" false) ~prefetch:(getb "prefetch" false)
+    ~form ~opcode:(geti "opcode" 0) ~xo:(geti "xo" 0)
+    ~description:(match get "desc" with None -> "" | Some d -> d)
+    ()
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let isa_name = ref "unnamed" in
+  let entries = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some e ->
+      e.fields <- List.rev e.fields;
+      entries := e :: !entries;
+      current := None
+  in
+  try
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then ()
+        else if line = "[instruction]" then begin
+          flush ();
+          current := Some { fields = []; line = lineno }
+        end
+        else
+          match String.index_opt line '=' with
+          | None -> failwith (Printf.sprintf "line %d: expected key = value" lineno)
+          | Some eq ->
+            let key = String.trim (String.sub line 0 eq) in
+            let value = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+            if key = "isa" then isa_name := value
+            else (
+              match !current with
+              | None ->
+                failwith (Printf.sprintf "line %d: field outside [instruction]" lineno)
+              | Some e -> e.fields <- (key, value) :: e.fields))
+      lines;
+    flush ();
+    (* [entries] is in reverse order; rev_map restores file order *)
+    let instrs = List.rev_map instruction_of_entry !entries in
+    Ok (create ~name:!isa_name instrs)
+  with
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "isa = %s\n" t.name);
+  List.iter
+    (fun (i : Instruction.t) ->
+      Buffer.add_string buf "\n[instruction]\n";
+      let add k v = Buffer.add_string buf (Printf.sprintf "%s = %s\n" k v) in
+      add "mnemonic" i.mnemonic;
+      add "class" (Instruction.exec_class_to_string i.exec_class);
+      add "form" (Instruction.form_to_string i.form);
+      add "opcode" (string_of_int i.opcode);
+      if i.xo <> 0 then add "xo" (string_of_int i.xo);
+      if i.width <> 64 then add "width" (string_of_int i.width);
+      (match i.mem with
+       | Instruction.No_mem -> ()
+       | Instruction.Load -> add "mem" "load"
+       | Instruction.Store -> add "mem" "store");
+      if i.update then add "update" "true";
+      if i.algebraic then add "algebraic" "true";
+      if i.indexed then add "indexed" "true";
+      if i.data_class <> Instruction.Gpr then
+        add "data" (Instruction.reg_class_to_string i.data_class);
+      if i.has_imm then add "imm" (string_of_int i.imm_bits);
+      if i.srcs <> 2 then add "srcs" (string_of_int i.srcs);
+      if not i.has_dest then add "dest" "false";
+      if i.conditional then add "conditional" "true";
+      if i.privileged then add "privileged" "true";
+      if i.prefetch then add "prefetch" "true";
+      if i.description <> "" then add "desc" i.description)
+    (instructions t);
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "ISA %s (%d instructions)" t.name (size t)

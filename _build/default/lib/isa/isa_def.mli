@@ -1,0 +1,44 @@
+(** ISA registries and the readable text-file definition format.
+
+    The paper supplies ISA definitions "using readable text files ...
+    constructed using the information from ISA definition manuals", so
+    that users can add/remove instructions and re-run the very same
+    script without touching framework internals. This module implements
+    that format: a round-trippable textual syntax parsed into a
+    registry of {!Instruction.t}. *)
+
+type t
+(** An ISA: a name plus an ordered instruction registry. *)
+
+val name : t -> string
+val instructions : t -> Instruction.t list
+val size : t -> int
+
+val find : t -> string -> Instruction.t option
+(** Lookup by mnemonic. *)
+
+val find_exn : t -> string -> Instruction.t
+(** Raises [Not_found] with the mnemonic in the message. *)
+
+val mem : t -> string -> bool
+
+val select : t -> (Instruction.t -> bool) -> Instruction.t list
+(** The Figure-2 query primitive: [select isa Instruction.is_load]. *)
+
+val create : name:string -> Instruction.t list -> t
+(** Raises [Invalid_argument] on duplicate mnemonics. *)
+
+val add : t -> Instruction.t -> t
+(** Functional update; raises on duplicate mnemonic. *)
+
+val remove : t -> string -> t
+(** Removing an absent mnemonic is a no-op. *)
+
+val parse : string -> (t, string) result
+(** Parse the text-file format. Errors carry a line number. *)
+
+val to_text : t -> string
+(** Serialise back to the text format; [parse (to_text isa)] recovers
+    an equal registry. *)
+
+val pp : Format.formatter -> t -> unit

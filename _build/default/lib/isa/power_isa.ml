@@ -1,0 +1,287 @@
+open Instruction
+
+(* Compact builders. Opcode/xo values follow the Power ISA v2.06B
+   encodings (XO-form "o" variants fold the OE bit into the top of the
+   10-bit extended-opcode field, as in the manual). *)
+
+let d ~op ?(cls = Simple_int) ?(width = 64) ?(srcs = 1) ?(imm = 16) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~width ~srcs ~has_imm:true ~imm_bits:imm
+    ~form:D ~opcode:op ?description:desc ()
+
+let xo_arith ~xo ?(cls = Simple_int) ?(width = 64) ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~width ~srcs ~form:XO ~opcode:31 ~xo
+    ?description:desc ()
+
+let x_logic ~xo ?(cls = Simple_int) ?(width = 64) ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~width ~srcs ~form:X ~opcode:31 ~xo
+    ?description:desc ()
+
+let ld_d ~op ~width ?(cls = Gpr) ?(update = false) ?(algebraic = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Load ~update ~algebraic
+    ~data_class:cls ~width ~has_imm:true ~imm_bits:16 ~srcs:0 ~form:D
+    ~opcode:op ?description:desc ()
+
+let ld_ds ~xo ~width ?(update = false) ?(algebraic = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Load ~update ~algebraic ~width
+    ~has_imm:true ~imm_bits:14 ~srcs:0 ~form:DS ~opcode:58 ~xo
+    ?description:desc ()
+
+let ld_x ~xo ~width ?(cls = Gpr) ?(update = false) ?(algebraic = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Load ~update ~algebraic
+    ~indexed:true ~data_class:cls ~width ~srcs:0 ~form:X ~opcode:31 ~xo
+    ?description:desc ()
+
+let st_d ~op ~width ?(cls = Gpr) ?(update = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Store ~update ~data_class:cls
+    ~width ~has_imm:true ~imm_bits:16 ~srcs:1 ~has_dest:false ~form:D
+    ~opcode:op ?description:desc ()
+
+let st_ds ~xo ~width ?(update = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Store ~update ~width ~has_imm:true
+    ~imm_bits:14 ~srcs:1 ~has_dest:false ~form:DS ~opcode:62 ~xo
+    ?description:desc ()
+
+let st_x ~xo ~width ?(cls = Gpr) ?(update = false) ?desc m =
+  make ~mnemonic:m ~exec_class:Mem_op ~mem:Store ~update ~indexed:true
+    ~data_class:cls ~width ~srcs:1 ~has_dest:false ~form:X ~opcode:31 ~xo
+    ?description:desc ()
+
+let fp_a ~op ~xo ?(cls = Fp_arith) ?(width = 64) ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~data_class:Fpr ~width ~srcs ~form:A
+    ~opcode:op ~xo ?description:desc ()
+
+let vsx ~xo ?(cls = Vec_arith) ?(width = 128) ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~data_class:Vsr ~width ~srcs ~form:XX3
+    ~opcode:60 ~xo ?description:desc ()
+
+let vsx_x ~xo ?(cls = Vec_arith) ?(width = 128) ?(srcs = 1) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~data_class:Vsr ~width ~srcs ~form:X
+    ~opcode:60 ~xo ?description:desc ()
+
+let altivec ~xo ?(cls = Vec_arith) ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:cls ~data_class:Vsr ~width:128 ~srcs ~form:VX
+    ~opcode:4 ~xo ?description:desc ()
+
+let dec ~xo ?(srcs = 2) ?desc m =
+  make ~mnemonic:m ~exec_class:Dec_arith ~data_class:Fpr ~width:64 ~srcs
+    ~form:X ~opcode:59 ~xo ?description:desc ()
+
+let instruction_list () =
+  [
+    (* --- simple integer: executable by FXU or LSU ---------------------- *)
+    xo_arith "add" ~xo:266 ~desc:"Add";
+    xo_arith "subf" ~xo:40 ~cls:Complex_int ~desc:"Subtract from";
+    xo_arith "addc" ~xo:10 ~cls:Complex_int ~desc:"Add carrying";
+    xo_arith "adde" ~xo:138 ~cls:Complex_int ~desc:"Add extended";
+    xo_arith "neg" ~xo:104 ~srcs:1 ~desc:"Negate";
+    x_logic "and" ~xo:28 ~desc:"AND";
+    x_logic "or" ~xo:444 ~desc:"OR";
+    x_logic "xor" ~xo:316 ~desc:"XOR";
+    x_logic "nand" ~xo:476 ~desc:"NAND";
+    x_logic "nor" ~xo:124 ~desc:"NOR";
+    x_logic "eqv" ~xo:284 ~desc:"Equivalent";
+    x_logic "andc" ~xo:60 ~desc:"AND with complement";
+    x_logic "orc" ~xo:412 ~desc:"OR with complement";
+    d "addi" ~op:14 ~desc:"Add immediate";
+    d "addis" ~op:15 ~desc:"Add immediate shifted";
+    d "addic" ~op:12 ~cls:Complex_int ~desc:"Add immediate carrying";
+    d "addic." ~op:13 ~cls:Complex_int ~desc:"Add immediate carrying and record";
+    d "subfic" ~op:8 ~cls:Complex_int ~desc:"Subtract from immediate carrying";
+    d "ori" ~op:24 ~desc:"OR immediate";
+    d "oris" ~op:25 ~desc:"OR immediate shifted";
+    d "xori" ~op:26 ~desc:"XOR immediate";
+    d "andi." ~op:28 ~desc:"AND immediate and record";
+    (* --- complex integer: FXU only ------------------------------------- *)
+    x_logic "extsb" ~xo:954 ~cls:Complex_int ~srcs:1 ~width:8 ~desc:"Extend sign byte";
+    x_logic "extsh" ~xo:922 ~cls:Complex_int ~srcs:1 ~width:16 ~desc:"Extend sign halfword";
+    x_logic "extsw" ~xo:986 ~cls:Complex_int ~srcs:1 ~width:32 ~desc:"Extend sign word";
+    x_logic "cntlzw" ~xo:26 ~cls:Complex_int ~srcs:1 ~width:32 ~desc:"Count leading zeros word";
+    x_logic "cntlzd" ~xo:58 ~cls:Complex_int ~srcs:1 ~desc:"Count leading zeros dword";
+    x_logic "popcntb" ~xo:122 ~cls:Complex_int ~srcs:1 ~desc:"Population count bytes";
+    x_logic "popcntd" ~xo:506 ~cls:Complex_int ~srcs:1 ~desc:"Population count dword";
+    x_logic "cmpb" ~xo:508 ~cls:Complex_int ~desc:"Compare bytes";
+    x_logic "slw" ~xo:24 ~cls:Complex_int ~width:32 ~desc:"Shift left word";
+    x_logic "srw" ~xo:536 ~cls:Complex_int ~width:32 ~desc:"Shift right word";
+    x_logic "sld" ~xo:27 ~cls:Complex_int ~desc:"Shift left dword";
+    x_logic "srd" ~xo:539 ~cls:Complex_int ~desc:"Shift right dword";
+    x_logic "sraw" ~xo:792 ~cls:Complex_int ~width:32 ~desc:"Shift right algebraic word";
+    x_logic "srad" ~xo:794 ~cls:Complex_int ~desc:"Shift right algebraic dword";
+    make ~mnemonic:"rldicl" ~exec_class:Complex_int ~srcs:1 ~has_imm:true
+      ~imm_bits:6 ~form:MD ~opcode:30 ~xo:0 ~description:"Rotate left dword immediate clear left" ();
+    make ~mnemonic:"rldicr" ~exec_class:Complex_int ~srcs:1 ~has_imm:true
+      ~imm_bits:6 ~form:MD ~opcode:30 ~xo:1 ~description:"Rotate left dword immediate clear right" ();
+    xo_arith "mulld" ~xo:233 ~cls:Mul_int ~desc:"Multiply low dword";
+    xo_arith "mulldo" ~xo:745 ~cls:Mul_int ~desc:"Multiply low dword with overflow";
+    xo_arith "mullw" ~xo:235 ~cls:Mul_int ~width:32 ~desc:"Multiply low word";
+    xo_arith "mulhw" ~xo:75 ~cls:Mul_int ~width:32 ~desc:"Multiply high word";
+    xo_arith "mulhd" ~xo:73 ~cls:Mul_int ~desc:"Multiply high dword";
+    xo_arith "mulhdu" ~xo:9 ~cls:Mul_int ~desc:"Multiply high dword unsigned";
+    d "mulli" ~op:7 ~cls:Mul_int ~desc:"Multiply low immediate";
+    xo_arith "divd" ~xo:489 ~cls:Div_int ~desc:"Divide dword";
+    xo_arith "divw" ~xo:491 ~cls:Div_int ~width:32 ~desc:"Divide word";
+    xo_arith "divdu" ~xo:457 ~cls:Div_int ~desc:"Divide dword unsigned";
+    xo_arith "divwu" ~xo:459 ~cls:Div_int ~width:32 ~desc:"Divide word unsigned";
+    (* --- compares and branches ----------------------------------------- *)
+    make ~mnemonic:"cmpw" ~exec_class:Cmp_op ~width:32 ~form:X ~opcode:31
+      ~xo:0 ~description:"Compare word" ();
+    make ~mnemonic:"cmplw" ~exec_class:Cmp_op ~width:32 ~form:X ~opcode:31
+      ~xo:32 ~description:"Compare logical word" ();
+    make ~mnemonic:"cmpdi" ~exec_class:Cmp_op ~has_imm:true ~srcs:1 ~form:D
+      ~opcode:11 ~description:"Compare dword immediate" ();
+    make ~mnemonic:"b" ~exec_class:Branch_op ~srcs:0 ~has_dest:false
+      ~has_imm:true ~imm_bits:24 ~form:I_form ~opcode:18 ~description:"Branch" ();
+    make ~mnemonic:"bc" ~exec_class:Branch_op ~srcs:0 ~has_dest:false
+      ~conditional:true ~has_imm:true ~imm_bits:14 ~form:B_form ~opcode:16
+      ~description:"Branch conditional" ();
+    make ~mnemonic:"bdnz" ~exec_class:Branch_op ~srcs:0 ~has_dest:false
+      ~conditional:true ~has_imm:true ~imm_bits:14 ~form:B_form ~opcode:16
+      ~xo:0 ~description:"Decrement CTR, branch if non-zero" ();
+    make ~mnemonic:"bclr" ~exec_class:Branch_op ~srcs:0 ~has_dest:false
+      ~conditional:true ~form:X ~opcode:19 ~xo:16 ~description:"Branch conditional to LR" ();
+    make ~mnemonic:"bcctr" ~exec_class:Branch_op ~srcs:0 ~has_dest:false
+      ~conditional:true ~form:X ~opcode:19 ~xo:528 ~description:"Branch conditional to CTR" ();
+    make ~mnemonic:"nop" ~exec_class:Nop_op ~srcs:0 ~has_dest:false ~form:D
+      ~opcode:24 ~description:"No operation (ori 0,0,0)" ();
+    (* --- integer loads -------------------------------------------------- *)
+    ld_d "lbz" ~op:34 ~width:8 ~desc:"Load byte and zero";
+    ld_d "lbzu" ~op:35 ~width:8 ~update:true ~desc:"Load byte and zero with update";
+    ld_d "lhz" ~op:40 ~width:16 ~desc:"Load halfword and zero";
+    ld_d "lhzu" ~op:41 ~width:16 ~update:true ~desc:"Load halfword and zero with update";
+    ld_d "lha" ~op:42 ~width:16 ~algebraic:true ~desc:"Load halfword algebraic";
+    ld_d "lhau" ~op:43 ~width:16 ~algebraic:true ~update:true
+      ~desc:"Load halfword algebraic with update";
+    ld_d "lwz" ~op:32 ~width:32 ~desc:"Load word and zero";
+    ld_d "lwzu" ~op:33 ~width:32 ~update:true ~desc:"Load word and zero with update";
+    ld_ds "ld" ~xo:0 ~width:64 ~desc:"Load dword";
+    ld_ds "ldu" ~xo:1 ~width:64 ~update:true ~desc:"Load dword with update";
+    ld_ds "lwa" ~xo:2 ~width:32 ~algebraic:true ~desc:"Load word algebraic";
+    ld_x "lbzx" ~xo:87 ~width:8 ~desc:"Load byte and zero indexed";
+    ld_x "lbzux" ~xo:119 ~width:8 ~update:true ~desc:"Load byte and zero with update indexed";
+    ld_x "lhzx" ~xo:279 ~width:16 ~desc:"Load halfword and zero indexed";
+    ld_x "lhzux" ~xo:311 ~width:16 ~update:true ~desc:"Load halfword and zero with update indexed";
+    ld_x "lhax" ~xo:343 ~width:16 ~algebraic:true ~desc:"Load halfword algebraic indexed";
+    ld_x "lhaux" ~xo:375 ~width:16 ~algebraic:true ~update:true
+      ~desc:"Load halfword algebraic with update indexed";
+    ld_x "lwzx" ~xo:23 ~width:32 ~desc:"Load word and zero indexed";
+    ld_x "lwzux" ~xo:55 ~width:32 ~update:true ~desc:"Load word and zero with update indexed";
+    ld_x "lwax" ~xo:341 ~width:32 ~algebraic:true ~desc:"Load word algebraic indexed";
+    ld_x "lwaux" ~xo:373 ~width:32 ~algebraic:true ~update:true
+      ~desc:"Load word algebraic with update indexed";
+    ld_x "ldx" ~xo:21 ~width:64 ~desc:"Load dword indexed";
+    ld_x "ldux" ~xo:53 ~width:64 ~update:true ~desc:"Load dword with update indexed";
+    (* --- integer stores -------------------------------------------------- *)
+    st_d "stb" ~op:38 ~width:8 ~desc:"Store byte";
+    st_d "stbu" ~op:39 ~width:8 ~update:true ~desc:"Store byte with update";
+    st_d "sth" ~op:44 ~width:16 ~desc:"Store halfword";
+    st_d "sthu" ~op:45 ~width:16 ~update:true ~desc:"Store halfword with update";
+    st_d "stw" ~op:36 ~width:32 ~desc:"Store word";
+    st_d "stwu" ~op:37 ~width:32 ~update:true ~desc:"Store word with update";
+    st_ds "std" ~xo:0 ~width:64 ~desc:"Store dword";
+    st_ds "stdu" ~xo:1 ~width:64 ~update:true ~desc:"Store dword with update";
+    st_x "stbx" ~xo:215 ~width:8 ~desc:"Store byte indexed";
+    st_x "sthx" ~xo:407 ~width:16 ~desc:"Store halfword indexed";
+    st_x "stwx" ~xo:151 ~width:32 ~desc:"Store word indexed";
+    st_x "stwux" ~xo:183 ~width:32 ~update:true ~desc:"Store word with update indexed";
+    st_x "stdx" ~xo:149 ~width:64 ~desc:"Store dword indexed";
+    st_x "stdux" ~xo:181 ~width:64 ~update:true ~desc:"Store dword with update indexed";
+    (* --- floating point loads/stores ------------------------------------ *)
+    ld_d "lfs" ~op:48 ~width:32 ~cls:Fpr ~desc:"Load FP single";
+    ld_d "lfsu" ~op:49 ~width:32 ~cls:Fpr ~update:true ~desc:"Load FP single with update";
+    ld_d "lfd" ~op:50 ~width:64 ~cls:Fpr ~desc:"Load FP double";
+    ld_d "lfdu" ~op:51 ~width:64 ~cls:Fpr ~update:true ~desc:"Load FP double with update";
+    ld_x "lfsx" ~xo:535 ~width:32 ~cls:Fpr ~desc:"Load FP single indexed";
+    ld_x "lfsux" ~xo:567 ~width:32 ~cls:Fpr ~update:true ~desc:"Load FP single with update indexed";
+    ld_x "lfdx" ~xo:599 ~width:64 ~cls:Fpr ~desc:"Load FP double indexed";
+    ld_x "lfdux" ~xo:631 ~width:64 ~cls:Fpr ~update:true ~desc:"Load FP double with update indexed";
+    st_d "stfs" ~op:52 ~width:32 ~cls:Fpr ~desc:"Store FP single";
+    st_d "stfsu" ~op:53 ~width:32 ~cls:Fpr ~update:true ~desc:"Store FP single with update";
+    st_d "stfd" ~op:54 ~width:64 ~cls:Fpr ~desc:"Store FP double";
+    st_d "stfdu" ~op:55 ~width:64 ~cls:Fpr ~update:true ~desc:"Store FP double with update";
+    st_x "stfsx" ~xo:663 ~width:32 ~cls:Fpr ~desc:"Store FP single indexed";
+    st_x "stfsux" ~xo:695 ~width:32 ~cls:Fpr ~update:true ~desc:"Store FP single with update indexed";
+    st_x "stfdx" ~xo:727 ~width:64 ~cls:Fpr ~desc:"Store FP double indexed";
+    st_x "stfdux" ~xo:759 ~width:64 ~cls:Fpr ~update:true ~desc:"Store FP double with update indexed";
+    (* --- vector / VSX loads/stores --------------------------------------- *)
+    ld_x "lvx" ~xo:103 ~width:128 ~cls:Vsr ~desc:"Load vector indexed";
+    ld_x "lvewx" ~xo:71 ~width:32 ~cls:Vsr ~desc:"Load vector element word indexed";
+    ld_x "lxvw4x" ~xo:780 ~width:128 ~cls:Vsr ~desc:"Load VSX vector word*4 indexed";
+    ld_x "lxvd2x" ~xo:844 ~width:128 ~cls:Vsr ~desc:"Load VSX vector dword*2 indexed";
+    ld_x "lxvdsx" ~xo:332 ~width:64 ~cls:Vsr ~desc:"Load VSX dword and splat indexed";
+    ld_x "lxsdx" ~xo:588 ~width:64 ~cls:Vsr ~desc:"Load VSX scalar dword indexed";
+    st_x "stvx" ~xo:231 ~width:128 ~cls:Vsr ~desc:"Store vector indexed";
+    st_x "stvewx" ~xo:199 ~width:32 ~cls:Vsr ~desc:"Store vector element word indexed";
+    st_x "stxvw4x" ~xo:908 ~width:128 ~cls:Vsr ~desc:"Store VSX vector word*4 indexed";
+    st_x "stxvd2x" ~xo:972 ~width:128 ~cls:Vsr ~desc:"Store VSX vector dword*2 indexed";
+    st_x "stxsdx" ~xo:716 ~width:64 ~cls:Vsr ~desc:"Store VSX scalar dword indexed";
+    make ~mnemonic:"dcbt" ~exec_class:Mem_op ~mem:Load ~indexed:true ~srcs:0
+      ~has_dest:false ~prefetch:true ~form:X ~opcode:31 ~xo:278
+      ~description:"Data cache block touch (prefetch)" ();
+    (* --- scalar floating point ------------------------------------------ *)
+    fp_a "fadd" ~op:63 ~xo:21 ~desc:"FP add double";
+    fp_a "fsub" ~op:63 ~xo:20 ~desc:"FP subtract double";
+    fp_a "fmul" ~op:63 ~xo:25 ~desc:"FP multiply double";
+    fp_a "fdiv" ~op:63 ~xo:18 ~cls:Fp_heavy ~desc:"FP divide double";
+    fp_a "fsqrt" ~op:63 ~xo:22 ~cls:Fp_heavy ~srcs:1 ~desc:"FP square root double";
+    fp_a "fmadd" ~op:63 ~xo:29 ~cls:Fp_fma ~srcs:3 ~desc:"FP multiply-add double";
+    fp_a "fmsub" ~op:63 ~xo:28 ~cls:Fp_fma ~srcs:3 ~desc:"FP multiply-subtract double";
+    fp_a "fnmadd" ~op:63 ~xo:31 ~cls:Fp_fma ~srcs:3 ~desc:"FP negative multiply-add double";
+    fp_a "fnmsub" ~op:63 ~xo:30 ~cls:Fp_fma ~srcs:3 ~desc:"FP negative multiply-subtract double";
+    fp_a "fadds" ~op:59 ~xo:21 ~width:32 ~desc:"FP add single";
+    fp_a "fmuls" ~op:59 ~xo:25 ~width:32 ~desc:"FP multiply single";
+    fp_a "fmadds" ~op:59 ~xo:29 ~cls:Fp_fma ~srcs:3 ~width:32 ~desc:"FP multiply-add single";
+    (* --- VSX scalar / vector double precision ---------------------------- *)
+    vsx "xsadddp" ~xo:32 ~width:64 ~desc:"VSX scalar add dp";
+    vsx "xssubdp" ~xo:40 ~width:64 ~desc:"VSX scalar subtract dp";
+    vsx "xsmuldp" ~xo:48 ~width:64 ~desc:"VSX scalar multiply dp";
+    vsx "xsdivdp" ~xo:56 ~width:64 ~cls:Fp_heavy ~desc:"VSX scalar divide dp";
+    vsx "xsmaddadp" ~xo:33 ~width:64 ~cls:Vec_fma ~srcs:3 ~desc:"VSX scalar multiply-add dp";
+    vsx "xsnmsubadp" ~xo:177 ~width:64 ~cls:Vec_fma ~srcs:3
+      ~desc:"VSX scalar negative multiply-subtract dp";
+    vsx_x "xssqrtdp" ~xo:75 ~width:64 ~cls:Fp_heavy ~desc:"VSX scalar square root dp";
+    vsx_x "xstsqrtdp" ~xo:106 ~width:64 ~cls:Fp_heavy ~desc:"VSX scalar test square root dp";
+    vsx "xvadddp" ~xo:96 ~desc:"VSX vector add dp";
+    vsx "xvsubdp" ~xo:104 ~desc:"VSX vector subtract dp";
+    vsx "xvmuldp" ~xo:112 ~desc:"VSX vector multiply dp";
+    vsx "xvdivdp" ~xo:120 ~cls:Fp_heavy ~desc:"VSX vector divide dp";
+    vsx "xvmaddadp" ~xo:97 ~cls:Vec_fma ~srcs:3 ~desc:"VSX vector multiply-add dp";
+    vsx "xvmaddmdp" ~xo:105 ~cls:Vec_fma ~srcs:3 ~desc:"VSX vector multiply-add dp (M)";
+    vsx "xvnmsubadp" ~xo:241 ~cls:Vec_fma ~srcs:3 ~desc:"VSX vector negative multiply-subtract dp";
+    vsx "xvnmsubmdp" ~xo:249 ~cls:Vec_fma ~srcs:3
+      ~desc:"VSX vector negative multiply-subtract dp (M)";
+    vsx_x "xvsqrtdp" ~xo:203 ~cls:Fp_heavy ~desc:"VSX vector square root dp";
+    vsx "xxlxor" ~xo:154 ~cls:Vec_logic ~desc:"VSX logical XOR";
+    vsx "xxland" ~xo:130 ~cls:Vec_logic ~desc:"VSX logical AND";
+    vsx "xxlor" ~xo:146 ~cls:Vec_logic ~desc:"VSX logical OR";
+    (* --- AltiVec integer vector ------------------------------------------ *)
+    altivec "vaddubm" ~xo:0 ~desc:"Vector add unsigned byte modulo";
+    altivec "vadduhm" ~xo:64 ~desc:"Vector add unsigned halfword modulo";
+    altivec "vadduwm" ~xo:128 ~desc:"Vector add unsigned word modulo";
+    altivec "vaddudm" ~xo:192 ~desc:"Vector add unsigned dword modulo";
+    altivec "vand" ~xo:1028 ~cls:Vec_logic ~desc:"Vector AND";
+    altivec "vor" ~xo:1156 ~cls:Vec_logic ~desc:"Vector OR";
+    altivec "vxor" ~xo:1220 ~cls:Vec_logic ~desc:"Vector XOR";
+    altivec "vnor" ~xo:1284 ~cls:Vec_logic ~desc:"Vector NOR";
+    altivec "vmaxsw" ~xo:386 ~desc:"Vector maximum signed word";
+    altivec "vminsw" ~xo:898 ~desc:"Vector minimum signed word";
+    (* --- decimal floating point ------------------------------------------ *)
+    dec "dadd" ~xo:2 ~desc:"DFP add";
+    dec "dsub" ~xo:514 ~desc:"DFP subtract";
+    dec "dmul" ~xo:34 ~desc:"DFP multiply";
+    dec "ddiv" ~xo:546 ~desc:"DFP divide";
+  ]
+
+let load () = Isa_def.create ~name:"PowerISA-2.06B-subset" (instruction_list ())
+
+let definition_text () = Isa_def.to_text (load ())
+
+let table3_mnemonics =
+  [
+    "mulldo"; "subf"; "addic";
+    "lxvw4x"; "lvewx"; "lbz";
+    "xvnmsubmdp"; "xvmaddadp"; "xstsqrtdp";
+    "add"; "nor"; "and";
+    "ldux"; "lwax"; "lfsu";
+    "lhaux"; "lwaux"; "lhau";
+    "stxvw4x"; "stxsdx"; "stfd";
+    "stfsux"; "stfdux"; "stfdu";
+  ]

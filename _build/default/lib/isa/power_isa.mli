@@ -1,0 +1,21 @@
+(** The Power ISA v2.06B subset shipped with the framework.
+
+    Roughly 140 instructions covering every class the paper's case
+    studies discriminate: simple integer (FXU-or-LSU), complex integer
+    (FXU-only), loads/stores in byte..doubleword and FP/vector widths,
+    with and without base-update and algebraic (sign-extending)
+    variants, VSX scalar/vector arithmetic, decimal arithmetic,
+    compares and branches. Includes every instruction named in the
+    paper's Table 3. *)
+
+val load : unit -> Isa_def.t
+(** Build the registry. The result is freshly constructed on each call
+    so user additions/removals do not leak across experiments. *)
+
+val definition_text : unit -> string
+(** The registry rendered in the readable text-file format of
+    {!Isa_def} — what would ship as the ISA definition file. *)
+
+val table3_mnemonics : string list
+(** The 24 instructions appearing in the paper's Table 3, in paper
+    order. All are guaranteed to be present in {!load}. *)

@@ -1,0 +1,1 @@
+lib/mem/set_assoc_model.ml: Array Cache_geometry Float Hashtbl List Mp_uarch Mp_util Option Uarch_def

@@ -1,0 +1,1 @@
+lib/mem/set_assoc_model.mli: Mp_uarch Mp_util

@@ -1,0 +1,1 @@
+lib/model/area_heuristic.ml: Array Format List Measurement Mp_sim Mp_uarch Mp_util Pipe Uarch_def

@@ -1,0 +1,1 @@
+lib/model/area_heuristic.mli: Format Mp_sim Mp_uarch

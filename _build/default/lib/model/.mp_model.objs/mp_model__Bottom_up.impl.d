@@ -1,0 +1,1 @@
+lib/model/bottom_up.ml: Array Features Float Format List Measurement Mp_sim Mp_uarch Mp_util Printf String Uarch_def

@@ -1,0 +1,1 @@
+lib/model/bottom_up.mli: Format Mp_sim

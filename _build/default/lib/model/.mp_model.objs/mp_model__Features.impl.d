@@ -1,0 +1,1 @@
+lib/model/features.ml: Array Measurement Mp_sim Mp_uarch

@@ -1,0 +1,1 @@
+lib/model/features.mli: Mp_sim

@@ -1,0 +1,1 @@
+lib/model/top_down.ml: Array Features Format List Measurement Mp_sim Mp_uarch Mp_util Uarch_def

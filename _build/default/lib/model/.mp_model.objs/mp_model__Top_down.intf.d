@@ -1,0 +1,1 @@
+lib/model/top_down.mli: Format Mp_sim

@@ -1,0 +1,1 @@
+lib/model/validation.ml: Array List Measurement Mp_sim Mp_uarch Mp_util

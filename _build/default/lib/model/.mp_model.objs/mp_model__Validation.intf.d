@@ -1,0 +1,1 @@
+lib/model/validation.mli: Mp_sim Mp_uarch

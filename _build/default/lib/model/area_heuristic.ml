@@ -1,0 +1,84 @@
+open Mp_sim
+open Mp_uarch
+
+type t = {
+  alpha : float;
+  mem_coef : float;
+  cores_coef : float;
+  smt_coef : float;
+  intercept : float;
+}
+
+let unit_area uarch u =
+  match List.assoc_opt u uarch.Uarch_def.unit_area_mm2 with
+  | Some a -> a
+  | None -> 0.0
+
+(* Σ_units area × utilization, per chip. Utilization is the unit's
+   event rate divided by its pipe multiplicity (a 0..~1 activity). *)
+let area_activity ~uarch (m : Measurement.t) =
+  let pipes u =
+    let n =
+      match u with
+      | Pipe.FXU -> Uarch_def.pipe_count uarch Pipe.Fxu
+      | Pipe.LSU -> Uarch_def.pipe_count uarch Pipe.Lsu
+      | Pipe.VSU -> Uarch_def.pipe_count uarch Pipe.Vsu
+      | Pipe.BRU -> Uarch_def.pipe_count uarch Pipe.Bru
+    in
+    float_of_int (max 1 n)
+  in
+  let core =
+    Array.fold_left
+      (fun acc c ->
+        let r v = Measurement.rate c v in
+        acc
+        +. (unit_area uarch Pipe.FXU *. r c.Measurement.fxu /. pipes Pipe.FXU)
+        +. (unit_area uarch Pipe.LSU
+            *. r (c.Measurement.lsu +. c.Measurement.st)
+            /. pipes Pipe.LSU)
+        +. (unit_area uarch Pipe.VSU *. r c.Measurement.vsu /. pipes Pipe.VSU)
+        +. (unit_area uarch Pipe.BRU *. r c.Measurement.bru /. pipes Pipe.BRU))
+      0.0 m.Measurement.threads
+  in
+  core *. float_of_int m.Measurement.config.Uarch_def.cores
+
+let mem_activity (m : Measurement.t) =
+  let core =
+    Array.fold_left
+      (fun acc c ->
+        Measurement.rate c (c.Measurement.l2 +. c.Measurement.l3)
+        +. (4.0 *. Measurement.rate c c.Measurement.mem)
+        +. acc)
+      0.0 m.Measurement.threads
+  in
+  core *. float_of_int m.Measurement.config.Uarch_def.cores
+
+let row ~uarch (m : Measurement.t) =
+  [| area_activity ~uarch m;
+     mem_activity m;
+     float_of_int m.Measurement.config.Uarch_def.cores;
+     (if m.Measurement.config.Uarch_def.smt > 1 then 1.0 else 0.0);
+     1.0 |]
+
+let train ~uarch samples =
+  if List.length samples < 6 then
+    invalid_arg "Area_heuristic.train: not enough samples";
+  let x = Array.of_list (List.map (row ~uarch) samples) in
+  let y =
+    Array.of_list
+      (List.map (fun (m : Measurement.t) -> m.Measurement.power) samples)
+  in
+  let beta = Mp_util.Matrix.ols ~ridge:1e-6 (Mp_util.Matrix.of_arrays x) y in
+  { alpha = beta.(0); mem_coef = beta.(1); cores_coef = beta.(2);
+    smt_coef = beta.(3); intercept = beta.(4) }
+
+let predict ~uarch t m =
+  let r = row ~uarch m in
+  (t.alpha *. r.(0)) +. (t.mem_coef *. r.(1)) +. (t.cores_coef *. r.(2))
+  +. (t.smt_coef *. r.(3)) +. t.intercept
+
+let pp ppf t =
+  Format.fprintf ppf
+    "area-heuristic model: alpha %.4f/mm², mem %.3f, cores %.3f, smt %.3f, \
+     intercept %.2f"
+    t.alpha t.mem_coef t.cores_coef t.smt_coef t.intercept

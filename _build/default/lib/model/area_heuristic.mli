@@ -1,0 +1,24 @@
+(** Area-heuristic bottom-up model, after Isci & Martonosi (the paper's
+    reference \[27\]): instead of learning one weight per component from
+    dedicated micro-benchmarks, assume each unit's dynamic power is
+    proportional to its floorplan area times its utilization, leaving a
+    single activity coefficient to calibrate. Cheaper to train than the
+    full bottom-up model, but blind to per-unit energy differences that
+    the area does not capture. *)
+
+type t = {
+  alpha : float;        (** power per (mm² × utilization) *)
+  mem_coef : float;     (** per off-core memory access (not floorplan-scaled) *)
+  cores_coef : float;
+  smt_coef : float;
+  intercept : float;
+}
+
+val train :
+  uarch:Mp_uarch.Uarch_def.t -> Mp_sim.Measurement.t list -> t
+(** Least-squares calibration of the four coefficients + intercept on
+    any measurement population. *)
+
+val predict : uarch:Mp_uarch.Uarch_def.t -> t -> Mp_sim.Measurement.t -> float
+
+val pp : Format.formatter -> t -> unit

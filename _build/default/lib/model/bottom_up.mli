@@ -1,0 +1,56 @@
+(** The SMT/CMP-aware bottom-up counter-based power model
+    (paper Section 4.1, Figure 4).
+
+    Four steps: (1) model a single hardware context on 1-core/SMT1 data
+    — per-component weights plus the SMT1 intercept; (2) model the SMT
+    effect as the intercept shift of SMT-enabled runs; (3) model the
+    CMP effect and uncore power by regressing the residuals of runs
+    across core counts against the number of enabled cores; (4) combine:
+
+    P = Σ_threads P_dyn + SMT_effect·#cores·[SMT on] + CMP_effect·#cores
+        + P_uncore + P_workload_independent *)
+
+type style =
+  | Joint       (** one non-negative least-squares fit over all components *)
+  | Sequential  (** the paper's per-component regression sequence *)
+
+type t = {
+  weights : float array;    (** 7 component weights (non-negative) *)
+  intercept1 : float;       (** workload-independent power (SMT1 fit) *)
+  smt_effect : float;       (** per core with SMT enabled *)
+  cmp_effect : float;       (** per enabled core *)
+  uncore : float;
+  style : style;
+}
+
+val train :
+  ?style:style ->
+  baseline:float ->
+  smt1:Mp_sim.Measurement.t list ->
+  smt_on:Mp_sim.Measurement.t list ->
+  multi:Mp_sim.Measurement.t list ->
+  unit ->
+  t
+(** [baseline]: the measured deepest-idle sensor reading (the
+    workload-independent power anchor). [smt1]: micro-benchmarks on 1
+    core, SMT1 (step 1). [smt_on]: on 1
+    core with SMT 2/4 (step 2). [multi]: runs spanning core counts
+    (step 3; the paper uses the random family on every configuration).
+    Default style [Joint]. Raises [Invalid_argument] when a step's data
+    is empty or on the wrong configuration. *)
+
+val predict : t -> Mp_sim.Measurement.t -> float
+
+type breakdown = {
+  workload_independent : float;
+  uncore_part : float;
+  cmp_part : float;
+  smt_part : float;
+  dynamic : float;
+}
+
+val decompose : t -> Mp_sim.Measurement.t -> breakdown
+(** Per-component prediction breakdown (sums to [predict]). *)
+
+val breakdown_total : breakdown -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+open Mp_sim
+
+let count = 7
+
+let names = [| "FXU"; "VSU"; "LSU"; "L1"; "L2"; "L3"; "MEM" |]
+
+let of_thread (c : Measurement.counters) =
+  let r v = Measurement.rate c v in
+  [| r c.Measurement.fxu;
+     r c.Measurement.vsu;
+     r (c.Measurement.lsu +. c.Measurement.st);
+     r c.Measurement.l1;
+     r c.Measurement.l2;
+     r c.Measurement.l3;
+     r c.Measurement.mem |]
+
+let per_thread (m : Measurement.t) = Array.map of_thread m.Measurement.threads
+
+let chip_sum (m : Measurement.t) =
+  let acc = Array.make count 0.0 in
+  Array.iter
+    (fun c ->
+      let x = of_thread c in
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) x)
+    m.Measurement.threads;
+  let cores = float_of_int m.Measurement.config.Mp_uarch.Uarch_def.cores in
+  Array.map (fun v -> v *. cores) acc
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i v -> acc := !acc +. (v *. b.(i))) a;
+  !acc

@@ -1,0 +1,21 @@
+(** The PMC-based feature formulas of the power models: per-thread
+    activity rates for the seven power components of Equation (1) —
+    FXU, VSU, LSU, L1, L2, L3, MEM. *)
+
+val count : int
+(** Number of features (7). *)
+
+val names : string array
+(** ["FXU"; "VSU"; "LSU"; "L1"; "L2"; "L3"; "MEM"]. *)
+
+val of_thread : Mp_sim.Measurement.counters -> float array
+(** Per-cycle rates of one hardware thread's counters. *)
+
+val per_thread : Mp_sim.Measurement.t -> float array array
+(** Feature vectors for each thread of the measured core. *)
+
+val chip_sum : Mp_sim.Measurement.t -> float array
+(** Sum over all threads of all enabled cores (identical copies run on
+    every core, so this is [cores ×] the measured core's sum). *)
+
+val dot : float array -> float array -> float

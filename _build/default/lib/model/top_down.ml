@@ -1,0 +1,45 @@
+open Mp_sim
+open Mp_uarch
+
+type t = {
+  coefficients : float array;
+  cores_coef : float;
+  smt_coef : float;
+  intercept : float;
+  training_set : string;
+}
+
+let row (m : Measurement.t) =
+  let x = Features.chip_sum m in
+  let n = float_of_int m.Measurement.config.Uarch_def.cores in
+  let smt = if m.Measurement.config.Uarch_def.smt > 1 then 1.0 else 0.0 in
+  Array.concat [ x; [| n; smt; 1.0 |] ]
+
+let train ~name samples =
+  let k = Features.count + 3 in
+  if List.length samples < k then
+    invalid_arg "Top_down.train: not enough samples";
+  let rows = Array.of_list (List.map row samples) in
+  let y =
+    Array.of_list
+      (List.map (fun (m : Measurement.t) -> m.Measurement.power) samples)
+  in
+  let beta = Mp_util.Matrix.ols ~ridge:1e-6 (Mp_util.Matrix.of_arrays rows) y in
+  {
+    coefficients = Array.sub beta 0 Features.count;
+    cores_coef = beta.(Features.count);
+    smt_coef = beta.(Features.count + 1);
+    intercept = beta.(Features.count + 2);
+    training_set = name;
+  }
+
+let predict t (m : Measurement.t) =
+  let x = Features.chip_sum m in
+  let n = float_of_int m.Measurement.config.Uarch_def.cores in
+  let smt = if m.Measurement.config.Uarch_def.smt > 1 then 1.0 else 0.0 in
+  Features.dot t.coefficients x +. (t.cores_coef *. n) +. (t.smt_coef *. smt)
+  +. t.intercept
+
+let pp ppf t =
+  Format.fprintf ppf "top-down model (%s): intercept %.2f, cores %.3f, smt %.3f"
+    t.training_set t.intercept t.cores_coef t.smt_coef

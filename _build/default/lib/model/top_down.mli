@@ -1,0 +1,20 @@
+(** Top-down counter-based models (the comparison baselines of Section
+    4.1.2): one multiple linear regression over the same inputs as the
+    bottom-up model — per-unit activity rates, the number of enabled
+    cores and the SMT flag — trained on whatever workload population is
+    supplied (micro-benchmarks, random benchmarks, or SPEC itself). *)
+
+type t = {
+  coefficients : float array;  (** 7 feature coefficients *)
+  cores_coef : float;
+  smt_coef : float;
+  intercept : float;
+  training_set : string;
+}
+
+val train : name:string -> Mp_sim.Measurement.t list -> t
+(** Ordinary least squares; raises [Invalid_argument] on fewer samples
+    than coefficients. *)
+
+val predict : t -> Mp_sim.Measurement.t -> float
+val pp : Format.formatter -> t -> unit

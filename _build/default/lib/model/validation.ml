@@ -1,0 +1,33 @@
+open Mp_sim
+
+let series ~predict samples =
+  let actual =
+    Array.of_list (List.map (fun (m : Measurement.t) -> m.Measurement.power) samples)
+  in
+  let predicted = Array.of_list (List.map predict samples) in
+  (actual, predicted)
+
+let paae ~predict samples =
+  let actual, predicted = series ~predict samples in
+  Mp_util.Stats.paae ~actual ~predicted
+
+let max_error ~predict samples =
+  let actual, predicted = series ~predict samples in
+  Mp_util.Stats.max_abs_pct_error ~actual ~predicted
+
+let by_config ~predict samples =
+  let configs =
+    List.sort_uniq
+      (fun (a : Mp_uarch.Uarch_def.config) b ->
+        compare
+          (a.Mp_uarch.Uarch_def.cores, a.Mp_uarch.Uarch_def.smt)
+          (b.Mp_uarch.Uarch_def.cores, b.Mp_uarch.Uarch_def.smt))
+      (List.map (fun (m : Measurement.t) -> m.Measurement.config) samples)
+  in
+  List.map
+    (fun c ->
+      let subset =
+        List.filter (fun (m : Measurement.t) -> m.Measurement.config = c) samples
+      in
+      (c, paae ~predict subset))
+    configs

@@ -1,0 +1,16 @@
+(** Model validation: the percentage average absolute prediction error
+    (PAAE) metric of the paper, per configuration and overall. *)
+
+val paae :
+  predict:(Mp_sim.Measurement.t -> float) -> Mp_sim.Measurement.t list -> float
+(** Mean of |predicted − measured| / measured × 100 over the samples.
+    Raises on an empty list. *)
+
+val max_error :
+  predict:(Mp_sim.Measurement.t -> float) -> Mp_sim.Measurement.t list -> float
+
+val by_config :
+  predict:(Mp_sim.Measurement.t -> float) ->
+  Mp_sim.Measurement.t list ->
+  (Mp_uarch.Uarch_def.config * float) list
+(** PAAE per distinct configuration, in (cores, smt) order. *)

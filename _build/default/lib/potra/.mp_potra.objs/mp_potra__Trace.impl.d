@@ -1,0 +1,1 @@
+lib/potra/trace.ml: Array Float List Mp_util

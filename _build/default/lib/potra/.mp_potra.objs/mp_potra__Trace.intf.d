@@ -1,0 +1,1 @@
+lib/potra/trace.mli:

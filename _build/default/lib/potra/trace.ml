@@ -1,0 +1,126 @@
+type t = { period_ms : float; samples : float array }
+
+let create ~period_ms samples =
+  if period_ms <= 0.0 then invalid_arg "Trace.create: period";
+  { period_ms; samples = Array.copy samples }
+
+let length t = Array.length t.samples
+
+let duration_ms t = float_of_int (length t) *. t.period_ms
+
+let mean t = Mp_util.Stats.mean t.samples
+
+let max t = snd (Mp_util.Stats.min_max t.samples)
+
+let min t = fst (Mp_util.Stats.min_max t.samples)
+
+let window_means t ~window =
+  if window <= 0 then invalid_arg "Trace.window_means: window";
+  let n = length t / window in
+  Array.init n (fun w ->
+      let acc = ref 0.0 in
+      for i = w * window to ((w + 1) * window) - 1 do
+        acc := !acc +. t.samples.(i)
+      done;
+      !acc /. float_of_int window)
+
+let stable_region ?(tolerance = 0.02) t =
+  let n = length t in
+  let best = ref None in
+  let record lo hi =
+    match !best with
+    | Some (blo, bhi) when bhi - blo >= hi - lo -> ()
+    | _ -> if hi - lo + 1 >= 4 then best := Some (lo, hi)
+  in
+  (* grow-a-window scan keeping running min/max *)
+  let lo = ref 0 in
+  let wmin = ref infinity and wmax = ref neg_infinity in
+  let rescan from upto =
+    wmin := infinity;
+    wmax := neg_infinity;
+    for i = from to upto do
+      if t.samples.(i) < !wmin then wmin := t.samples.(i);
+      if t.samples.(i) > !wmax then wmax := t.samples.(i)
+    done
+  in
+  for hi = 0 to n - 1 do
+    let v = t.samples.(hi) in
+    if v < !wmin then wmin := v;
+    if v > !wmax then wmax := v;
+    let ok () =
+      let m = ( !wmin +. !wmax ) /. 2.0 in
+      m <> 0.0 && ( !wmax -. !wmin ) /. Float.abs m <= tolerance
+    in
+    while (not (ok ())) && !lo < hi do
+      incr lo;
+      rescan !lo hi
+    done;
+    if ok () then record !lo hi
+  done;
+  !best
+
+let stable_mean ?tolerance t =
+  match stable_region ?tolerance t with
+  | None -> mean t
+  | Some (lo, hi) ->
+    Mp_util.Stats.mean (Array.sub t.samples lo (hi - lo + 1))
+
+let concat = function
+  | [] -> invalid_arg "Trace.concat: empty"
+  | first :: _ as ts ->
+    {
+      period_ms = first.period_ms;
+      samples = Array.concat (List.map (fun t -> t.samples) ts);
+    }
+
+let subsample t ~every =
+  if every <= 0 then invalid_arg "Trace.subsample: every";
+  {
+    period_ms = t.period_ms *. float_of_int every;
+    samples =
+      Array.init (length t / every) (fun i -> t.samples.(i * every));
+  }
+
+let to_rows t =
+  Array.to_list
+    (Array.mapi (fun i v -> (float_of_int i *. t.period_ms, v)) t.samples)
+
+let segments ?(tolerance = 0.05) ?(min_length = 2) t =
+  let n = length t in
+  if n = 0 then []
+  else begin
+    let out = ref [] in
+    let lo = ref 0 in
+    let wmin = ref t.samples.(0) and wmax = ref t.samples.(0) in
+    let close hi =
+      match !out with
+      | (plo, _) :: rest when hi - !lo + 1 < min_length ->
+        (* too short: extend the previous phase over it *)
+        out := (plo, hi) :: rest
+      | _ -> out := (!lo, hi) :: !out
+    in
+    for i = 1 to n - 1 do
+      let v = t.samples.(i) in
+      let nmin = Float.min !wmin v and nmax = Float.max !wmax v in
+      let mid = (nmin +. nmax) /. 2.0 in
+      let fits = mid <> 0.0 && (nmax -. nmin) /. Float.abs mid <= tolerance in
+      if fits then begin
+        wmin := nmin;
+        wmax := nmax
+      end
+      else begin
+        close (i - 1);
+        lo := i;
+        wmin := v;
+        wmax := v
+      end
+    done;
+    close (n - 1);
+    List.rev !out
+  end
+
+let segment_means ?tolerance ?min_length t =
+  segments ?tolerance ?min_length t
+  |> List.map (fun (lo, hi) ->
+         Mp_util.Stats.mean (Array.sub t.samples lo (hi - lo + 1)))
+  |> Array.of_list

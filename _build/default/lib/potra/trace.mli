@@ -1,0 +1,42 @@
+(** POTRA-style power/performance trace handling (the paper analyses
+    its sensor and PMC traces with the POTRA framework \[6\]): uniform
+    time series with windowed aggregation and stability detection. *)
+
+type t = { period_ms : float; samples : float array }
+
+val create : period_ms:float -> float array -> t
+val length : t -> int
+val duration_ms : t -> float
+val mean : t -> float
+val max : t -> float
+val min : t -> float
+
+val window_means : t -> window:int -> float array
+(** Non-overlapping window means (last partial window dropped). *)
+
+val stable_region : ?tolerance:float -> t -> (int * int) option
+(** Longest contiguous region (as sample indices, inclusive) whose
+    relative spread stays within [tolerance] (default 0.02); [None] if
+    no region of at least 4 samples qualifies. Used to discard the
+    warmup transient of a measurement. *)
+
+val stable_mean : ?tolerance:float -> t -> float
+(** Mean of the stable region, falling back to the global mean. *)
+
+val segments : ?tolerance:float -> ?min_length:int -> t -> (int * int) list
+(** Greedy phase segmentation: maximal contiguous regions whose
+    relative spread stays within [tolerance] (default 0.05), each at
+    least [min_length] samples (default 2; shorter runs merge into the
+    previous phase). Segments cover the trace and are returned in
+    order — the "phase-specific" power view of a workload trace. *)
+
+val segment_means : ?tolerance:float -> ?min_length:int -> t -> float array
+(** Mean power of each segment, in order. *)
+
+val concat : t list -> t
+(** Concatenate traces with the first trace's period. *)
+
+val subsample : t -> every:int -> t
+
+val to_rows : t -> (float * float) list
+(** (time_ms, value) pairs, for plotting/CSV export. *)

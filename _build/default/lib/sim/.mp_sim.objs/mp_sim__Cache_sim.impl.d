@@ -1,0 +1,1 @@
+lib/sim/cache_sim.ml: Array Cache_geometry List Mp_uarch Uarch_def

@@ -1,0 +1,1 @@
+lib/sim/core_sim.ml: Array Cache_geometry Cache_sim Float Hashtbl Ir List Measurement Mp_codegen Mp_isa Mp_uarch Option Pipe Uarch_def

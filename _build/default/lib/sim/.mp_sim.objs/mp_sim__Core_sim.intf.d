@@ -1,0 +1,1 @@
+lib/sim/core_sim.mli: Measurement Mp_codegen Mp_uarch

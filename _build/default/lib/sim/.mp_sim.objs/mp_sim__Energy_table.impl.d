@@ -1,0 +1,1 @@
+lib/sim/energy_table.ml: Float Hashtbl List Mp_isa

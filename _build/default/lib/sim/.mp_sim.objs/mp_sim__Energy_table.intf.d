@@ -1,0 +1,1 @@
+lib/sim/energy_table.mli:

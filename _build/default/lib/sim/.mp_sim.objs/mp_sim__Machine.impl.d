@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Core_sim Energy_table Float Hashtbl Ir List Measurement Mp_codegen Mp_mem Mp_uarch Mp_util Option Power_sim String Uarch_def

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Measurement Mp_codegen Mp_uarch

@@ -1,0 +1,1 @@
+lib/sim/measurement.ml: Array Float Format Mp_uarch Pmc Uarch_def

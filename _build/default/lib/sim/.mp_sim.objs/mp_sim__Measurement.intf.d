@@ -1,0 +1,1 @@
+lib/sim/measurement.mli: Format Mp_uarch

@@ -1,0 +1,1 @@
+lib/sim/power_sim.ml: Array Core_sim Energy_table Float List Measurement Mp_uarch Mp_util Uarch_def

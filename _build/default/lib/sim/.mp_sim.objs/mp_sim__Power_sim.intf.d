@@ -1,0 +1,1 @@
+lib/sim/power_sim.mli: Core_sim Energy_table Mp_uarch Mp_util

@@ -1,0 +1,23 @@
+(** Functional simulation of one core's cache hierarchy: three
+    set-associative LRU levels plus a sequential-stream prefetcher
+    (which the paper's randomised streams are designed to defeat). The
+    hierarchy is shared by the core's hardware threads, as on POWER7. *)
+
+type t
+
+val create : Mp_uarch.Uarch_def.t -> t
+
+val access : t -> addr:int -> store:bool -> Mp_uarch.Cache_geometry.level
+(** Perform one access; returns the data-source level (the deepest
+    level that had to supply the line) and fills all upper levels.
+    Stores allocate like loads (write-allocate). *)
+
+val hits : t -> Mp_uarch.Cache_geometry.level -> int
+(** Accesses sourced from a level since creation (demand only;
+    prefetch fills are not counted). *)
+
+val prefetches_issued : t -> int
+
+val reset_stats : t -> unit
+(** Clear counters but keep cache contents (for warmup/measure
+    separation). *)

@@ -1,0 +1,569 @@
+open Mp_uarch
+open Mp_codegen
+
+(* ----- opcode interning ------------------------------------------------- *)
+
+type opmap = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let opmap_create () =
+  { ids = Hashtbl.create 64; names = Array.make 64 ""; count = 0 }
+
+let opmap_size m = m.count
+
+let intern m name =
+  match Hashtbl.find_opt m.ids name with
+  | Some id -> id
+  | None ->
+    let id = m.count in
+    Hashtbl.add m.ids name id;
+    if id >= Array.length m.names then begin
+      let bigger = Array.make (2 * Array.length m.names) "" in
+      Array.blit m.names 0 bigger 0 (Array.length m.names);
+      m.names <- bigger
+    end;
+    m.names.(id) <- name;
+    m.count <- id + 1;
+    id
+
+let opmap_name m id =
+  if id < 0 || id >= m.count then invalid_arg "Core_sim.opmap_name";
+  m.names.(id)
+
+(* ----- deployed programs ------------------------------------------------ *)
+
+let n_pipe_kinds = 6
+
+let pipe_index = function
+  | Pipe.Fxu -> 0
+  | Pipe.Lsu -> 1
+  | Pipe.Vsu -> 2
+  | Pipe.Bru -> 3
+  | Pipe.Store_port -> 4
+  | Pipe.Update_port -> 5
+
+type dinstr = {
+  op_id : int;
+  fixed : (int * float) array;  (* (pipe kind, occupancy) *)
+  alt : (int * float) array;
+  latency : int;                (* base latency; memory ops: per access *)
+  dests : int array;            (* dense register ids *)
+  srcs : int array;
+  mem : int;                    (* 0 none / 1 load / 2 store *)
+  upd_ops : int;                (* fixup micro-ops accounted as FXU events *)
+  stream : int array;
+  pattern : bool array;         (* conditional branches only *)
+}
+
+type dprog = {
+  body : dinstr array;
+  n_regs : int;
+  daf : float;
+}
+
+let deploy ~uarch ~opmap ~streams (p : Ir.t) =
+  let reg_ids = Hashtbl.create 64 in
+  let n_regs = ref 0 in
+  let reg_id r =
+    match Hashtbl.find_opt reg_ids r with
+    | Some i -> i
+    | None ->
+      let i = !n_regs in
+      Hashtbl.add reg_ids r i;
+      incr n_regs;
+      i
+  in
+  let of_instr (i : Ir.instr) =
+    let op = i.Ir.op in
+    let res = uarch.Uarch_def.resources op in
+    let conv u = (pipe_index u.Uarch_def.pipe, u.Uarch_def.occupancy) in
+    let mem =
+      match op.Mp_isa.Instruction.mem with
+      | Mp_isa.Instruction.No_mem -> 0
+      | Mp_isa.Instruction.Load -> 1
+      | Mp_isa.Instruction.Store -> 2
+    in
+    {
+      op_id = intern opmap op.Mp_isa.Instruction.mnemonic;
+      fixed = Array.of_list (List.map conv res.Uarch_def.fixed);
+      alt = Array.of_list (List.map conv res.Uarch_def.alt);
+      latency = res.Uarch_def.latency;
+      dests = Array.of_list (List.map reg_id i.Ir.dests);
+      srcs = Array.of_list (List.map reg_id i.Ir.srcs);
+      mem;
+      upd_ops =
+        (if op.Mp_isa.Instruction.update then 1 else 0)
+        + (if op.Mp_isa.Instruction.algebraic then 1 else 0);
+      stream = (if mem = 0 || op.Mp_isa.Instruction.prefetch then [||] else streams i.Ir.index);
+      pattern =
+        (match i.Ir.taken_pattern with Some pat -> pat | None -> [||]);
+    }
+  in
+  let payload = Array.map of_instr p.Ir.body in
+  let bdnz =
+    {
+      op_id = intern opmap "bdnz";
+      fixed = [| (pipe_index Pipe.Bru, 1.0) |];
+      alt = [||];
+      latency = 1;
+      dests = [||];
+      srcs = [||];
+      mem = 0;
+      upd_ops = 0;
+      stream = [||];
+      pattern = [||];
+    }
+  in
+  { body = Array.append payload [| bdnz |];
+    n_regs = max 1 !n_regs;
+    daf = Ir.data_activity_factor p }
+
+(* ----- activity --------------------------------------------------------- *)
+
+type activity = {
+  measured_cycles : int;
+  threads : Measurement.counters array;
+  op_issues : int array;
+  level_loads : int array;
+  switch_events : int;
+  transitions : (int * int * int) list;
+      (* (previous opcode id, next opcode id, count) over the dispatch bus *)
+  daf : float;
+  prefetches : int;
+}
+
+(* ----- the simulation --------------------------------------------------- *)
+
+type pending = {
+  mutable di : int;      (* body index *)
+  mutable it : int;      (* iteration *)
+  mutable seq : int;     (* per-thread dispatch sequence number *)
+  deps : int array;      (* producer seqs captured at dispatch (-1 = none) *)
+  mutable n_deps : int;
+  mutable live : bool;
+}
+
+type raw_counters = {
+  mutable instrs : int;
+  mutable dispatched : int;
+  mutable fxu : int;
+  mutable lsu : int;
+  mutable vsu : int;
+  mutable bru : int;
+  mutable st : int;
+  mutable l1 : int;
+  mutable l2 : int;
+  mutable l3 : int;
+  mutable memc : int;
+}
+
+let zero_raw () =
+  { instrs = 0; dispatched = 0; fxu = 0; lsu = 0; vsu = 0; bru = 0; st = 0;
+    l1 = 0; l2 = 0; l3 = 0; memc = 0 }
+
+type thread_state = {
+  prog : dprog;
+  queue : pending array;      (* ring buffer of capacity window *)
+  mutable q_head : int;
+  mutable q_len : int;
+  mutable pc : int;
+  mutable iter : int;
+  mutable dispatch_seq : int;
+  mutable in_flight : int;
+  mutable stall_until : int;
+  mutable last_dispatch_op : int;
+  comp_cal : int array;       (* completions calendar, ring on cycles *)
+  reg_last_writer : int array; (* dispatch seq of the youngest writer *)
+  (* completion times per in-flight dispatch seq, tagged ring *)
+  comp_seq : int array;
+  comp_time : int array;
+  predictor : int array;      (* 2-bit counters per static instruction *)
+  counters : raw_counters;
+}
+
+let calendar_size = 16384
+
+let level_id = function
+  | Cache_geometry.L1 -> 0
+  | Cache_geometry.L2 -> 1
+  | Cache_geometry.L3 -> 2
+  | Cache_geometry.MEM -> 3
+
+let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
+  let nthreads = Array.length progs in
+  if nthreads = 0 then invalid_arg "Core_sim.run: no threads";
+  let mem_lat =
+    match mem_latency with Some l -> l | None -> uarch.Uarch_def.mem_latency
+  in
+  let window = uarch.Uarch_def.window in
+  let total_iters = warmup + measure in
+  let cache = Cache_sim.create uarch in
+  let latencies =
+    (* load-to-use latency per source level id *)
+    [| (Uarch_def.cache uarch Cache_geometry.L1).Cache_geometry.latency_cycles;
+       (Uarch_def.cache uarch Cache_geometry.L2).Cache_geometry.latency_cycles;
+       (Uarch_def.cache uarch Cache_geometry.L3).Cache_geometry.latency_cycles;
+       mem_lat |]
+  in
+  (* pipe instances *)
+  let pipe_free =
+    Array.init n_pipe_kinds (fun k ->
+        let kind =
+          match k with
+          | 0 -> Pipe.Fxu | 1 -> Pipe.Lsu | 2 -> Pipe.Vsu | 3 -> Pipe.Bru
+          | 4 -> Pipe.Store_port | _ -> Pipe.Update_port
+        in
+        Array.make (max 1 (Uarch_def.pipe_count uarch kind)) 0.0)
+  in
+  let op_issues = Array.make (max 1 (opmap_size opmap + 64)) 0 in
+  let level_loads = Array.make 4 0 in
+  let switch_events = ref 0 in
+  let transitions : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let threads =
+    Array.map
+      (fun prog ->
+        {
+          prog;
+          queue =
+            Array.init window (fun _ ->
+                { di = 0; it = 0; seq = 0; deps = Array.make 4 (-1);
+                  n_deps = 0; live = false });
+          q_head = 0;
+          q_len = 0;
+          pc = 0;
+          iter = 0;
+          dispatch_seq = 0;
+          in_flight = 0;
+          stall_until = 0;
+          last_dispatch_op = -1;
+          comp_cal = Array.make calendar_size 0;
+          reg_last_writer = Array.make prog.n_regs (-1);
+          comp_seq = Array.make (4 * window) (-1);
+          comp_time = Array.make (4 * window) 0;
+          predictor = Array.make (Array.length prog.body) 2;
+          counters = zero_raw ();
+        })
+      progs
+  in
+  let measuring = ref false in
+  let start_cycle = ref 0 in
+  let cycle = ref 0 in
+  (* A pipe instance can accept an op at cycle [now] when its busy time
+     runs out before the end of the cycle; reserving from the fractional
+     free time (not the cycle boundary) lets occupancies like 1.19
+     sustain their exact 1/1.19 throughput. *)
+  let find_free insts nowf =
+    let n = Array.length insts in
+    let rec go i =
+      if i = n then -1 else if insts.(i) < nowf +. 1.0 then i else go (i + 1)
+    in
+    go 0
+  in
+  (* The loops are endless: the run ends when the slowest thread has
+     dispatched its measured iterations; faster threads simply loop
+     more. This keeps every thread in steady state for the whole
+     measured window — essential when per-thread programs differ. *)
+  let all_done () =
+    Array.for_all (fun t -> t.iter >= total_iters) threads
+  in
+  let reset_measurement () =
+    Array.iter
+      (fun t ->
+        let c = t.counters in
+        c.instrs <- 0; c.dispatched <- 0; c.fxu <- 0; c.lsu <- 0; c.vsu <- 0;
+        c.bru <- 0; c.st <- 0; c.l1 <- 0; c.l2 <- 0; c.l3 <- 0; c.memc <- 0)
+      threads;
+    Array.fill op_issues 0 (Array.length op_issues) 0;
+    Array.fill level_loads 0 4 0;
+    switch_events := 0;
+    Hashtbl.reset transitions;
+    Cache_sim.reset_stats cache
+  in
+  let mispredict_penalty = 6 in
+  while not (all_done ()) do
+    let now = !cycle in
+    let nowf = float_of_int now in
+    (* retire completions from the calendar *)
+    Array.iter
+      (fun t ->
+        let slot = now land (calendar_size - 1) in
+        t.in_flight <- t.in_flight - t.comp_cal.(slot);
+        t.comp_cal.(slot) <- 0)
+      threads;
+    (* dispatch: shared width, round-robin priority *)
+    let progressed = ref false in
+    let budget = ref uarch.Uarch_def.dispatch_width in
+    for k = 0 to nthreads - 1 do
+      let t = threads.((now + k) mod nthreads) in
+      let continue_ = ref true in
+      while
+        !continue_ && !budget > 0
+        && t.stall_until <= now && t.in_flight < window && t.q_len < window
+      do
+        let body_len = Array.length t.prog.body in
+        let slot = t.queue.((t.q_head + t.q_len) mod window) in
+        slot.di <- t.pc;
+        slot.it <- t.iter;
+        slot.seq <- t.dispatch_seq;
+        slot.live <- true;
+        (* capture producers now: each source depends on the youngest
+           writer dispatched so far (update-form bases therefore read
+           the value preceding their own write, as on hardware) *)
+        let body_i = t.prog.body.(t.pc) in
+        slot.n_deps <- 0;
+        let srcs = body_i.srcs in
+        for si = 0 to Array.length srcs - 1 do
+          let producer = t.reg_last_writer.(srcs.(si)) in
+          if producer >= 0 && slot.n_deps < Array.length slot.deps then begin
+            slot.deps.(slot.n_deps) <- producer;
+            slot.n_deps <- slot.n_deps + 1
+          end
+        done;
+        let ring = Array.length t.comp_seq in
+        let dsts = body_i.dests in
+        for d = 0 to Array.length dsts - 1 do
+          t.reg_last_writer.(dsts.(d)) <- t.dispatch_seq
+        done;
+        t.comp_seq.(t.dispatch_seq mod ring) <- t.dispatch_seq;
+        t.comp_time.(t.dispatch_seq mod ring) <- max_int;
+        t.dispatch_seq <- t.dispatch_seq + 1;
+        t.q_len <- t.q_len + 1;
+        t.in_flight <- t.in_flight + 1;
+        progressed := true;
+        let op_id = t.prog.body.(t.pc).op_id in
+        if !measuring then begin
+          t.counters.dispatched <- t.counters.dispatched + 1;
+          (* opcode transition on the shared dispatch bus: the order-
+             dependent switching activity the ground truth charges for *)
+          if op_id <> t.last_dispatch_op && t.last_dispatch_op >= 0 then begin
+            incr switch_events;
+            let key = (t.last_dispatch_op * 65536) + op_id in
+            Hashtbl.replace transitions key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt transitions key))
+          end
+        end;
+        t.last_dispatch_op <- op_id;
+        decr budget;
+        t.pc <- t.pc + 1;
+        if t.pc = body_len then begin
+          t.pc <- 0;
+          t.iter <- t.iter + 1;
+          if t.iter >= total_iters then continue_ := false
+        end
+      done
+    done;
+    (* issue: scan pending entries oldest-first per thread, rotating
+       the thread priority each cycle (SMT issue arbitration) *)
+    for tk = 0 to nthreads - 1 do
+      let t = threads.((now + tk) mod nthreads) in
+      begin
+        let c = t.counters in
+        for qi = 0 to t.q_len - 1 do
+          let e = t.queue.((t.q_head + qi) mod window) in
+          if e.live then begin
+            let di = t.prog.body.(e.di) in
+            (* operand readiness: all captured producers completed
+               (a producer whose ring slot was reused is long retired) *)
+            let ready = ref true in
+            let ring = Array.length t.comp_seq in
+            for k = 0 to e.n_deps - 1 do
+              let d = e.deps.(k) in
+              let idx = d mod ring in
+              if t.comp_seq.(idx) = d && t.comp_time.(idx) > now then
+                ready := false
+            done;
+            if !ready then begin
+              (* pipe availability *)
+              let fixed = di.fixed in
+              let nfixed = Array.length fixed in
+              let fixed_slots = Array.make nfixed (-1) in
+              let ok = ref true in
+              for f = 0 to nfixed - 1 do
+                let kind, _ = fixed.(f) in
+                let s = find_free pipe_free.(kind) nowf in
+                if s < 0 then ok := false else fixed_slots.(f) <- s
+              done;
+              let alt_choice = ref (-1) in
+              let alt_slot = ref (-1) in
+              if !ok && Array.length di.alt > 0 then begin
+                let found = ref false in
+                Array.iter
+                  (fun (kind, _) ->
+                    if not !found then begin
+                      let s = find_free pipe_free.(kind) nowf in
+                      if s >= 0 then begin
+                        found := true;
+                        alt_choice := kind;
+                        alt_slot := s
+                      end
+                    end)
+                  di.alt;
+                if not !found then ok := false
+              end;
+              if !ok then begin
+                (* reserve pipes, count unit events *)
+                let count_pipe kind =
+                  if !measuring then
+                    match kind with
+                    | 0 -> c.fxu <- c.fxu + 1
+                    | 1 -> c.lsu <- c.lsu + 1
+                    | 2 -> c.vsu <- c.vsu + 1
+                    | 3 -> c.bru <- c.bru + 1
+                    | 4 -> c.st <- c.st + 1
+                    | _ -> c.fxu <- c.fxu + di.upd_ops
+                in
+                let reserve kind slot occ =
+                  let insts = pipe_free.(kind) in
+                  insts.(slot) <- Float.max insts.(slot) nowf +. occ;
+                  count_pipe kind
+                in
+                for f = 0 to nfixed - 1 do
+                  let kind, occ = fixed.(f) in
+                  reserve kind fixed_slots.(f) occ
+                done;
+                if !alt_choice >= 0 then begin
+                  let occ =
+                    let rec find i =
+                      let k, o = di.alt.(i) in
+                      if k = !alt_choice then o else find (i + 1)
+                    in
+                    find 0
+                  in
+                  reserve !alt_choice !alt_slot occ
+                end;
+                (* latency *)
+                let lat =
+                  if di.mem = 1 && Array.length di.stream > 0 then begin
+                    let addr = di.stream.(e.it mod Array.length di.stream) in
+                    let src = Cache_sim.access cache ~addr ~store:false in
+                    let lid = level_id src in
+                    if !measuring then begin
+                      (match lid with
+                       | 0 -> c.l1 <- c.l1 + 1
+                       | 1 -> c.l2 <- c.l2 + 1
+                       | 2 -> c.l3 <- c.l3 + 1
+                       | _ -> c.memc <- c.memc + 1);
+                      level_loads.(lid) <- level_loads.(lid) + 1
+                    end;
+                    latencies.(lid)
+                  end
+                  else if di.mem = 2 && Array.length di.stream > 0 then begin
+                    let addr = di.stream.(e.it mod Array.length di.stream) in
+                    ignore (Cache_sim.access cache ~addr ~store:true);
+                    di.latency
+                  end
+                  else di.latency
+                in
+                (* conditional branch prediction *)
+                if Array.length di.pattern > 0 then begin
+                  let outcome = di.pattern.(e.it mod Array.length di.pattern) in
+                  let p = t.predictor.(e.di) in
+                  let predicted = p >= 2 in
+                  t.predictor.(e.di) <-
+                    (if outcome then min 3 (p + 1) else max 0 (p - 1));
+                  if predicted <> outcome then
+                    t.stall_until <- max t.stall_until (now + mispredict_penalty)
+                end;
+                let completion = now + max 1 lat in
+                let ring = Array.length t.comp_seq in
+                if t.comp_seq.(e.seq mod ring) = e.seq then
+                  t.comp_time.(e.seq mod ring) <- completion;
+                t.comp_cal.(completion land (calendar_size - 1)) <-
+                  t.comp_cal.(completion land (calendar_size - 1)) + 1;
+                if !measuring then begin
+                  c.instrs <- c.instrs + 1;
+                  op_issues.(di.op_id) <- op_issues.(di.op_id) + 1
+                end;
+                progressed := true;
+                e.live <- false
+              end
+            end
+          end
+        done;
+        (* compact the head of the ring *)
+        while t.q_len > 0 && not t.queue.(t.q_head).live do
+          t.q_head <- (t.q_head + 1) mod window;
+          t.q_len <- t.q_len - 1
+        done
+      end
+    done;
+    (* start the measured window once every thread passed warmup *)
+    if (not !measuring) && Array.for_all (fun t -> t.iter >= warmup) threads
+    then begin
+      measuring := true;
+      start_cycle := now + 1;
+      reset_measurement ()
+    end;
+    incr cycle;
+    (* Fast-forward across dead cycles (latency-bound phases): nothing
+       dispatched or issued, so the next scheduler-relevant event is a
+       completion retiring, a pipe becoming free or a stall expiring.
+       Skipped cycles have empty calendar slots, so skipping them is
+       exact. *)
+    if (not !progressed) && not (all_done ()) then begin
+      let horizon = ref (!cycle + calendar_size - 2) in
+      Array.iter
+        (fun insts ->
+          Array.iter
+            (fun f ->
+              let c = int_of_float (Float.ceil f) in
+              if c >= !cycle && c < !horizon then horizon := c)
+            insts)
+        pipe_free;
+      Array.iter
+        (fun t ->
+          if t.stall_until >= !cycle && t.stall_until < !horizon then
+            horizon := t.stall_until)
+        threads;
+      let inflight_total =
+        Array.fold_left (fun acc t -> acc + t.in_flight) 0 threads
+      in
+      if inflight_total = 0 && !horizon > !cycle + calendar_size - 4 then
+        failwith "Core_sim: deadlock (no in-flight work and no events)";
+      let slot_empty c =
+        let idx = c land (calendar_size - 1) in
+        Array.for_all (fun t -> t.comp_cal.(idx) = 0) threads
+      in
+      while !cycle < !horizon && slot_empty !cycle do
+        incr cycle
+      done
+    end
+  done;
+  let measured_cycles = max 1 (!cycle - !start_cycle) in
+  let counters_of t =
+    let c = t.counters in
+    {
+      Measurement.cycles = float_of_int measured_cycles;
+      instrs = float_of_int c.instrs;
+      dispatched = float_of_int c.dispatched;
+      fxu = float_of_int c.fxu;
+      lsu = float_of_int c.lsu;
+      vsu = float_of_int c.vsu;
+      bru = float_of_int c.bru;
+      st = float_of_int c.st;
+      l1 = float_of_int c.l1;
+      l2 = float_of_int c.l2;
+      l3 = float_of_int c.l3;
+      mem = float_of_int c.memc;
+    }
+  in
+  let daf =
+    Array.fold_left (fun acc (p : dprog) -> acc +. p.daf) 0.0 progs
+    /. float_of_int nthreads
+  in
+  {
+    measured_cycles;
+    threads = Array.map counters_of threads;
+    op_issues;
+    level_loads;
+    switch_events = !switch_events;
+    transitions =
+      Hashtbl.fold
+        (fun key count acc -> ((key lsr 16, key land 0xFFFF, count) :: acc))
+        transitions [];
+    daf;
+    prefetches = Cache_sim.prefetches_issued cache;
+  }

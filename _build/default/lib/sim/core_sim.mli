@@ -1,0 +1,59 @@
+(** Cycle-stepped scoreboard model of one core running one deployed
+    micro-benchmark copy per hardware thread.
+
+    The model honours the properties micro-benchmarks are designed to
+    control: dispatch width (shared across SMT threads, round-robin),
+    per-pipe occupancy and multiplicity, register dependency latencies,
+    per-access memory latency from the cache simulator, a per-thread
+    in-flight window, and a 2-bit branch predictor with misprediction
+    bubbles. It also records the activity the hidden power model needs
+    (per-opcode issue counts, pipe opcode-switch events). *)
+
+type opmap
+(** Dense opcode-id interning shared by a set of runs. *)
+
+val opmap_create : unit -> opmap
+val opmap_size : opmap -> int
+val opmap_name : opmap -> int -> string
+
+type dprog
+(** A program deployed for one hardware thread: operands resolved to
+    dense register ids and memory instructions bound to concrete
+    address streams. *)
+
+val deploy :
+  uarch:Mp_uarch.Uarch_def.t ->
+  opmap:opmap ->
+  streams:(int -> int array) ->
+  Mp_codegen.Ir.t ->
+  dprog
+(** [streams idx] supplies the cyclic address stream for the memory
+    instruction at body index [idx] (raises if consulted for an index
+    the caller did not prepare). An implicit loop-closing [bdnz] is
+    appended to the body. *)
+
+type activity = {
+  measured_cycles : int;
+  threads : Measurement.counters array;
+  op_issues : int array;        (** per opmap id, all threads *)
+  level_loads : int array;      (** demand loads per level L1,L2,L3,MEM *)
+  switch_events : int;          (** dispatch-bus opcode transitions (total) *)
+  transitions : (int * int * int) list;
+      (** per ordered opcode pair (prev id, next id, count) — the
+          order-dependent switching activity on the dispatch bus *)
+  daf : float;                  (** mean data-activity factor of the programs *)
+  prefetches : int;
+}
+
+val run :
+  uarch:Mp_uarch.Uarch_def.t ->
+  opmap:opmap ->
+  ?mem_latency:int ->
+  ?warmup:int ->
+  ?measure:int ->
+  dprog array ->
+  activity
+(** Run one copy per thread for [warmup] loop iterations (default 1)
+    followed by [measure] iterations (default 2) during which counters
+    accumulate. [mem_latency] overrides the definition's base main-
+    memory latency (used for chip-level bandwidth contention). *)

@@ -1,0 +1,43 @@
+(** GROUND TRUTH — the silicon's true energy characteristics.
+
+    This module stands in for the physical power behaviour of the chip.
+    It is consumed exclusively by {!Power_sim} to turn simulated
+    activity into sensor readings. The characterization libraries
+    ({e mp_model}, {e mp_epi}, {e mp_stressmark}) must never read it:
+    they may only observe the machine through {!Measurement}, exactly
+    as the paper's methods only observe the POWER7 through PMCs and the
+    EnergyScale sensor.
+
+    The table deliberately contains effects a linear counter-based
+    model cannot capture exactly — per-opcode energy spread invisible
+    to unit-level counters, dispatch-bus switching that depends on
+    instruction order, a data-dependent switching factor, a mildly
+    non-linear CMP/uncore term and dynamic-power saturation — plus
+    sensor noise. These produce the few-percent residual errors the
+    paper reports on real hardware. *)
+
+type t = {
+  opcode_epi : string -> float;
+      (** dynamic core energy per issue of an opcode (sensor units/cycle·rate) *)
+  level_energy : float array;  (** demand-load energy per source level L1..MEM *)
+  store_energy : float;
+  dispatch_energy : float;
+  transition_energy : string -> string -> float;
+      (** energy of an ordered opcode-pair transition on the dispatch
+          bus; 0 for equal opcodes, irregular across pairs *)
+  idle_power : float;          (** chip power with no activity *)
+  uncore_base : float;
+  cmp_linear : float;          (** per enabled core *)
+  cmp_quad : float;            (** quadratic term (negative: concave) *)
+  smt_overhead : float;        (** per core with SMT enabled (any width) *)
+  data_scale : float -> float; (** data-activity factor -> energy scale *)
+  saturate : float -> float;   (** chip dynamic power -> delivered power *)
+  noise_rel : float;           (** relative sensor noise (sigma) *)
+  noise_abs : float;           (** absolute sensor noise (sigma) *)
+}
+
+val power7 : t
+(** The shipped ground truth, calibrated so that the reproduction
+    exhibits the paper's qualitative results (Table 3 EPI ordering,
+    ~10% stressmark headroom over the SPEC-surrogate maximum, 40%
+    zero-data EPI reduction, breakdown shares of Figure 8). *)

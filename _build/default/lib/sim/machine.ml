@@ -1,0 +1,198 @@
+open Mp_uarch
+open Mp_codegen
+
+type t = {
+  uarch : Uarch_def.t;
+  table : Energy_table.t;
+  opmap : Core_sim.opmap;
+  seed : int;
+}
+
+let create ?(seed = 2012) uarch =
+  { uarch; table = Energy_table.power7; opmap = Core_sim.opmap_create (); seed }
+
+let uarch t = t.uarch
+
+let run_rng t (config : Uarch_def.config) name =
+  Mp_util.Rng.create
+    (Hashtbl.hash (t.seed, name, config.Uarch_def.cores, config.Uarch_def.smt))
+
+(* Build per-thread address streams honouring the SMT partition. *)
+let deploy_thread t rng (config : Uarch_def.config) tid (p : Ir.t) =
+  let mem_instrs = Ir.memory_instructions p in
+  let streams_tbl = Hashtbl.create 16 in
+  (match (mem_instrs, p.Ir.memory_distribution) with
+   | [], _ -> ()
+   | _ :: _, None ->
+     failwith "Machine: memory instructions without a memory model pass"
+   | _ :: _, Some distribution ->
+     let plan =
+       Mp_mem.Set_assoc_model.create ~uarch:t.uarch
+         ~partition:(tid, config.Uarch_def.smt) ~distribution ()
+     in
+     let targeted =
+       List.filter (fun (i : Ir.instr) -> i.Ir.mem_target <> None) mem_instrs
+     in
+     let targets =
+       Array.of_list
+         (List.map
+            (fun (i : Ir.instr) -> Option.get i.Ir.mem_target)
+            targeted)
+     in
+     let streams =
+       Mp_mem.Set_assoc_model.coordinated_streams plan rng ~targets
+     in
+     List.iteri
+       (fun k (i : Ir.instr) ->
+         Hashtbl.replace streams_tbl i.Ir.index
+           streams.(k).Mp_mem.Set_assoc_model.addresses)
+       targeted);
+  let streams idx =
+    match Hashtbl.find_opt streams_tbl idx with
+    | Some a -> a
+    | None -> failwith "Machine: no stream prepared for memory instruction"
+  in
+  Core_sim.deploy ~uarch:t.uarch ~opmap:t.opmap ~streams p
+
+let mem_demand (activity : Core_sim.activity) =
+  let cycles = float_of_int (max 1 activity.Core_sim.measured_cycles) in
+  float_of_int activity.Core_sim.level_loads.(3) /. cycles
+
+let simulate_many ?(warmup = 1) ?(measure = 2) t (config : Uarch_def.config)
+    name (per_thread : Ir.t array) =
+  let rng = run_rng t config name in
+  let progs =
+    Array.init config.Uarch_def.smt (fun tid ->
+        deploy_thread t rng config tid per_thread.(tid))
+  in
+  let activity = Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~warmup ~measure progs in
+  (* shared memory bandwidth: inflate memory latency when the chip's
+     aggregate demand exceeds the sustainable rate, and re-simulate *)
+  let demand = mem_demand activity *. float_of_int config.Uarch_def.cores in
+  let cap = t.uarch.Uarch_def.mem_bw_lines_per_cycle in
+  let activity =
+    if demand > cap then begin
+      let factor = demand /. cap in
+      let lat =
+        int_of_float (float_of_int t.uarch.Uarch_def.mem_latency *. factor)
+      in
+      Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~mem_latency:lat ~warmup
+        ~measure progs
+    end
+    else activity
+  in
+  (rng, activity)
+
+let simulate ?warmup ?measure t (config : Uarch_def.config) (p : Ir.t) =
+  simulate_many ?warmup ?measure t config p.Ir.name
+    (Array.make config.Uarch_def.smt p)
+
+let measurement_of t config name rng (activity : Core_sim.activity) =
+  let reading =
+    Power_sim.sample ~table:t.table ~rng ~config ~opmap:t.opmap ~activity ()
+  in
+  let instrs =
+    Array.fold_left
+      (fun acc (c : Measurement.counters) -> acc +. c.Measurement.instrs)
+      0.0 activity.Core_sim.threads
+  in
+  {
+    Measurement.config;
+    program = name;
+    threads = activity.Core_sim.threads;
+    core_ipc = instrs /. float_of_int (max 1 activity.Core_sim.measured_cycles);
+    power = reading.Power_sim.sensor_mean;
+    power_trace = reading.Power_sim.trace;
+  }
+
+let run ?warmup ?measure t config (p : Ir.t) =
+  let rng, activity = simulate ?warmup ?measure t config p in
+  measurement_of t config p.Ir.name rng activity
+
+let run_heterogeneous ?warmup ?measure t (config : Uarch_def.config) programs =
+  let n = List.length programs in
+  if n <> config.Uarch_def.smt then
+    invalid_arg
+      "Machine.run_heterogeneous: one program per hardware thread required";
+  let per_thread = Array.of_list programs in
+  let name =
+    String.concat "|"
+      (List.map (fun (p : Ir.t) -> p.Ir.name) programs)
+  in
+  let rng, activity = simulate_many ?warmup ?measure t config name per_thread in
+  measurement_of t config name rng activity
+
+let run_phases t config phases =
+  match phases with
+  | [] -> invalid_arg "Machine.run_phases: no phases"
+  | _ ->
+    let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 phases in
+    if total_w <= 0.0 then invalid_arg "Machine.run_phases: zero weight";
+    let results =
+      List.map (fun (p, w) -> (run t config p, w /. total_w)) phases
+    in
+    let nominal = 1_000_000.0 in
+    let combine_thread idx =
+      List.fold_left
+        (fun acc ((m : Measurement.t), w) ->
+          let c = m.Measurement.threads.(idx) in
+          let r v = Measurement.rate c v *. w *. nominal in
+          {
+            Measurement.cycles = nominal;
+            instrs = acc.Measurement.instrs +. r c.Measurement.instrs;
+            dispatched = acc.Measurement.dispatched +. r c.Measurement.dispatched;
+            fxu = acc.Measurement.fxu +. r c.Measurement.fxu;
+            lsu = acc.Measurement.lsu +. r c.Measurement.lsu;
+            vsu = acc.Measurement.vsu +. r c.Measurement.vsu;
+            bru = acc.Measurement.bru +. r c.Measurement.bru;
+            st = acc.Measurement.st +. r c.Measurement.st;
+            l1 = acc.Measurement.l1 +. r c.Measurement.l1;
+            l2 = acc.Measurement.l2 +. r c.Measurement.l2;
+            l3 = acc.Measurement.l3 +. r c.Measurement.l3;
+            mem = acc.Measurement.mem +. r c.Measurement.mem;
+          })
+        { Measurement.zero_counters with cycles = nominal }
+        results
+    in
+    let nthreads = config.Uarch_def.smt in
+    let threads = Array.init nthreads combine_thread in
+    let power =
+      List.fold_left (fun acc (m, w) -> acc +. (m.Measurement.power *. w)) 0.0
+        results
+    in
+    let core_ipc =
+      List.fold_left (fun acc (m, w) -> acc +. (m.Measurement.core_ipc *. w))
+        0.0 results
+    in
+    let trace =
+      Array.concat
+        (List.map
+           (fun ((m : Measurement.t), w) ->
+             let n = max 2 (int_of_float (w *. 24.0)) in
+             Array.init n (fun i ->
+                 m.Measurement.power_trace.(i mod Array.length m.Measurement.power_trace)))
+           results)
+    in
+    let name =
+      match phases with (p, _) :: _ -> p.Ir.name ^ "-phased" | [] -> "phased"
+    in
+    {
+      Measurement.config;
+      program = name;
+      threads;
+      core_ipc;
+      power;
+      power_trace = trace;
+    }
+
+let baseline_reading t =
+  let rng = Mp_util.Rng.create (Hashtbl.hash (t.seed, "baseline")) in
+  let p = t.table.Energy_table.idle_power in
+  let rel = Mp_util.Rng.gaussian rng ~mu:1.0 ~sigma:t.table.Energy_table.noise_rel in
+  Float.max 0.0 (p *. rel)
+
+let idle_reading t config =
+  let rng = run_rng t config "idle" in
+  let p = Power_sim.idle_power ~table:t.table ~config in
+  let rel = Mp_util.Rng.gaussian rng ~mu:1.0 ~sigma:t.table.Energy_table.noise_rel in
+  Float.max 0.0 (p *. rel)

@@ -1,0 +1,50 @@
+(** The measurement harness — the paper's experimental platform in
+    Section 3. Deploys one copy of a micro-benchmark per hardware
+    thread (pinned, as the paper pins to logical CPUs), runs to steady
+    state, and returns PMC counters plus power-sensor samples.
+
+    All cores execute identical copies, so one core is simulated in
+    detail and the chip-level view is derived by replication plus a
+    shared-memory-bandwidth contention model (re-simulating with an
+    inflated memory latency when aggregate demand exceeds the chip's
+    sustainable bandwidth). *)
+
+type t
+
+val create : ?seed:int -> Mp_uarch.Uarch_def.t -> t
+(** A machine with its ground-truth power behaviour. [seed] controls
+    sensor noise and stream randomisation (default 2012). *)
+
+val uarch : t -> Mp_uarch.Uarch_def.t
+
+val run :
+  ?warmup:int -> ?measure:int ->
+  t -> Mp_uarch.Uarch_def.config -> Mp_codegen.Ir.t ->
+  Measurement.t
+(** Deploy and measure one micro-benchmark. [warmup]/[measure] are loop
+    iterations (defaults 1 and 2). *)
+
+val run_heterogeneous :
+  ?warmup:int -> ?measure:int ->
+  t -> Mp_uarch.Uarch_def.config -> Mp_codegen.Ir.t list ->
+  Measurement.t
+(** Deploy a {e different} micro-benchmark on each hardware thread of a
+    core (the list length must equal the SMT mode; every core runs the
+    same per-thread assignment). This is the heterogeneous-workload
+    deployment the paper's Section 6 leaves to future work. *)
+
+val run_phases :
+  t -> Mp_uarch.Uarch_def.config -> (Mp_codegen.Ir.t * float) list ->
+  Measurement.t
+(** Measure a phased workload: each [(program, weight)] runs as its own
+    steady-state region and the counters/power combine by weight — how
+    the SPEC-surrogate benchmarks execute. The power trace concatenates
+    the phase traces (Figure 5a's time axis). *)
+
+val idle_reading : t -> Mp_uarch.Uarch_def.config -> float
+(** Sensor reading of the enabled-but-idle machine. *)
+
+val baseline_reading : t -> float
+(** Sensor reading in the deepest idle state (all cores folded) — the
+    workload-independent chip power. The EnergyScale firmware exposes
+    this state on the real platform. *)

@@ -1,0 +1,89 @@
+open Mp_uarch
+
+type counters = {
+  cycles : float;
+  instrs : float;
+  dispatched : float;
+  fxu : float;
+  lsu : float;
+  vsu : float;
+  bru : float;
+  st : float;
+  l1 : float;
+  l2 : float;
+  l3 : float;
+  mem : float;
+}
+
+let zero_counters =
+  { cycles = 0.; instrs = 0.; dispatched = 0.; fxu = 0.; lsu = 0.; vsu = 0.;
+    bru = 0.; st = 0.; l1 = 0.; l2 = 0.; l3 = 0.; mem = 0. }
+
+let add_counters a b =
+  {
+    cycles = Float.max a.cycles b.cycles;
+    instrs = a.instrs +. b.instrs;
+    dispatched = a.dispatched +. b.dispatched;
+    fxu = a.fxu +. b.fxu;
+    lsu = a.lsu +. b.lsu;
+    vsu = a.vsu +. b.vsu;
+    bru = a.bru +. b.bru;
+    st = a.st +. b.st;
+    l1 = a.l1 +. b.l1;
+    l2 = a.l2 +. b.l2;
+    l3 = a.l3 +. b.l3;
+    mem = a.mem +. b.mem;
+  }
+
+let scale_counters k c =
+  {
+    cycles = c.cycles *. k;
+    instrs = c.instrs *. k;
+    dispatched = c.dispatched *. k;
+    fxu = c.fxu *. k;
+    lsu = c.lsu *. k;
+    vsu = c.vsu *. k;
+    bru = c.bru *. k;
+    st = c.st *. k;
+    l1 = c.l1 *. k;
+    l2 = c.l2 *. k;
+    l3 = c.l3 *. k;
+    mem = c.mem *. k;
+  }
+
+let read c = function
+  | Pmc.PM_RUN_CYC -> c.cycles
+  | Pmc.PM_INST_CMPL -> c.instrs
+  | Pmc.PM_INST_DISP -> c.dispatched
+  | Pmc.PM_FXU_FIN -> c.fxu
+  | Pmc.PM_LSU_FIN -> c.lsu
+  | Pmc.PM_VSU_FIN -> c.vsu
+  | Pmc.PM_BRU_FIN -> c.bru
+  | Pmc.PM_ST_FIN -> c.st
+  | Pmc.PM_DATA_FROM_L1 -> c.l1
+  | Pmc.PM_DATA_FROM_L2 -> c.l2
+  | Pmc.PM_DATA_FROM_L3 -> c.l3
+  | Pmc.PM_DATA_FROM_MEM -> c.mem
+
+let ipc c = if c.cycles <= 0.0 then 0.0 else c.instrs /. c.cycles
+
+let rate c v = if c.cycles <= 0.0 then 0.0 else v /. c.cycles
+
+type t = {
+  config : Uarch_def.config;
+  program : string;
+  threads : counters array;
+  core_ipc : float;
+  power : float;
+  power_trace : float array;
+}
+
+let total_threads t = Array.length t.threads * t.config.Uarch_def.cores
+
+let core_counters t =
+  Array.fold_left add_counters zero_counters t.threads
+
+let pp ppf t =
+  Format.fprintf ppf "%s @ %s: core IPC %.2f, power %.2f" t.program
+    (Uarch_def.config_to_string t.config)
+    t.core_ipc t.power

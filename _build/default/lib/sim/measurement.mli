@@ -1,0 +1,51 @@
+(** Externally observable measurements: what the PCL counters and the
+    EnergyScale power sensor expose on the real machine. Everything the
+    characterization case studies consume comes through this interface —
+    never through the simulator's internal ground truth. *)
+
+type counters = {
+  cycles : float;      (** measured-window cycles of the owning core *)
+  instrs : float;      (** instructions completed by this thread *)
+  dispatched : float;
+  fxu : float;         (** FXU operations finished (incl. update port) *)
+  lsu : float;         (** LSU operations finished (incl. store port) *)
+  vsu : float;
+  bru : float;
+  st : float;          (** stores finished *)
+  l1 : float;          (** loads sourced from L1 *)
+  l2 : float;
+  l3 : float;
+  mem : float;         (** loads sourced from main memory *)
+}
+
+val zero_counters : counters
+val add_counters : counters -> counters -> counters
+val scale_counters : float -> counters -> counters
+
+val read : counters -> Mp_uarch.Pmc.id -> float
+(** PMC-style access by counter id. *)
+
+val ipc : counters -> float
+(** Instructions per cycle of the thread. *)
+
+val rate : counters -> float -> float
+(** [rate c v] is [v / c.cycles] (0 when no cycles). *)
+
+type t = {
+  config : Mp_uarch.Uarch_def.config;
+  program : string;
+  threads : counters array;
+      (** per hardware thread of one (representative) core; all cores
+          run identical copies *)
+  core_ipc : float;
+  power : float;          (** chip power, sensor mean (arbitrary watts) *)
+  power_trace : float array;  (** sensor samples over the run *)
+}
+
+val total_threads : t -> int
+(** Threads per core times enabled cores. *)
+
+val core_counters : t -> counters
+(** Sum of the per-thread counters (cycles kept, not summed). *)
+
+val pp : Format.formatter -> t -> unit

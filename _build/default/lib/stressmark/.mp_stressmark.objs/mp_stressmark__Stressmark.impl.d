@@ -1,0 +1,1 @@
+lib/stressmark/stressmark.ml: Arch Array Builder Cache_geometry Hashtbl Instruction Isa_def List Mp_codegen Mp_dse Mp_epi Mp_isa Mp_sim Mp_uarch Mp_util Passes Printf String Synthesizer Uarch_def

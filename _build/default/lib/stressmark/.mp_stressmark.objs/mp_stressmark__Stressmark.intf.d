@@ -1,0 +1,1 @@
+lib/stressmark/stressmark.mli: Mp_codegen Mp_epi Mp_isa Mp_sim

@@ -1,0 +1,184 @@
+open Mp_codegen
+open Mp_isa
+open Mp_uarch
+
+type evaluation = {
+  sequence : string list;
+  smt : int;
+  power : float;
+  core_ipc : float;
+}
+
+type set_summary = {
+  set_name : string;
+  evaluations : evaluation list;
+  min_power : float;
+  mean_power : float;
+  max_power : float;
+  best : evaluation;
+}
+
+let program_of_sequence ~arch ?(size = 1024) ~name sequence =
+  if sequence = [] then invalid_arg "Stressmark.program_of_sequence: empty";
+  let synth = Synthesizer.create ~name arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_sequence sequence);
+  if List.exists Instruction.is_memory sequence then
+    Synthesizer.add_pass synth
+      (Passes.memory_model [ (Cache_geometry.L1, 1.0) ]);
+  Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+  Synthesizer.add_pass synth (Passes.init_registers Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.init_immediates Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.rename name);
+  Synthesizer.synthesize ~seed:(Hashtbl.hash name) synth
+
+let expert_instructions arch =
+  List.map (Arch.find_instruction arch) [ "mullw"; "xvmaddadp"; "lxvd2x" ]
+
+let expert_manual_sequences arch =
+  match expert_instructions arch with
+  | [ m; v; l ] ->
+    [
+      [ m; v; l; m; v; l ];  (* round-robin *)
+      [ m; m; v; v; l; l ];  (* clustered *)
+      [ v; l; m; v; l; m ];  (* rotated round-robin *)
+      [ v; v; m; m; l; l ];
+    ]
+  | _ -> assert false
+
+let microprobe_instructions ~isa props =
+  (* one pick per pure functional-unit category ("FXU"/"LSU"/"VSU" of
+     the taxonomy): the instruction with the highest IPC×EPI product *)
+  let best = Hashtbl.create 4 in
+  List.iter
+    (fun (p : Mp_epi.Bootstrap.props) ->
+      let is_memory =
+        match Isa_def.find isa p.Mp_epi.Bootstrap.mnemonic with
+        | Some i -> Instruction.is_memory i
+        | None -> false
+      in
+      let label = Mp_epi.Taxonomy.category_label p is_memory in
+      if List.mem label [ "FXU"; "LSU"; "VSU" ] then begin
+        let score = p.Mp_epi.Bootstrap.core_ipc *. p.Mp_epi.Bootstrap.epi in
+        match Hashtbl.find_opt best label with
+        | Some (s, _) when s >= score -> ()
+        | _ -> Hashtbl.replace best label (score, p.Mp_epi.Bootstrap.mnemonic)
+      end)
+    props;
+  List.filter_map
+    (fun u ->
+      match Hashtbl.find_opt best u with
+      | Some (_, m) -> Isa_def.find isa m
+      | None -> None)
+    [ "FXU"; "LSU"; "VSU" ]
+
+let exhaustive_sequences candidates ~length =
+  Mp_dse.Space.sequences candidates ~length
+
+let evaluate_one ~machine ~arch ~size ~smt idx sequence =
+  let name =
+    Printf.sprintf "sm-%d-%s" idx
+      (String.concat "." (List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) sequence))
+  in
+  let program = program_of_sequence ~arch ~size ~name sequence in
+  let config = Uarch_def.config ~cores:8 ~smt arch.Arch.uarch in
+  let m = Mp_sim.Machine.run machine config program in
+  {
+    sequence = List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) sequence;
+    smt;
+    power = m.Mp_sim.Measurement.power;
+    core_ipc = m.Mp_sim.Measurement.core_ipc;
+  }
+
+let evaluate_set ~machine ~arch ~name ?(size = 1024) ?(smt_modes = [ 1; 2; 4 ])
+    sequences =
+  if sequences = [] then invalid_arg "Stressmark.evaluate_set: no sequences";
+  let evaluations =
+    List.concat_map
+      (fun smt ->
+        List.mapi (fun idx s -> evaluate_one ~machine ~arch ~size ~smt idx s)
+          sequences)
+      smt_modes
+  in
+  let powers = Array.of_list (List.map (fun e -> e.power) evaluations) in
+  let lo, hi = Mp_util.Stats.min_max powers in
+  let best =
+    List.fold_left
+      (fun acc e -> if e.power > acc.power then e else acc)
+      (List.hd evaluations) evaluations
+  in
+  {
+    set_name = name;
+    evaluations;
+    min_power = lo;
+    mean_power = Mp_util.Stats.mean powers;
+    max_power = hi;
+    best;
+  }
+
+type hetero_evaluation = {
+  assignment : string list;
+  power : float;
+}
+
+let heterogeneous_search ~machine ~arch ?(size = 1024) ?(smt = 4)
+    ~homogeneous_best () =
+  let l1 = [ (Cache_geometry.L1, 1.0) ] in
+  let mem = [ (Cache_geometry.MEM, 1.0) ] in
+  let loop name mix dist =
+    let synth = Synthesizer.create ~name arch in
+    Synthesizer.add_pass synth (Passes.skeleton ~size);
+    Synthesizer.add_pass synth (Passes.fill_sequence mix);
+    if List.exists Instruction.is_memory mix then
+      Synthesizer.add_pass synth (Passes.memory_model dist);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.add_pass synth (Passes.init_registers Builder.Random_values);
+    Synthesizer.add_pass synth (Passes.rename name);
+    Synthesizer.synthesize ~seed:(Hashtbl.hash name) synth
+  in
+  let f m = Arch.find_instruction arch m in
+  let blocks =
+    [ ("compute", loop "het-compute" homogeneous_best l1);
+      ("mem", loop "het-mem" [ f "ld"; f "ldx"; f "lfd" ] mem);
+      ("l1", loop "het-l1" [ f "lbz"; f "lwz"; f "ld" ] l1) ]
+  in
+  let config = Uarch_def.config ~cores:8 ~smt arch.Arch.uarch in
+  let assignments =
+    Mp_dse.Space.combinations_with_repetition (List.map fst blocks) ~length:smt
+  in
+  let evals =
+    List.map
+      (fun assignment ->
+        let programs = List.map (fun b -> List.assoc b blocks) assignment in
+        let m = Mp_sim.Machine.run_heterogeneous machine config programs in
+        { assignment; power = m.Mp_sim.Measurement.power })
+      assignments
+  in
+  let sorted = List.sort (fun a b -> compare b.power a.power) evals in
+  (sorted, List.hd sorted)
+
+type order_spread = {
+  multiset : string list;
+  n_orders : int;
+  min_power : float;
+  max_power : float;
+  spread_pct : float;
+}
+
+let order_spread ~machine ~arch ?(size = 1024) ?(smt = 4) multiset =
+  let orders = Mp_dse.Space.distinct_permutations multiset in
+  let evals =
+    List.mapi (fun idx s -> evaluate_one ~machine ~arch ~size ~smt idx s) orders
+  in
+  let powers =
+    Array.of_list (List.map (fun (e : evaluation) -> e.power) evals)
+  in
+  let lo, hi = Mp_util.Stats.min_max powers in
+  {
+    multiset =
+      List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) multiset;
+    n_orders = List.length orders;
+    min_power = lo;
+    max_power = hi;
+    spread_pct = (if lo > 0.0 then (hi -. lo) /. lo *. 100.0 else 0.0);
+  }

@@ -1,0 +1,112 @@
+(** Max-power stressmark generation (paper Section 6).
+
+    The search looks for the sequence of [length] (default 6)
+    instructions that, replicated in an endless loop and executed on
+    every hardware thread, maximises chip power. Three candidate-
+    selection strategies are compared, as in the paper:
+
+    - {e Expert manual}: a few hand-crafted orderings of
+      mullw/xvmaddadp/lxvd2x — what a micro-architecture expert writes
+      without tool support;
+    - {e Expert DSE}: exhaustive exploration of all sequences over the
+      expert's instruction choice;
+    - {e MicroProbe}: exhaustive exploration over the instructions the
+      framework selects automatically — the highest IPC×EPI instruction
+      of each functional-unit category from the bootstrap data. *)
+
+type evaluation = {
+  sequence : string list;  (** mnemonics, loop order *)
+  smt : int;
+  power : float;
+  core_ipc : float;
+}
+
+type set_summary = {
+  set_name : string;
+  evaluations : evaluation list;
+  min_power : float;
+  mean_power : float;
+  max_power : float;
+  best : evaluation;
+}
+
+val program_of_sequence :
+  arch:Mp_codegen.Arch.t ->
+  ?size:int ->
+  name:string ->
+  Mp_isa.Instruction.t list ->
+  Mp_codegen.Ir.t
+(** The canonical stressmark skeleton: the sequence replicated through
+    a [size]-instruction endless loop (default 1024), no register
+    dependencies, random data, memory operations pinned to L1. *)
+
+val expert_instructions : Mp_codegen.Arch.t -> Mp_isa.Instruction.t list
+(** mullw, xvmaddadp, lxvd2x — wide-datapath, high-throughput picks for
+    FXU/VSU/LSU, as the paper's expert chooses. *)
+
+val expert_manual_sequences : Mp_codegen.Arch.t -> Mp_isa.Instruction.t list list
+(** Hand-crafted orderings (balanced round-robin and clustered). *)
+
+val microprobe_instructions :
+  isa:Mp_isa.Isa_def.t ->
+  Mp_epi.Bootstrap.props list ->
+  Mp_isa.Instruction.t list
+(** The automatic selection: per functional-unit category (FXU / LSU /
+    VSU), the bootstrapped instruction with the highest IPC×EPI
+    product. *)
+
+val evaluate_set :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  name:string ->
+  ?size:int ->
+  ?smt_modes:int list ->
+  Mp_isa.Instruction.t list list ->
+  set_summary
+(** Measure every sequence on 8 cores in each SMT mode (default all
+    three) and summarise. *)
+
+val exhaustive_sequences :
+  Mp_isa.Instruction.t list -> length:int -> Mp_isa.Instruction.t list list
+(** All [length]-long sequences over the candidate instructions. *)
+
+type hetero_evaluation = {
+  assignment : string list;  (** one building-block name per hardware thread *)
+  power : float;
+}
+
+val heterogeneous_search :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?size:int ->
+  ?smt:int ->
+  homogeneous_best:Mp_isa.Instruction.t list ->
+  unit ->
+  hetero_evaluation list * hetero_evaluation
+(** The extension the paper's Section 6 defers to future work: search
+    per-thread {e heterogeneous} assignments. Building blocks: the
+    homogeneous max-power loop ("compute"), a main-memory streaming
+    loop ("mem") and an L1-resident load loop ("l1"). Every multiset
+    assignment of blocks to the [smt] (default 4) threads is evaluated
+    on 8 cores; returns all evaluations (sorted best-first) and the
+    best. Heterogeneous mixes can beat the homogeneous stressmark when
+    memory-interface power is on the table, as MAMPO observed. *)
+
+type order_spread = {
+  multiset : string list;
+  n_orders : int;
+  min_power : float;
+  max_power : float;
+  spread_pct : float;  (** (max−min)/min × 100 *)
+}
+
+val order_spread :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?size:int ->
+  ?smt:int ->
+  Mp_isa.Instruction.t list ->
+  order_spread
+(** Fix an instruction multiset and measure every distinct ordering —
+    the paper's observation that order alone moves power by up to
+    ~17%. *)

@@ -1,0 +1,1 @@
+lib/uarch/pipe.ml: Format

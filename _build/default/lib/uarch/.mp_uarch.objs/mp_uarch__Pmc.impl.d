@@ -1,0 +1,1 @@
+lib/uarch/pmc.ml: Cache_geometry Format Pipe

@@ -1,0 +1,1 @@
+lib/uarch/pmc.mli: Cache_geometry Format Pipe

@@ -1,0 +1,1 @@
+lib/uarch/power7.ml: Cache_geometry Hashtbl Instruction Isa_def List Mp_isa Pipe Pmc Power_isa Uarch_def

@@ -1,0 +1,1 @@
+lib/uarch/power7.mli: Mp_isa Uarch_def

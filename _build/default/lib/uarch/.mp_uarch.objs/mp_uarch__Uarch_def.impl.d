@@ -1,0 +1,1 @@
+lib/uarch/uarch_def.ml: Cache_geometry Float Format List Mp_isa Pipe Pmc Printf

@@ -1,0 +1,1 @@
+lib/uarch/uarch_def.mli: Cache_geometry Format Mp_isa Pipe Pmc

@@ -1,0 +1,63 @@
+type level = L1 | L2 | L3 | MEM
+
+type t = {
+  level : level;
+  size_bytes : int;
+  associativity : int;
+  line_bytes : int;
+  latency_cycles : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let make ~level ~size_bytes ~associativity ~line_bytes ~latency_cycles =
+  if not (is_pow2 size_bytes && is_pow2 line_bytes && is_pow2 associativity)
+  then invalid_arg "Cache_geometry.make: sizes must be powers of two";
+  if size_bytes mod (line_bytes * associativity) <> 0 then
+    invalid_arg "Cache_geometry.make: geometry does not divide";
+  if latency_cycles <= 0 then invalid_arg "Cache_geometry.make: latency";
+  { level; size_bytes; associativity; line_bytes; latency_cycles }
+
+let sets g = g.size_bytes / (g.line_bytes * g.associativity)
+
+let offset_bits g = log2 g.line_bytes
+
+let set_bits g = log2 (sets g)
+
+let set_index g addr = (addr lsr offset_bits g) land (sets g - 1)
+
+let line_address g addr = addr land lnot (g.line_bytes - 1)
+
+let tag g addr = addr lsr (offset_bits g + set_bits g)
+
+let address_with_set g ~set ~tag =
+  if set < 0 || set >= sets g then invalid_arg "Cache_geometry: set out of range";
+  (tag lsl (offset_bits g + set_bits g)) lor (set lsl offset_bits g)
+
+let level_to_string = function
+  | L1 -> "L1"
+  | L2 -> "L2"
+  | L3 -> "L3"
+  | MEM -> "MEM"
+
+let level_of_string = function
+  | "L1" -> Some L1
+  | "L2" -> Some L2
+  | "L3" -> Some L3
+  | "MEM" -> Some MEM
+  | _ -> None
+
+let level_rank = function L1 -> 0 | L2 -> 1 | L3 -> 2 | MEM -> 3
+
+let level_compare a b = compare (level_rank a) (level_rank b)
+
+let all_levels = [ L1; L2; L3; MEM ]
+
+let pp ppf g =
+  Format.fprintf ppf "%s: %dKB %d-way %dB lines (%d sets, %d cyc)"
+    (level_to_string g.level) (g.size_bytes / 1024) g.associativity
+    g.line_bytes (sets g) g.latency_cycles

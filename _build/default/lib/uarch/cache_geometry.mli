@@ -1,0 +1,44 @@
+(** Set-associative cache geometry and address-field arithmetic
+    (paper Figure 3b: the set field of each level of the hierarchy). *)
+
+type level = L1 | L2 | L3 | MEM
+
+type t = {
+  level : level;
+  size_bytes : int;
+  associativity : int;
+  line_bytes : int;
+  latency_cycles : int;  (** load-to-use latency on a hit at this level *)
+}
+
+val make :
+  level:level -> size_bytes:int -> associativity:int -> line_bytes:int ->
+  latency_cycles:int -> t
+(** Validates that sizes are powers of two and divide evenly. *)
+
+val sets : t -> int
+(** Number of sets: size / (line * associativity). *)
+
+val offset_bits : t -> int
+val set_bits : t -> int
+
+val set_index : t -> int -> int
+(** [set_index g addr] is the set the byte address maps to. *)
+
+val line_address : t -> int -> int
+(** Address truncated to its cache-line base. *)
+
+val address_with_set : t -> set:int -> tag:int -> int
+(** Build a line-aligned address whose set index is [set] and whose
+    remaining high bits are [tag]. Inverse of {!set_index} /
+    tag extraction. *)
+
+val tag : t -> int -> int
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+val level_compare : level -> level -> int
+val all_levels : level list
+(** [L1; L2; L3; MEM] in hierarchy order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = Fxu | Lsu | Vsu | Bru | Store_port | Update_port
+
+type unit_kind = FXU | LSU | VSU | BRU
+
+let all = [ Fxu; Lsu; Vsu; Bru; Store_port; Update_port ]
+
+let all_units = [ FXU; LSU; VSU; BRU ]
+
+let parent_unit = function
+  | Fxu | Update_port -> FXU
+  | Lsu | Store_port -> LSU
+  | Vsu -> VSU
+  | Bru -> BRU
+
+let to_string = function
+  | Fxu -> "FXU"
+  | Lsu -> "LSU"
+  | Vsu -> "VSU"
+  | Bru -> "BRU"
+  | Store_port -> "ST"
+  | Update_port -> "UPD"
+
+let unit_to_string = function
+  | FXU -> "FXU"
+  | LSU -> "LSU"
+  | VSU -> "VSU"
+  | BRU -> "BRU"
+
+let unit_of_string = function
+  | "FXU" -> Some FXU
+  | "LSU" -> Some LSU
+  | "VSU" -> Some VSU
+  | "BRU" -> Some BRU
+  | _ -> None
+
+let compare_unit a b =
+  let rank = function FXU -> 0 | LSU -> 1 | VSU -> 2 | BRU -> 3 in
+  compare (rank a) (rank b)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,24 @@
+(** Execution pipes (functional sub-units) of a core.
+
+    [Store_port] and [Update_port] are sub-resources of the LSU and FXU
+    respectively: they model the single store-issue and base-update/
+    sign-extend ports that cap the throughput of stores and of
+    update-form / algebraic loads. For *power and PMC accounting* they
+    roll up to their parent unit via {!parent_unit}. *)
+
+type t = Fxu | Lsu | Vsu | Bru | Store_port | Update_port
+
+type unit_kind = FXU | LSU | VSU | BRU
+(** The architect-visible functional units of the paper (plus BRU). *)
+
+val all : t list
+val all_units : unit_kind list
+
+val parent_unit : t -> unit_kind
+(** The functional unit a pipe's activity is accounted to. *)
+
+val to_string : t -> string
+val unit_to_string : unit_kind -> string
+val unit_of_string : string -> unit_kind option
+val compare_unit : unit_kind -> unit_kind -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type id =
+  | PM_RUN_CYC
+  | PM_INST_CMPL
+  | PM_INST_DISP
+  | PM_FXU_FIN
+  | PM_LSU_FIN
+  | PM_VSU_FIN
+  | PM_BRU_FIN
+  | PM_ST_FIN
+  | PM_DATA_FROM_L1
+  | PM_DATA_FROM_L2
+  | PM_DATA_FROM_L3
+  | PM_DATA_FROM_MEM
+
+let all =
+  [ PM_RUN_CYC; PM_INST_CMPL; PM_INST_DISP; PM_FXU_FIN; PM_LSU_FIN;
+    PM_VSU_FIN; PM_BRU_FIN; PM_ST_FIN; PM_DATA_FROM_L1; PM_DATA_FROM_L2;
+    PM_DATA_FROM_L3; PM_DATA_FROM_MEM ]
+
+let name = function
+  | PM_RUN_CYC -> "PM_RUN_CYC"
+  | PM_INST_CMPL -> "PM_INST_CMPL"
+  | PM_INST_DISP -> "PM_INST_DISP"
+  | PM_FXU_FIN -> "PM_FXU_FIN"
+  | PM_LSU_FIN -> "PM_LSU_FIN"
+  | PM_VSU_FIN -> "PM_VSU_FIN"
+  | PM_BRU_FIN -> "PM_BRU_FIN"
+  | PM_ST_FIN -> "PM_ST_FIN"
+  | PM_DATA_FROM_L1 -> "PM_DATA_FROM_L1"
+  | PM_DATA_FROM_L2 -> "PM_DATA_FROM_L2"
+  | PM_DATA_FROM_L3 -> "PM_DATA_FROM_L3"
+  | PM_DATA_FROM_MEM -> "PM_DATA_FROM_MEM"
+
+let description = function
+  | PM_RUN_CYC -> "Run cycles"
+  | PM_INST_CMPL -> "Instructions completed"
+  | PM_INST_DISP -> "Instructions dispatched"
+  | PM_FXU_FIN -> "Fixed-point unit operations finished"
+  | PM_LSU_FIN -> "Load-store unit operations finished"
+  | PM_VSU_FIN -> "Vector-scalar unit operations finished"
+  | PM_BRU_FIN -> "Branch unit operations finished"
+  | PM_ST_FIN -> "Store operations finished"
+  | PM_DATA_FROM_L1 -> "Loads sourced from the L1 data cache"
+  | PM_DATA_FROM_L2 -> "Loads sourced from the L2 cache"
+  | PM_DATA_FROM_L3 -> "Loads sourced from the L3 cache"
+  | PM_DATA_FROM_MEM -> "Loads sourced from main memory"
+
+let of_unit = function
+  | Pipe.FXU -> PM_FXU_FIN
+  | Pipe.LSU -> PM_LSU_FIN
+  | Pipe.VSU -> PM_VSU_FIN
+  | Pipe.BRU -> PM_BRU_FIN
+
+let of_level = function
+  | Cache_geometry.L1 -> PM_DATA_FROM_L1
+  | Cache_geometry.L2 -> PM_DATA_FROM_L2
+  | Cache_geometry.L3 -> PM_DATA_FROM_L3
+  | Cache_geometry.MEM -> PM_DATA_FROM_MEM
+
+let pp ppf id = Format.pp_print_string ppf (name id)

@@ -1,0 +1,30 @@
+(** Performance-monitoring-counter catalogue.
+
+    Mirrors the subset of the POWER7 PMU the paper's power-model
+    formulas consume: cycle/instruction counts, per-functional-unit
+    finish counts, and data-source counts per memory-hierarchy level. *)
+
+type id =
+  | PM_RUN_CYC
+  | PM_INST_CMPL
+  | PM_INST_DISP
+  | PM_FXU_FIN
+  | PM_LSU_FIN
+  | PM_VSU_FIN
+  | PM_BRU_FIN
+  | PM_ST_FIN
+  | PM_DATA_FROM_L1
+  | PM_DATA_FROM_L2
+  | PM_DATA_FROM_L3
+  | PM_DATA_FROM_MEM
+
+val all : id list
+val name : id -> string
+val description : id -> string
+val of_unit : Pipe.unit_kind -> id
+(** The finish counter associated with a functional unit. *)
+
+val of_level : Cache_geometry.level -> id
+(** The data-source counter associated with a hierarchy level. *)
+
+val pp : Format.formatter -> id -> unit

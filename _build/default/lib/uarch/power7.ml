@@ -1,0 +1,122 @@
+open Mp_isa
+
+(* The definition closes over the ISA it was built against so that
+   resource lookups and user-side queries agree. *)
+let isa_table : (string, Isa_def.t) Hashtbl.t = Hashtbl.create 4
+
+let usage pipe occupancy = { Uarch_def.pipe; occupancy }
+
+(* Per-mnemonic overrides for instructions whose pipe behaviour departs
+   from their class default (e.g. xstsqrtdp is a cheap *test* op that
+   does not occupy the long-latency sqrt pipe). *)
+let overrides : (string * Uarch_def.resources) list =
+  [
+    ("xstsqrtdp",
+     { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 3 });
+    ("dcbt", { fixed = [ usage Pipe.Lsu 1.0 ]; alt = []; latency = 1 });
+    (* record forms: the CR write delays forwarding of the result *)
+    ("andi.",
+     { fixed = [];
+       alt = [ usage Pipe.Fxu 1.0; usage Pipe.Lsu 1.3 ];
+       latency = 4 });
+    ("addic.", { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 4 });
+  ]
+
+let mem_resources (i : Instruction.t) =
+  let needs_fixup = i.update || i.algebraic in
+  match i.mem with
+  | Instruction.Load ->
+    let fixed =
+      usage Pipe.Lsu 1.19
+      :: (if needs_fixup then [ usage Pipe.Update_port 1.0 ] else [])
+    in
+    (* Latency is the L1-hit value; the simulator substitutes the
+       actual data-source level's latency per access. *)
+    let latency = if i.data_class = Instruction.Gpr then 3 else 5 in
+    { Uarch_def.fixed; alt = []; latency }
+  | Instruction.Store ->
+    let wide = i.data_class <> Instruction.Gpr in
+    let fixed =
+      [ usage Pipe.Lsu 1.0;
+        usage Pipe.Store_port (if wide then 2.08 else 1.0) ]
+      @ (if wide then [ usage Pipe.Vsu 0.5 ] else [])
+      @ (if needs_fixup then [ usage Pipe.Update_port 1.0 ] else [])
+    in
+    { Uarch_def.fixed; alt = []; latency = 1 }
+  | Instruction.No_mem ->
+    invalid_arg "Power7.mem_resources: not a memory instruction"
+
+let class_resources (i : Instruction.t) =
+  match i.exec_class with
+  | Instruction.Simple_int ->
+    (* Executable by the FXU or, with a small penalty, the LSU's simple
+       ALU — giving the ~3.5 combined IPC of the paper's Table 3. *)
+    { Uarch_def.fixed = [];
+      alt = [ usage Pipe.Fxu 1.0; usage Pipe.Lsu 1.3 ];
+      latency = 1 }
+  | Instruction.Complex_int ->
+    { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 2 }
+  | Instruction.Mul_int ->
+    { fixed = [ usage Pipe.Fxu 1.43 ]; alt = []; latency = 5 }
+  | Instruction.Div_int ->
+    { fixed = [ usage Pipe.Fxu 13.0 ]; alt = []; latency = 26 }
+  | Instruction.Fp_arith | Instruction.Vec_arith | Instruction.Vec_logic ->
+    { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 6 }
+  | Instruction.Fp_fma | Instruction.Vec_fma ->
+    { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 6 }
+  | Instruction.Fp_heavy ->
+    { fixed = [ usage Pipe.Vsu 17.0 ]; alt = []; latency = 30 }
+  | Instruction.Dec_arith ->
+    { fixed = [ usage Pipe.Vsu 2.0 ]; alt = []; latency = 13 }
+  | Instruction.Cmp_op ->
+    { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 1 }
+  | Instruction.Branch_op ->
+    { fixed = [ usage Pipe.Bru 1.0 ]; alt = []; latency = 1 }
+  | Instruction.Nop_op -> { fixed = []; alt = []; latency = 1 }
+  | Instruction.Mem_op -> mem_resources i
+
+let resources (i : Instruction.t) =
+  match List.assoc_opt i.mnemonic overrides with
+  | Some r -> r
+  | None -> class_resources i
+
+let define () =
+  let isa = Power_isa.load () in
+  let caches =
+    [
+      Cache_geometry.make ~level:Cache_geometry.L1 ~size_bytes:(32 * 1024)
+        ~associativity:8 ~line_bytes:128 ~latency_cycles:3;
+      Cache_geometry.make ~level:Cache_geometry.L2 ~size_bytes:(256 * 1024)
+        ~associativity:8 ~line_bytes:128 ~latency_cycles:12;
+      Cache_geometry.make ~level:Cache_geometry.L3 ~size_bytes:(4 * 1024 * 1024)
+        ~associativity:8 ~line_bytes:128 ~latency_cycles:28;
+    ]
+  in
+  let def =
+    {
+      Uarch_def.name = "POWER7";
+      max_cores = 8;
+      smt_modes = [ 1; 2; 4 ];
+      dispatch_width = 6;
+      completion_width = 6;
+      window = 48;
+      pipes =
+        [ (Pipe.Fxu, 2); (Pipe.Lsu, 2); (Pipe.Vsu, 2); (Pipe.Bru, 1);
+          (Pipe.Store_port, 1); (Pipe.Update_port, 1) ];
+      caches;
+      mem_latency = 180;
+      mem_bw_lines_per_cycle = 0.45;
+      freq_ghz = 3.0;
+      unit_area_mm2 =
+        [ (Pipe.FXU, 9.5); (Pipe.LSU, 14.0); (Pipe.VSU, 18.5); (Pipe.BRU, 3.0) ];
+      pmcs = Pmc.all;
+      resources;
+    }
+  in
+  Hashtbl.replace isa_table def.name isa;
+  def
+
+let isa (def : Uarch_def.t) =
+  match Hashtbl.find_opt isa_table def.name with
+  | Some isa -> isa
+  | None -> Power_isa.load ()

@@ -1,0 +1,14 @@
+(** The POWER7 micro-architecture definition used throughout the paper:
+    8 cores, SMT modes 1/2/4, 2×FXU + 2×LSU + 2×VSU pipes per core,
+    32KB L1D / 256KB L2 / 4MB local L3 slice, 128-byte lines.
+
+    Occupancies and latencies are set so that the *measured* per-class
+    steady-state IPCs match the paper's Table 3 (e.g. simple integer
+    ≈3.5, FXU-only ≈2.0, loads ≈1.68, update-form loads ≈1.0,
+    vector/FP stores ≈0.48). *)
+
+val define : unit -> Uarch_def.t
+(** Fresh definition bound to a fresh copy of the shipped ISA. *)
+
+val isa : Uarch_def.t -> Mp_isa.Isa_def.t
+(** The ISA a definition built by [define] is bound to. *)

@@ -1,0 +1,77 @@
+type usage = { pipe : Pipe.t; occupancy : float }
+
+type resources = { fixed : usage list; alt : usage list; latency : int }
+
+type config = { cores : int; smt : int }
+
+type t = {
+  name : string;
+  max_cores : int;
+  smt_modes : int list;
+  dispatch_width : int;
+  completion_width : int;
+  window : int;
+  pipes : (Pipe.t * int) list;
+  caches : Cache_geometry.t list;
+  mem_latency : int;
+  mem_bw_lines_per_cycle : float;
+  freq_ghz : float;
+  unit_area_mm2 : (Pipe.unit_kind * float) list;
+  pmcs : Pmc.id list;
+  resources : Mp_isa.Instruction.t -> resources;
+}
+
+let pipe_count t p =
+  match List.assoc_opt p t.pipes with None -> 0 | Some n -> n
+
+let cache t level =
+  List.find (fun (g : Cache_geometry.t) -> g.level = level) t.caches
+
+let level_latency t = function
+  | Cache_geometry.MEM -> t.mem_latency
+  | level -> (cache t level).latency_cycles
+
+let units_stressed t ins =
+  let r = t.resources ins in
+  let used =
+    List.map (fun u -> Pipe.parent_unit u.pipe) r.fixed
+    @ (match r.alt with [] -> [] | u :: _ -> [ Pipe.parent_unit u.pipe ])
+  in
+  List.sort_uniq Pipe.compare_unit used
+
+let stresses t ins unit = List.mem unit (units_stressed t ins)
+
+let peak_ipc t ins =
+  let r = t.resources ins in
+  let rate u =
+    let n = pipe_count t u.pipe in
+    if n = 0 || u.occupancy <= 0.0 then infinity
+    else float_of_int n /. u.occupancy
+  in
+  let fixed_rate =
+    List.fold_left (fun acc u -> Float.min acc (rate u)) infinity r.fixed
+  in
+  let alt_rate =
+    match r.alt with
+    | [] -> infinity
+    | alts -> List.fold_left (fun acc u -> acc +. rate u) 0.0 alts
+  in
+  Float.min (float_of_int t.dispatch_width) (Float.min fixed_rate alt_rate)
+
+let config ~cores ~smt t =
+  if cores < 1 || cores > t.max_cores then
+    invalid_arg "Uarch_def.config: core count out of range";
+  if not (List.mem smt t.smt_modes) then
+    invalid_arg "Uarch_def.config: unsupported SMT mode";
+  { cores; smt }
+
+let all_configs t =
+  List.concat_map
+    (fun cores -> List.map (fun smt -> { cores; smt }) t.smt_modes)
+    (List.init t.max_cores (fun i -> i + 1))
+
+let threads c = c.cores * c.smt
+
+let config_to_string c = Printf.sprintf "%dc-smt%d" c.cores c.smt
+
+let pp_config ppf c = Format.pp_print_string ppf (config_to_string c)

@@ -1,0 +1,69 @@
+(** Micro-architecture definition module (paper Section 2.1.2).
+
+    Provides the implementation-side information MicroProbe queries
+    during generation: functional units and their multiplicities, the
+    cache hierarchy, the mapping between instructions and the pipes they
+    stress (with per-pipe occupancy and latency), floorplan areas, and
+    the PMC catalogue. *)
+
+type usage = { pipe : Pipe.t; occupancy : float }
+(** One pipe requirement: the pipe is busy for [occupancy] cycles per
+    instance (i.e. sustainable throughput is [pipes / occupancy]). *)
+
+type resources = {
+  fixed : usage list;   (** all of these are needed *)
+  alt : usage list;     (** additionally, exactly one of these (if any) *)
+  latency : int;        (** result latency in cycles (memory ops: on L1 hit) *)
+}
+
+type config = { cores : int; smt : int }
+(** A CMP/SMT operating point: number of enabled cores and SMT mode
+    (hardware threads per core). *)
+
+type t = {
+  name : string;
+  max_cores : int;
+  smt_modes : int list;
+  dispatch_width : int;       (** instructions dispatched per core per cycle *)
+  completion_width : int;
+  window : int;               (** in-flight instructions per hardware thread *)
+  pipes : (Pipe.t * int) list;(** pipe multiplicities per core *)
+  caches : Cache_geometry.t list; (** L1..L3 in hierarchy order *)
+  mem_latency : int;
+  mem_bw_lines_per_cycle : float; (** chip-wide sustainable demand bandwidth *)
+  freq_ghz : float;
+  unit_area_mm2 : (Pipe.unit_kind * float) list; (** floorplan areas *)
+  pmcs : Pmc.id list;
+  resources : Mp_isa.Instruction.t -> resources;
+}
+
+val pipe_count : t -> Pipe.t -> int
+
+val cache : t -> Cache_geometry.level -> Cache_geometry.t
+(** Raises [Not_found] for [MEM]. *)
+
+val level_latency : t -> Cache_geometry.level -> int
+(** Load-to-use latency per data source level ([MEM] included). *)
+
+val units_stressed : t -> Mp_isa.Instruction.t -> Pipe.unit_kind list
+(** The paper's [ins.stress(arch.comps\["VSU"\])] query: functional
+    units an instruction exercises, deduplicated, in canonical order.
+    For [alt] resources the preferred (first) pipe is reported. *)
+
+val stresses : t -> Mp_isa.Instruction.t -> Pipe.unit_kind -> bool
+
+val peak_ipc : t -> Mp_isa.Instruction.t -> float
+(** Static sustainable throughput of a loop of independent copies of
+    the instruction on one thread: min over required pipes of
+    [count/occupancy], capped by the dispatch width. *)
+
+val config : cores:int -> smt:int -> t -> config
+(** Validated constructor; raises [Invalid_argument] for out-of-range
+    core counts or unsupported SMT modes. *)
+
+val all_configs : t -> config list
+(** Every (cores, smt) operating point, cores-major. *)
+
+val threads : config -> int
+val config_to_string : config -> string
+val pp_config : Format.formatter -> config -> unit

@@ -1,0 +1,42 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers =
+  if headers = [] then invalid_arg "Csv.create: no headers";
+  { headers; rows = [] }
+
+let width t = List.length t.headers
+
+let pad t cells =
+  let n = width t in
+  let len = List.length cells in
+  if len >= n then List.filteri (fun i _ -> i < n) cells
+  else cells @ List.init (n - len) (fun _ -> "")
+
+let add_row t cells = t.rows <- pad t cells :: t.rows
+
+let add_floats t xs = add_row t (List.map (Printf.sprintf "%.6g") xs)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render t =
+  let line cells = String.concat "," (List.map quote cells) in
+  String.concat "\n" (line t.headers :: List.rev_map line t.rows) ^ "\n"
+
+let save t file =
+  let oc = open_out file in
+  output_string oc (render t);
+  close_out oc

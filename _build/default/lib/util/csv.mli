@@ -1,0 +1,20 @@
+(** Minimal CSV emission (RFC-4180-style quoting) for exporting
+    experiment series to external plotting tools. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a document. *)
+
+val add_row : t -> string list -> unit
+(** Rows are padded/truncated to the header width. *)
+
+val add_floats : t -> float list -> unit
+(** Convenience: a row of numbers. *)
+
+val render : t -> string
+(** The document, header first, [\n]-separated, fields quoted when they
+    contain commas, quotes or newlines. *)
+
+val save : t -> string -> unit
+(** Write to a file. *)

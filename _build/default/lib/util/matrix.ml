@@ -1,0 +1,145 @@
+type t = { m : int; n : int; data : float array }
+
+let create m n =
+  if m <= 0 || n <= 0 then invalid_arg "Matrix.create: non-positive dims";
+  { m; n; data = Array.make (m * n) 0.0 }
+
+let rows a = a.m
+let cols a = a.n
+let get a i j = a.data.((i * a.n) + j)
+let set a i j v = a.data.((i * a.n) + j) <- v
+
+let of_arrays rows_ =
+  let m = Array.length rows_ in
+  if m = 0 then invalid_arg "Matrix.of_arrays: empty";
+  let n = Array.length rows_.(0) in
+  let a = create m n in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then invalid_arg "Matrix.of_arrays: ragged";
+      Array.iteri (fun j v -> set a i j v) row)
+    rows_;
+  a
+
+let identity n =
+  let a = create n n in
+  for i = 0 to n - 1 do
+    set a i i 1.0
+  done;
+  a
+
+let transpose a =
+  let t = create a.n a.m in
+  for i = 0 to a.m - 1 do
+    for j = 0 to a.n - 1 do
+      set t j i (get a i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.n <> b.m then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create a.m b.n in
+  for i = 0 to a.m - 1 do
+    for k = 0 to a.n - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.n - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let mul_vec a v =
+  if a.n <> Array.length v then invalid_arg "Matrix.mul_vec: dim mismatch";
+  Array.init a.m (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.n - 1 do
+        acc := !acc +. (get a i j *. v.(j))
+      done;
+      !acc)
+
+let add a b =
+  if a.m <> b.m || a.n <> b.n then invalid_arg "Matrix.add: dim mismatch";
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let scale k a = { a with data = Array.map (fun x -> k *. x) a.data }
+
+let solve a b =
+  if a.m <> a.n then invalid_arg "Matrix.solve: not square";
+  if a.m <> Array.length b then invalid_arg "Matrix.solve: rhs mismatch";
+  let n = a.n in
+  let aug = Array.init n (fun i ->
+      Array.init (n + 1) (fun j -> if j = n then b.(i) else get a i j))
+  in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: move the largest remaining entry to the diagonal. *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs aug.(r).(col) > Float.abs aug.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs aug.(!pivot).(col) < 1e-12 then failwith "Matrix.solve: singular";
+    if !pivot <> col then begin
+      let tmp = aug.(col) in
+      aug.(col) <- aug.(!pivot);
+      aug.(!pivot) <- tmp
+    end;
+    for r = col + 1 to n - 1 do
+      let f = aug.(r).(col) /. aug.(col).(col) in
+      if f <> 0.0 then
+        for j = col to n do
+          aug.(r).(j) <- aug.(r).(j) -. (f *. aug.(col).(j))
+        done
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let acc = ref aug.(i).(n) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (aug.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !acc /. aug.(i).(i)
+  done;
+  x
+
+let ols ?(ridge = 1e-9) x y =
+  if x.m <> Array.length y then invalid_arg "Matrix.ols: rhs mismatch";
+  let xt = transpose x in
+  let xtx = mul xt x in
+  for i = 0 to xtx.m - 1 do
+    set xtx i i (get xtx i i +. ridge)
+  done;
+  let xty = mul_vec xt y in
+  solve xtx xty
+
+let nnls ?(iterations = 2000) x y =
+  let n = x.n in
+  let xt = transpose x in
+  let xtx = mul xt x in
+  let xty = mul_vec xt y in
+  let beta = Array.make n 0.0 in
+  (* Coordinate descent on the normal equations, clamping at zero.  The
+     objective is convex so the sweep order does not affect the fixpoint. *)
+  for _ = 1 to iterations do
+    for j = 0 to n - 1 do
+      let qjj = get xtx j j in
+      if qjj > 1e-12 then begin
+        let acc = ref xty.(j) in
+        for k = 0 to n - 1 do
+          if k <> j then acc := !acc -. (get xtx j k *. beta.(k))
+        done;
+        beta.(j) <- Float.max 0.0 (!acc /. qjj)
+      end
+    done
+  done;
+  beta
+
+let pp ppf a =
+  for i = 0 to a.m - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to a.n - 1 do
+      Format.fprintf ppf " %8.4f" (get a i j)
+    done;
+    Format.fprintf ppf " ]@."
+  done

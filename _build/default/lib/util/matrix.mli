@@ -1,0 +1,39 @@
+(** Small dense linear algebra: enough for the ordinary-least-squares
+    regressions of the power-modeling case study. *)
+
+type t
+(** A dense row-major matrix of floats. *)
+
+val create : int -> int -> t
+(** [create rows cols] is a zero matrix. *)
+
+val of_arrays : float array array -> t
+(** Rows must be non-empty and of equal length. The input is copied. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val identity : int -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+val add : t -> t -> t
+val scale : float -> t -> t
+
+val solve : t -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] when [a] is singular. *)
+
+val ols : ?ridge:float -> t -> float array -> float array
+(** [ols x y] returns coefficients [beta] minimising [|x beta - y|^2]
+    via the normal equations. [ridge] (default [1e-9]) is added to the
+    diagonal for numerical stability of near-collinear designs. *)
+
+val nnls : ?iterations:int -> t -> float array -> float array
+(** Non-negative least squares by projected coordinate descent — the
+    power-component weights of a bottom-up model must not be negative.
+    [iterations] defaults to 2000 sweeps. *)
+
+val pp : Format.formatter -> t -> unit

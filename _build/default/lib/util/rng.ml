@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let int g bound =
+  assert (bound > 0);
+  (* mask to 62 bits so the OCaml-int truncation cannot go negative *)
+  let r = Int64.to_int (bits64 g) land max_int in
+  r mod bound
+
+let int_in g lo hi =
+  assert (hi >= lo);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits mapped to [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let gaussian g ~mu ~sigma =
+  let rec nonzero () =
+    let u = float g 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float g 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let choose_list g l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth l (int g (List.length l))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle g l =
+  let a = Array.of_list l in
+  shuffle_in_place g a;
+  Array.to_list a
+
+let weighted_index g w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "Rng.weighted_index: non-positive total";
+  let target = float g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the framework (micro-benchmark
+    randomisation, genetic search, sensor noise, workload phases) flows
+    through this module so that every experiment is reproducible from a
+    seed.  The generator is SplitMix64: fast, splittable and with
+    well-understood statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing no state with the original. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate via Box–Muller. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val weighted_index : t -> float array -> int
+(** [weighted_index g w] picks index [i] with probability proportional
+    to [w.(i)]. Weights must be non-negative with a positive sum. *)

@@ -1,0 +1,87 @@
+let sum = Array.fold_left ( +. ) 0.0
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: bad p";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.0
+
+let check_pair actual predicted =
+  let n = Array.length actual in
+  if n = 0 || n <> Array.length predicted then
+    invalid_arg "Stats: mismatched or empty series"
+
+let paae ~actual ~predicted =
+  check_pair actual predicted;
+  let n = Array.length actual in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if actual.(i) <= 0.0 then invalid_arg "Stats.paae: non-positive actual";
+    acc := !acc +. (Float.abs (predicted.(i) -. actual.(i)) /. actual.(i))
+  done;
+  !acc /. float_of_int n *. 100.0
+
+let max_abs_pct_error ~actual ~predicted =
+  check_pair actual predicted;
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      if a <= 0.0 then invalid_arg "Stats.max_abs_pct_error: non-positive";
+      let e = Float.abs (predicted.(i) -. a) /. a *. 100.0 in
+      if e > !worst then worst := e)
+    actual;
+  !worst
+
+let pearson xs ys =
+  check_pair xs ys;
+  let mx = mean xs and my = mean ys in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let a = x -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b))
+    xs;
+  if !dx = 0.0 || !dy = 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+
+let normalize_to r xs =
+  let _, hi = min_max xs in
+  if hi = 0.0 then Array.copy xs else Array.map (fun x -> x /. hi *. r) xs
+
+let converged ?(tolerance = 0.01) xs =
+  if Array.length xs < 2 then false
+  else
+    let lo, hi = min_max xs in
+    let m = mean xs in
+    m <> 0.0 && (hi -. lo) /. Float.abs m < tolerance

@@ -1,0 +1,39 @@
+(** Descriptive statistics and error metrics used across the framework. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]]; linear interpolation
+    between order statistics. Raises on an empty array. *)
+
+val median : float array -> float
+
+val sum : float array -> float
+
+val paae : actual:float array -> predicted:float array -> float
+(** Percentage average absolute error, the paper's accuracy metric:
+    mean over samples of [|pred - act| / act * 100]. Arrays must have
+    equal non-zero length and positive actuals. *)
+
+val max_abs_pct_error : actual:float array -> predicted:float array -> float
+(** Maximum per-sample absolute percentage error. *)
+
+val pearson : float array -> float array -> float
+(** Correlation coefficient; 0 when either side has zero variance. *)
+
+val normalize_to : float -> float array -> float array
+(** [normalize_to r xs] scales so that the maximum maps to [r]. *)
+
+val converged : ?tolerance:float -> float array -> bool
+(** [converged ~tolerance xs] is true when the relative spread
+    (max-min)/mean of the samples is below [tolerance] (default 0.01).
+    Used for steady-state detection of simulated runs. *)

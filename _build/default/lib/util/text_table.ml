@@ -1,0 +1,56 @@
+type row = Cells of string array | Separator
+
+type t = { headers : string array; mutable rows : row list }
+
+let create headers = { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let cells = Array.of_list cells in
+  if Array.length cells > n then invalid_arg "Text_table.add_row: too wide";
+  let padded = Array.make n "" in
+  Array.blit cells 0 padded 0 (Array.length cells);
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cs ->
+        Array.iteri
+          (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+          cs)
+    rows;
+  let buf = Buffer.create 1024 in
+  let emit_cells cs =
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      let c = cs.(i) in
+      Buffer.add_string buf c;
+      Buffer.add_string buf (String.make (widths.(i) - String.length c) ' ')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let total = Array.fold_left ( + ) (2 * (n - 1)) widths in
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Separator ->
+        Buffer.add_string buf (String.make total '-');
+        Buffer.add_char buf '\n'
+      | Cells cs -> emit_cells cs)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_f ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+
+let cell_pct ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals v

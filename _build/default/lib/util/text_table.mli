@@ -1,0 +1,25 @@
+(** Aligned plain-text tables for experiment output (the bench harness
+    prints paper tables/figures as text). *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded; longer rows raise. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with column alignment and an underlined header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell, default 3 decimals. *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a percentage cell with a trailing [%], default 1 decimal. *)

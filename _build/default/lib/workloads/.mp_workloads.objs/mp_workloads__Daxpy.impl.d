@@ -1,0 +1,1 @@
+lib/workloads/daxpy.ml: Arch Builder List Mp_codegen Mp_uarch Passes Printf Synthesizer

@@ -1,0 +1,1 @@
+lib/workloads/daxpy.mli: Mp_codegen

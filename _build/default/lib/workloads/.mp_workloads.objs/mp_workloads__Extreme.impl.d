@@ -1,0 +1,1 @@
+lib/workloads/extreme.ml: Arch Builder Ir List Mp_codegen Mp_uarch Passes Synthesizer

@@ -1,0 +1,1 @@
+lib/workloads/extreme.mli: Mp_codegen

@@ -1,0 +1,1 @@
+lib/workloads/profile.ml: Arch Builder Float Isa_def List Mp_codegen Mp_isa Mp_uarch Mp_util Passes Synthesizer

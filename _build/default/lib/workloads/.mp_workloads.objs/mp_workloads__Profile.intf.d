@@ -1,0 +1,1 @@
+lib/workloads/profile.mli: Mp_codegen Mp_uarch Mp_util

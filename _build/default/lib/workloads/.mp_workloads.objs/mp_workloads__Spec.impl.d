@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Arch Builder Hashtbl Ir List Mp_codegen Mp_sim Mp_uarch Mp_util Passes Printf Profile Synthesizer

@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Mp_codegen Mp_sim Mp_uarch

@@ -1,0 +1,1 @@
+lib/workloads/training.ml: Arch Array Builder Float Hashtbl Instruction Ir List Mp_codegen Mp_dse Mp_isa Mp_sim Mp_uarch Mp_util Passes Printf Synthesizer

@@ -1,0 +1,23 @@
+open Mp_codegen
+
+let kernel ~arch ~unroll ?(size = 1024) () =
+  if unroll < 1 then invalid_arg "Daxpy.kernel: unroll";
+  let lfd = Arch.find_instruction arch "lfd" in
+  let fmadd = Arch.find_instruction arch "fmadd" in
+  let stfd = Arch.find_instruction arch "stfd" in
+  let group = [ lfd; lfd; fmadd; stfd ] in
+  let pattern = List.concat (List.init unroll (fun _ -> group)) in
+  let name = Printf.sprintf "daxpy-u%d" unroll in
+  let synth = Synthesizer.create ~name arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_sequence pattern);
+  Synthesizer.add_pass synth
+    (Passes.memory_model [ (Mp_uarch.Cache_geometry.L1, 1.0) ]);
+  (* the fmadd consumes the loads two instructions back: short-range flow *)
+  Synthesizer.add_pass synth (Passes.dependency (Builder.Fixed 2));
+  Synthesizer.add_pass synth (Passes.init_registers Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.rename name);
+  Synthesizer.synthesize ~seed:5150 synth
+
+let variants ~arch ?size () =
+  List.map (fun u -> kernel ~arch ~unroll:u ?size ()) [ 1; 2; 4; 8 ]

@@ -1,0 +1,11 @@
+(** DAXPY kernels (y\[i\] ← a·x\[i\] + y\[i\]) with L1-contained
+    footprints — the conventional hand-written stressmark the paper
+    compares against in Figure 9. *)
+
+val kernel :
+  arch:Mp_codegen.Arch.t -> unroll:int -> ?size:int -> unit -> Mp_codegen.Ir.t
+(** A loop of [unroll]-times-unrolled load-load-fmadd-store groups,
+    all hitting the L1, with the natural loop-carried data flow. *)
+
+val variants : arch:Mp_codegen.Arch.t -> ?size:int -> unit -> Mp_codegen.Ir.t list
+(** Unroll factors 1, 2, 4 and 8 (different L1 footprints/ILP). *)

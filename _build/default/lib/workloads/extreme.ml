@@ -1,0 +1,38 @@
+open Mp_codegen
+
+type case = { name : string; program : Ir.t }
+
+let make ~arch ~size ~name ~mnemonics ~dep ?mem_mix () =
+  let pool = List.map (Arch.find_instruction arch) mnemonics in
+  let synth = Synthesizer.create ~name arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_uniform pool);
+  (match mem_mix with
+   | None -> ()
+   | Some mix -> Synthesizer.add_pass synth (Passes.memory_model mix));
+  Synthesizer.add_pass synth (Passes.dependency dep);
+  Synthesizer.add_pass synth (Passes.init_registers Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.rename name);
+  { name; program = Synthesizer.synthesize ~seed:1234 synth }
+
+let cases ~arch ?(size = 1024) () =
+  let l1 = [ (Mp_uarch.Cache_geometry.L1, 1.0) ] in
+  let memo = [ (Mp_uarch.Cache_geometry.MEM, 1.0) ] in
+  [
+    (* maximum integer activity: independent simple+complex ops *)
+    make ~arch ~size ~name:"FXU High"
+      ~mnemonics:[ "add"; "subf"; "xor"; "addic"; "mulld" ]
+      ~dep:Builder.No_deps ();
+    (* minimum integer activity: one long dependence chain *)
+    make ~arch ~size ~name:"FXU Low" ~mnemonics:[ "mulld" ]
+      ~dep:(Builder.Fixed 1) ();
+    make ~arch ~size ~name:"VSU High"
+      ~mnemonics:[ "xvmaddadp"; "xvmuldp"; "xsadddp"; "xvnmsubmdp" ]
+      ~dep:Builder.No_deps ();
+    make ~arch ~size ~name:"VSU Low" ~mnemonics:[ "fdiv" ]
+      ~dep:(Builder.Fixed 1) ();
+    make ~arch ~size ~name:"L1 ld" ~mnemonics:[ "lbz"; "lwz"; "ld" ]
+      ~dep:Builder.No_deps ~mem_mix:l1 ();
+    make ~arch ~size ~name:"MEM" ~mnemonics:[ "ld"; "ldx"; "lfd" ]
+      ~dep:Builder.No_deps ~mem_mix:memo ();
+  ]

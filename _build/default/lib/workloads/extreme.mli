@@ -1,0 +1,12 @@
+(** The extreme activity cases of the paper's Figure 7: short periods
+    of single-flavour activity that workload-trained models mispredict
+    (high/low FXU, high/low VSU, L1-loads-only, memory-only). *)
+
+type case = {
+  name : string;
+  program : Mp_codegen.Ir.t;
+}
+
+val cases : arch:Mp_codegen.Arch.t -> ?size:int -> unit -> case list
+(** The six cases, deterministic ([size] default 1024):
+    ["FXU High"; "FXU Low"; "VSU High"; "VSU Low"; "L1 ld"; "MEM"]. *)

@@ -1,0 +1,108 @@
+open Mp_codegen
+open Mp_isa
+
+type t = {
+  simple_int : float;
+  complex_int : float;
+  mul : float;
+  fp : float;
+  vec : float;
+  load : float;
+  store : float;
+  branch_freq : float;
+  taken_ratio : float;
+  mem_mix : (Mp_uarch.Cache_geometry.level * float) list;
+  dep : Builder.dep_mode;
+}
+
+let balanced =
+  {
+    simple_int = 0.30;
+    complex_int = 0.10;
+    mul = 0.05;
+    fp = 0.10;
+    vec = 0.05;
+    load = 0.25;
+    store = 0.10;
+    branch_freq = 0.05;
+    taken_ratio = 0.7;
+    mem_mix =
+      [ (Mp_uarch.Cache_geometry.L1, 0.85); (Mp_uarch.Cache_geometry.L2, 0.10);
+        (Mp_uarch.Cache_geometry.L3, 0.04); (Mp_uarch.Cache_geometry.MEM, 0.01) ];
+    dep = Builder.Random_range (1, 8);
+  }
+
+let perturb rng ~strength p =
+  let j w =
+    let f = 1.0 +. ((Mp_util.Rng.float rng 2.0 -. 1.0) *. strength) in
+    Float.max 0.0 (w *. f)
+  in
+  {
+    p with
+    simple_int = j p.simple_int;
+    complex_int = j p.complex_int;
+    mul = j p.mul;
+    fp = j p.fp;
+    vec = j p.vec;
+    load = j p.load;
+    store = j p.store;
+    mem_mix = List.map (fun (l, w) -> (l, Float.max 0.001 (j w))) p.mem_mix;
+  }
+
+(* Candidate pools per class; weight is split uniformly inside a pool. *)
+let pool arch names =
+  List.filter_map (Isa_def.find arch.Arch.isa) names
+
+let simple_pool arch =
+  pool arch [ "add"; "and"; "or"; "xor"; "nor"; "addi"; "ori"; "neg" ]
+
+let complex_pool arch =
+  pool arch [ "subf"; "addic"; "extsw"; "cntlzd"; "rldicl"; "slw"; "srad"; "popcntd" ]
+
+let mul_pool arch = pool arch [ "mulld"; "mullw"; "mulhw"; "mulli" ]
+
+let fp_pool arch = pool arch [ "fadd"; "fmul"; "fmadd"; "fmsub"; "xsadddp"; "xsmuldp" ]
+
+let vec_pool arch =
+  pool arch [ "xvmaddadp"; "xvadddp"; "xvmuldp"; "vadduwm"; "vand"; "xxlxor" ]
+
+let load_pool arch =
+  pool arch [ "lbz"; "lwz"; "ld"; "ldx"; "lhz"; "lfd"; "lfdx"; "lxvd2x" ]
+
+let store_pool arch = pool arch [ "stw"; "std"; "stdx"; "stb"; "stfd"; "stxvd2x" ]
+
+let weighted_pool pool w =
+  match pool with
+  | [] -> []
+  | _ ->
+    let each = w /. float_of_int (List.length pool) in
+    List.map (fun i -> (i, each)) pool
+
+let program ~arch ~name ~seed ?(size = 1024) p =
+  let weighted =
+    weighted_pool (simple_pool arch) p.simple_int
+    @ weighted_pool (complex_pool arch) p.complex_int
+    @ weighted_pool (mul_pool arch) p.mul
+    @ weighted_pool (fp_pool arch) p.fp
+    @ weighted_pool (vec_pool arch) p.vec
+    @ weighted_pool (load_pool arch) p.load
+    @ weighted_pool (store_pool arch) p.store
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Profile.program: zero weights";
+  let synth = Synthesizer.create ~name arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_weighted weighted);
+  if p.branch_freq > 0.0 then
+    Synthesizer.add_pass synth
+      (Passes.branch_model
+         ~bc:(Arch.find_instruction arch "bc")
+         ~frequency:p.branch_freq ~taken_ratio:p.taken_ratio
+         ~pattern_length:16);
+  if p.load +. p.store > 0.0 then
+    Synthesizer.add_pass synth (Passes.memory_model p.mem_mix);
+  Synthesizer.add_pass synth (Passes.dependency p.dep);
+  Synthesizer.add_pass synth (Passes.init_registers Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.init_immediates Builder.Random_values);
+  Synthesizer.add_pass synth (Passes.rename name);
+  Synthesizer.synthesize ~seed synth

@@ -1,0 +1,35 @@
+(** Workload activity profiles: the parameter vector from which
+    synthetic SPEC-surrogate phases and extreme-case loads are
+    generated. *)
+
+type t = {
+  simple_int : float;   (** instruction-class weights (relative) *)
+  complex_int : float;
+  mul : float;
+  fp : float;
+  vec : float;
+  load : float;
+  store : float;
+  branch_freq : float;  (** fraction of slots turned into conditional branches *)
+  taken_ratio : float;
+  mem_mix : (Mp_uarch.Cache_geometry.level * float) list;
+      (** data-source distribution of the memory instructions *)
+  dep : Mp_codegen.Builder.dep_mode;  (** ILP model *)
+}
+
+val balanced : t
+(** A mid-of-the-road reference profile. *)
+
+val perturb : Mp_util.Rng.t -> strength:float -> t -> t
+(** Randomly scale the class weights by up to ±[strength] (relative)
+    and jitter the memory mix — used to derive per-phase variation. *)
+
+val program :
+  arch:Mp_codegen.Arch.t ->
+  name:string ->
+  seed:int ->
+  ?size:int ->
+  t ->
+  Mp_codegen.Ir.t
+(** Generate one endless-loop micro-benchmark realising the profile
+    (default [size] 1024). Weights that are all zero raise. *)

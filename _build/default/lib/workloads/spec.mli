@@ -1,0 +1,32 @@
+(** SPEC CPU2006 surrogate suite.
+
+    The paper uses SPEC CPU2006 as the model-validation population and
+    the max-power baseline. Real SPEC binaries cannot run on the
+    simulated machine, so each of the 29 benchmarks is replaced by a
+    deterministic synthetic surrogate: a multi-phase mixture of
+    generated micro-benchmarks whose activity profile follows the
+    benchmark's published characterisation (integer vs floating point,
+    branchiness, cache-residency, memory-boundedness). See DESIGN.md. *)
+
+type benchmark = {
+  name : string;
+  integer : bool;            (** CINT (true) vs CFP component *)
+  phases : (Mp_codegen.Ir.t * float) list;  (** program, duration weight *)
+}
+
+val names : string list
+(** The 29 benchmark names, suite order. *)
+
+val suite : arch:Mp_codegen.Arch.t -> ?size:int -> unit -> benchmark list
+(** Generate the full surrogate suite (deterministic; [size] is the
+    per-phase loop size, default 1024). *)
+
+val benchmark : arch:Mp_codegen.Arch.t -> ?size:int -> string -> benchmark
+(** One benchmark by name; raises [Not_found] for unknown names. *)
+
+val run :
+  machine:Mp_sim.Machine.t ->
+  config:Mp_uarch.Uarch_def.config ->
+  benchmark ->
+  Mp_sim.Measurement.t
+(** Measure a benchmark (its phases weighted) on a configuration. *)

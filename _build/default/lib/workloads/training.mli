@@ -1,0 +1,73 @@
+(** The Table-2 training suite: the micro-architecture-aware
+    micro-benchmark population that trains the bottom-up power model.
+
+    Unit-stressing families sweep IPC targets using the integrated
+    GA-based design-space exploration (genome: instruction-mix weights
+    plus dependency distance); memory families realise exact hierarchy
+    distributions through the analytical cache model with no search at
+    all; the random family enriches the population (and calibrates the
+    model intercept). *)
+
+type entry = {
+  program : Mp_codegen.Ir.t;
+  target_ipc : float option;
+  achieved_ipc : float;  (** measured on 1 core, SMT1 *)
+}
+
+type family = {
+  family_name : string;
+  units : string;        (** Table 2's "Units stressed" column *)
+  description : string;
+  entries : entry list;
+}
+
+val ipc_family :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  name:string ->
+  units:string ->
+  description:string ->
+  candidates:Mp_isa.Instruction.t list ->
+  targets:float list ->
+  ?size:int ->
+  ?population:int ->
+  ?generations:int ->
+  unit ->
+  family
+(** One GA search per target IPC; fitness is negative absolute IPC
+    error measured on the machine (1 core, SMT1). *)
+
+val memory_family :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  name:string ->
+  description:string ->
+  loads_only:bool ->
+  distribution:(Mp_uarch.Cache_geometry.level * float) list ->
+  count:int ->
+  ?size:int ->
+  unit ->
+  family
+(** [count] seeds of a random load(/store) mix bound to the
+    distribution by the analytical model. *)
+
+val random_family :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  count:int ->
+  ?size:int ->
+  unit ->
+  family
+(** Random micro-benchmarks: random usable-instruction mix, random
+    dependency mode, random memory distribution. *)
+
+val table2 :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?quick:bool ->
+  unit ->
+  family list
+(** The full paper suite (21 families, ≈590 benchmarks). [quick]
+    shrinks sweeps and counts by ~4x for tests. *)
+
+val all_entries : family list -> entry list

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Arch Array Builder Emit Instruction Ir List Mp_codegen Mp_isa Mp_uarch Mp_util Passes QCheck QCheck_alcotest Reg Reg_alloc String Synthesizer

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Driver Exhaustive Float Gen Genetic List Mp_dse Mp_util QCheck QCheck_alcotest Random_search Space

@@ -1,0 +1,1 @@
+test/test_epi.ml: Alcotest Arch Array Float List Mp_codegen Mp_epi Mp_isa Mp_sim Mp_uarch Pipe QCheck QCheck_alcotest

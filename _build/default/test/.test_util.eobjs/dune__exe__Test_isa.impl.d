@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Disasm Hashtbl Instruction Isa_def List Mp_isa Mp_util Power_isa QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Cache_geometry Hashtbl List Mp_mem Mp_sim Mp_uarch Mp_util Option Power7 Uarch_def

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Cache_geometry List Machine Measurement Mp_codegen Mp_isa Mp_model Mp_sim Mp_uarch Mp_util Option Power7 Printf Uarch_def

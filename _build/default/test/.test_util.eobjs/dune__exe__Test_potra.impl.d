@@ -1,0 +1,1 @@
+test/test_potra.ml: Alcotest Array Gen List Mp_potra Mp_util QCheck QCheck_alcotest Trace

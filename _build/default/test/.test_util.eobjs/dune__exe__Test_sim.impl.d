@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Array Builder Cache_sim Float Machine Measurement Mp_codegen Mp_isa Mp_sim Mp_uarch Mp_util Option Passes Printf QCheck QCheck_alcotest Synthesizer

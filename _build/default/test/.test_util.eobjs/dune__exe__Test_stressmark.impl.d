@@ -1,0 +1,1 @@
+test/test_stressmark.ml: Alcotest Arch Cache_geometry Float Ir List Mp_codegen Mp_epi Mp_isa Mp_sim Mp_stressmark Mp_uarch Pipe Uarch_def

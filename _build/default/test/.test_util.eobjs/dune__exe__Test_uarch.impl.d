@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Cache_geometry List Mp_isa Mp_uarch Pipe Pmc Power7 QCheck QCheck_alcotest String Uarch_def

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Float Gen List Matrix Mp_util QCheck QCheck_alcotest Rng Stats String Text_table

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Arch Cache_geometry Float Ir List Mp_codegen Mp_isa Mp_sim Mp_uarch Mp_util Mp_workloads Printf Uarch_def

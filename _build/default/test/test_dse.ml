@@ -1,0 +1,179 @@
+(* Tests for the design-space exploration module. *)
+
+open Mp_dse
+
+(* ----- space combinators ----------------------------------------------------- *)
+
+let test_cartesian () =
+  let pts = Space.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ] in
+  Alcotest.(check int) "2x3" 6 (List.length pts);
+  Alcotest.(check bool) "contains [1;4]" true (List.mem [ 1; 4 ] pts);
+  Alcotest.(check int) "empty dims = unit" 1 (List.length (Space.cartesian []))
+
+let test_sequences () =
+  let pts = Space.sequences [ 'a'; 'b'; 'c' ] ~length:6 in
+  Alcotest.(check int) "3^6" 729 (List.length pts);
+  Alcotest.(check int) "size fn" 729 (Space.size_sequences ~alphabet:3 ~length:6);
+  Alcotest.(check int) "distinct" 729
+    (List.length (List.sort_uniq compare pts))
+
+let test_combinations () =
+  let pts = Space.combinations_with_repetition [ 1; 2; 3 ] ~length:2 in
+  Alcotest.(check int) "C(4,2)" 6 (List.length pts);
+  Alcotest.(check int) "size fn" 6 (Space.size_combinations ~alphabet:3 ~length:2);
+  Alcotest.(check bool) "sorted multisets" true
+    (List.for_all (fun l -> List.sort compare l = l) pts)
+
+let test_permutations () =
+  Alcotest.(check int) "3!" 6 (List.length (Space.permutations [ 1; 2; 3 ]));
+  Alcotest.(check int) "multiset distinct" 3
+    (List.length (Space.distinct_permutations [ 1; 1; 2 ]));
+  Alcotest.(check int) "6 over 2,2,2" 90
+    (List.length (Space.distinct_permutations [ 1; 1; 2; 2; 3; 3 ]))
+
+(* ----- drivers ------------------------------------------------------------- *)
+
+let parabola x = -.((float_of_int x -. 17.0) ** 2.0)
+
+let test_exhaustive () =
+  let points = List.init 100 (fun i -> i) in
+  let progress = ref 0 in
+  let r =
+    Exhaustive.search ~on_progress:(fun n _ -> progress := n) ~eval:parabola
+      points
+  in
+  Alcotest.(check int) "best point" 17 r.Driver.best.Driver.point;
+  Alcotest.(check int) "all evaluated" 100 r.Driver.evaluations;
+  Alcotest.(check int) "progress called" 100 !progress;
+  Alcotest.(check bool) "empty space rejected" true
+    (try ignore (Exhaustive.search ~eval:parabola []); false
+     with Invalid_argument _ -> true)
+
+let test_random_search () =
+  let rng = Mp_util.Rng.create 3 in
+  let r =
+    Random_search.search ~rng ~sample:(fun g -> Mp_util.Rng.int g 100)
+      ~eval:parabola ~budget:200
+  in
+  Alcotest.(check int) "budget respected" 200 r.Driver.evaluations;
+  Alcotest.(check bool) "close to optimum" true
+    (abs (r.Driver.best.Driver.point - 17) <= 3)
+
+let test_genetic_beats_random_init () =
+  (* maximise a deceptive-ish multimodal function over ints *)
+  let f x =
+    let x = float_of_int x in
+    (10.0 *. sin (x /. 7.0)) -. (((x -. 120.0) /. 40.0) ** 2.0)
+  in
+  let ops =
+    {
+      Genetic.init = (fun g -> Mp_util.Rng.int g 256);
+      mutate = (fun g x -> max 0 (min 255 (x + Mp_util.Rng.int_in g (-16) 16)));
+      crossover = (fun g a b -> if Mp_util.Rng.bool g then (a + b) / 2 else a);
+    }
+  in
+  let rng = Mp_util.Rng.create 5 in
+  let r = Genetic.search ~rng ~ops ~eval:f ~population:20 ~generations:15 () in
+  (* exhaustive optimum for reference *)
+  let best_exh =
+    (Exhaustive.search ~eval:f (List.init 256 (fun i -> i))).Driver.best
+  in
+  Alcotest.(check bool) "GA near global optimum" true
+    (r.Driver.best.Driver.score >= best_exh.Driver.score -. 0.5)
+
+let test_genetic_determinism () =
+  let ops =
+    {
+      Genetic.init = (fun g -> Mp_util.Rng.int g 64);
+      mutate = (fun g _ -> Mp_util.Rng.int g 64);
+      crossover = (fun _ a b -> (a + b) / 2);
+    }
+  in
+  let run () =
+    let rng = Mp_util.Rng.create 9 in
+    (Genetic.search ~rng ~ops ~eval:parabola ()).Driver.best.Driver.point
+  in
+  Alcotest.(check int) "same seed same result" (run ()) (run ())
+
+let test_genetic_validation () =
+  let ops =
+    { Genetic.init = (fun _ -> 0); mutate = (fun _ x -> x);
+      crossover = (fun _ a _ -> a) }
+  in
+  Alcotest.(check bool) "population >= 2" true
+    (try
+       ignore (Genetic.search ~rng:(Mp_util.Rng.create 1) ~ops ~eval:parabola
+                 ~population:1 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_genetic_seeds () =
+  (* a seeded optimum must survive into the result even when random
+     initialisation would never find it *)
+  let ops =
+    { Genetic.init = (fun _ -> 0);
+      mutate = (fun _ x -> max 0 (x - 1));
+      crossover = (fun _ a b -> min a b) }
+  in
+  let rng = Mp_util.Rng.create 4 in
+  let r =
+    Genetic.search ~rng ~ops ~eval:float_of_int ~population:6 ~generations:2
+      ~elite:1 ~seeds:[ 1000 ] ()
+  in
+  Alcotest.(check int) "seed retained" 1000 r.Driver.best.Driver.point
+
+let test_driver_helpers () =
+  let evals =
+    [ { Driver.point = "a"; score = 1.0 };
+      { Driver.point = "b"; score = 5.0 };
+      { Driver.point = "c"; score = 3.0 } ]
+  in
+  Alcotest.(check string) "best" "b" (Driver.best_of evals).Driver.point;
+  Alcotest.(check bool) "top 2" true
+    (List.map (fun e -> e.Driver.point) (Driver.top 2 evals) = [ "b"; "c" ])
+
+let prop_exhaustive_maximum =
+  QCheck.Test.make ~name:"exhaustive returns the true maximum" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range (-1000) 1000))
+    (fun points ->
+      let eval x = float_of_int x in
+      let r = Exhaustive.search ~eval points in
+      r.Driver.best.Driver.score
+      = List.fold_left (fun acc x -> Float.max acc (eval x)) neg_infinity points)
+
+let prop_ga_evaluations_bound =
+  QCheck.Test.make ~name:"GA evaluation count bounded" ~count:20
+    QCheck.(pair (int_range 2 12) (int_range 1 6))
+    (fun (pop, gens) ->
+      let ops =
+        { Genetic.init = (fun g -> Mp_util.Rng.int g 16);
+          mutate = (fun g _ -> Mp_util.Rng.int g 16);
+          crossover = (fun _ a _ -> a) }
+      in
+      let rng = Mp_util.Rng.create (pop + gens) in
+      let r =
+        Genetic.search ~rng ~ops ~eval:parabola ~population:pop
+          ~generations:gens ~elite:1 ()
+      in
+      r.Driver.evaluations <= pop * (gens + 1))
+
+let () =
+  Alcotest.run "mp_dse"
+    [
+      ("space",
+       [ Alcotest.test_case "cartesian" `Quick test_cartesian;
+         Alcotest.test_case "sequences" `Quick test_sequences;
+         Alcotest.test_case "combinations" `Quick test_combinations;
+         Alcotest.test_case "permutations" `Quick test_permutations ]);
+      ("drivers",
+       [ Alcotest.test_case "exhaustive" `Quick test_exhaustive;
+         Alcotest.test_case "random" `Quick test_random_search;
+         Alcotest.test_case "genetic quality" `Quick test_genetic_beats_random_init;
+         Alcotest.test_case "genetic determinism" `Quick test_genetic_determinism;
+         Alcotest.test_case "genetic validation" `Quick test_genetic_validation;
+         Alcotest.test_case "genetic seeds" `Quick test_genetic_seeds;
+         Alcotest.test_case "helpers" `Quick test_driver_helpers ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_exhaustive_maximum;
+         QCheck_alcotest.to_alcotest prop_ga_evaluations_bound ]);
+    ]

@@ -1,0 +1,231 @@
+(* Tests for mp_epi: the bootstrap process and the taxonomy. *)
+
+open Mp_codegen
+open Mp_uarch
+
+let arch () = Arch.power7 ()
+
+let machine a = Mp_sim.Machine.create a.Arch.uarch
+
+let props a m ?zero_data () =
+  Mp_epi.Bootstrap.instruction_props ~machine:(machine a) ~arch:a ~size:256
+    ?zero_data
+    (Arch.find_instruction a m)
+
+let test_bootstrap_throughput_and_latency () =
+  let a = arch () in
+  let p = props a "subf" () in
+  Alcotest.(check (float 0.1)) "throughput = 2 (core)" 2.0 p.Mp_epi.Bootstrap.core_ipc;
+  Alcotest.(check (float 0.4)) "derived latency ~2" 2.0
+    p.Mp_epi.Bootstrap.derived_latency
+
+let test_bootstrap_fadd_latency () =
+  let a = arch () in
+  let p = props a "fadd" () in
+  (* the derived latency carries a small warmup-drain bias *)
+  Alcotest.(check (float 0.9)) "latency ~6" 6.0 p.Mp_epi.Bootstrap.derived_latency;
+  Alcotest.(check (float 0.1)) "throughput 2" 2.0 p.Mp_epi.Bootstrap.core_ipc
+
+let test_bootstrap_units () =
+  let a = arch () in
+  Alcotest.(check bool) "lbz -> LSU" true
+    ((props a "lbz" ()).Mp_epi.Bootstrap.units = [ Pipe.LSU ]);
+  Alcotest.(check bool) "ldux -> FXU+LSU" true
+    ((props a "ldux" ()).Mp_epi.Bootstrap.units = [ Pipe.FXU; Pipe.LSU ]);
+  let stx = props a "stxvw4x" () in
+  Alcotest.(check bool) "stxvw4x stresses LSU and VSU" true
+    (List.mem Pipe.LSU stx.Mp_epi.Bootstrap.units
+     && List.mem Pipe.VSU stx.Mp_epi.Bootstrap.units);
+  Alcotest.(check bool) "xvmaddadp -> VSU only" true
+    ((props a "xvmaddadp" ()).Mp_epi.Bootstrap.units = [ Pipe.VSU ])
+
+let test_epi_orderings () =
+  (* the ground-truth EPI orderings of paper Table 3, observed purely
+     through the sensor *)
+  let a = arch () in
+  let epi m = (props a m ()).Mp_epi.Bootstrap.epi in
+  Alcotest.(check bool) "mulldo > subf" true (epi "mulldo" > epi "subf");
+  Alcotest.(check bool) "subf > addic" true (epi "subf" > epi "addic");
+  Alcotest.(check bool) "lxvw4x > lbz" true (epi "lxvw4x" > epi "lbz");
+  Alcotest.(check bool) "xvmaddadp > xstsqrtdp" true
+    (epi "xvmaddadp" > epi "xstsqrtdp");
+  Alcotest.(check bool) "stfsux > stfdu" true (epi "stfsux" > epi "stfdu");
+  (* the paper's 75% within-category gap *)
+  Alcotest.(check bool) "xvmaddadp ~75% above xstsqrtdp" true
+    (epi "xvmaddadp" /. epi "xstsqrtdp" > 1.5)
+
+let test_zero_data_reduces_epi () =
+  let a = arch () in
+  let random = (props a "xvmaddadp" ()).Mp_epi.Bootstrap.epi in
+  let zero = (props a "xvmaddadp" ~zero_data:true ()).Mp_epi.Bootstrap.epi in
+  (* the paper reports up to 40% EPI reduction on zero inputs *)
+  Alcotest.(check bool) "zero data reduces EPI by >20%" true
+    (zero < random *. 0.8);
+  Alcotest.(check bool) "but not implausibly" true (zero > random *. 0.3)
+
+let test_run_subset () =
+  let a = arch () in
+  let instrs = List.map (Arch.find_instruction a) [ "add"; "lbz"; "fadd" ] in
+  let ps = Mp_epi.Bootstrap.run ~machine:(machine a) ~arch:a ~size:128
+      ~instructions:instrs () in
+  Alcotest.(check int) "three bootstrapped" 3 (List.length ps)
+
+(* ----- taxonomy -------------------------------------------------------------- *)
+
+let fake ~m ~ipc ~epi ~fxu ~lsu ~vsu =
+  {
+    Mp_epi.Bootstrap.mnemonic = m;
+    derived_latency = 1.0;
+    throughput = ipc;
+    core_ipc = ipc;
+    epi;
+    events_per_instr =
+      [ (Pipe.FXU, fxu); (Pipe.LSU, lsu); (Pipe.VSU, vsu); (Pipe.BRU, 0.0) ];
+    units =
+      List.filter_map
+        (fun (u, r) -> if r >= 0.2 then Some u else None)
+        [ (Pipe.FXU, fxu); (Pipe.LSU, lsu); (Pipe.VSU, vsu) ];
+  }
+
+let test_category_labels () =
+  let lbl ~mem p = Mp_epi.Taxonomy.category_label p mem in
+  Alcotest.(check string) "pure fxu" "FXU"
+    (lbl ~mem:false (fake ~m:"a" ~ipc:2. ~epi:1. ~fxu:1.0 ~lsu:0.0 ~vsu:0.0));
+  Alcotest.(check string) "simple int" "FXU or LSU"
+    (lbl ~mem:false (fake ~m:"b" ~ipc:3.5 ~epi:1. ~fxu:0.6 ~lsu:0.4 ~vsu:0.0));
+  Alcotest.(check string) "plain load" "LSU"
+    (lbl ~mem:true (fake ~m:"c" ~ipc:1.7 ~epi:1. ~fxu:0.0 ~lsu:1.0 ~vsu:0.0));
+  Alcotest.(check string) "update load" "LSU and FXU"
+    (lbl ~mem:true (fake ~m:"d" ~ipc:1. ~epi:1. ~fxu:1.0 ~lsu:1.0 ~vsu:0.0));
+  Alcotest.(check string) "algebraic update load" "LSU and 2FXU"
+    (lbl ~mem:true (fake ~m:"e" ~ipc:1. ~epi:1. ~fxu:2.0 ~lsu:1.0 ~vsu:0.0));
+  Alcotest.(check string) "vector store" "LSU and VSU"
+    (lbl ~mem:true (fake ~m:"f" ~ipc:0.5 ~epi:1. ~fxu:0.0 ~lsu:2.0 ~vsu:1.0));
+  Alcotest.(check string) "vector store update" "LSU and VSU and FXU"
+    (lbl ~mem:true (fake ~m:"g" ~ipc:0.5 ~epi:1. ~fxu:1.0 ~lsu:2.0 ~vsu:1.0))
+
+let test_table3_selection () =
+  let cat =
+    {
+      Mp_epi.Taxonomy.label = "FXU";
+      members =
+        [ fake ~m:"hot" ~ipc:1.4 ~epi:2.6 ~fxu:1.0 ~lsu:0.0 ~vsu:0.0;
+          fake ~m:"warm" ~ipc:2.0 ~epi:1.7 ~fxu:1.0 ~lsu:0.0 ~vsu:0.0;
+          fake ~m:"cool" ~ipc:2.0 ~epi:1.0 ~fxu:1.0 ~lsu:0.0 ~vsu:0.0 ];
+    }
+  in
+  let rows = Mp_epi.Taxonomy.table3 [ cat ] in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  (match rows with
+   | top :: _ ->
+     (* hot has the highest IPC×EPI product: 3.64 > 3.4 > 2.0 *)
+     Alcotest.(check string) "top by product" "hot" top.Mp_epi.Taxonomy.mnemonic;
+     Alcotest.(check (float 0.01)) "global normalised to min" 2.6
+       top.Mp_epi.Taxonomy.epi_global
+   | [] -> Alcotest.fail "rows");
+  let mins =
+    List.map (fun (r : Mp_epi.Taxonomy.row) -> r.Mp_epi.Taxonomy.epi_category) rows
+  in
+  Alcotest.(check (float 1e-9)) "category min is 1" 1.0
+    (List.fold_left Float.min infinity mins)
+
+let test_epi_spread () =
+  let cat =
+    {
+      Mp_epi.Taxonomy.label = "X";
+      members =
+        [ fake ~m:"a" ~ipc:1. ~epi:1.78 ~fxu:1.0 ~lsu:0. ~vsu:0.;
+          fake ~m:"b" ~ipc:1. ~epi:1.0 ~fxu:1.0 ~lsu:0. ~vsu:0. ];
+    }
+  in
+  Alcotest.(check (float 0.01)) "78%" 78.0 (Mp_epi.Taxonomy.epi_spread cat)
+
+let test_categorize_end_to_end () =
+  let a = arch () in
+  let instrs =
+    List.map (Arch.find_instruction a)
+      [ "mulldo"; "addic"; "lbz"; "lxvw4x"; "xvmaddadp"; "add"; "ldux";
+        "lhaux"; "stxvw4x"; "stfdux" ]
+  in
+  let ps = Mp_epi.Bootstrap.run ~machine:(machine a) ~arch:a ~size:256
+      ~instructions:instrs () in
+  let cats = Mp_epi.Taxonomy.categorize ~isa:a.Arch.isa ps in
+  let find l =
+    List.find_opt (fun c -> c.Mp_epi.Taxonomy.label = l) cats
+  in
+  Alcotest.(check bool) "FXU category" true (find "FXU" <> None);
+  Alcotest.(check bool) "LSU category" true (find "LSU" <> None);
+  Alcotest.(check bool) "VSU category" true (find "VSU" <> None);
+  Alcotest.(check bool) "FXU or LSU category" true (find "FXU or LSU" <> None);
+  Alcotest.(check bool) "LSU and FXU category" true (find "LSU and FXU" <> None);
+  Alcotest.(check bool) "LSU and 2FXU category" true (find "LSU and 2FXU" <> None);
+  (* members sorted by descending EPI *)
+  List.iter
+    (fun (c : Mp_epi.Taxonomy.category) ->
+      let rec sorted = function
+        | (a : Mp_epi.Bootstrap.props) :: (b :: _ as rest) ->
+          a.Mp_epi.Bootstrap.epi >= b.Mp_epi.Bootstrap.epi && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (c.Mp_epi.Taxonomy.label ^ " sorted") true
+        (sorted c.Mp_epi.Taxonomy.members))
+    cats
+
+let test_events_per_instr_reported () =
+  let a = arch () in
+  let p = props a "stfdux" () in
+  (* update-form FP store: one LSU op, one FXU fixup, VSU data path *)
+  let ev u = List.assoc u p.Mp_epi.Bootstrap.events_per_instr in
+  Alcotest.(check bool) "lsu ~2/instr (pipe + store port)" true
+    (ev Pipe.LSU > 1.5);
+  Alcotest.(check bool) "fxu ~1/instr (update)" true
+    (ev Pipe.FXU > 0.8 && ev Pipe.FXU < 1.3);
+  Alcotest.(check bool) "vsu present" true (ev Pipe.VSU > 0.3)
+
+let test_bootstrap_deterministic () =
+  let a = arch () in
+  let p1 = props a "mulld" () and p2 = props a "mulld" () in
+  Alcotest.(check (float 1e-9)) "same EPI" p1.Mp_epi.Bootstrap.epi
+    p2.Mp_epi.Bootstrap.epi
+
+let prop_epi_nonnegative =
+  let a = arch () in
+  let instrs =
+    Array.of_list
+      (Arch.select a (fun i ->
+           (not i.Mp_isa.Instruction.privileged)
+           && (not (Mp_isa.Instruction.is_branch i))
+           && (not i.Mp_isa.Instruction.prefetch)
+           && i.Mp_isa.Instruction.exec_class <> Mp_isa.Instruction.Nop_op))
+  in
+  QCheck.Test.make ~name:"bootstrap yields sane properties" ~count:12
+    QCheck.(int_range 0 (Array.length instrs - 1))
+    (fun idx ->
+      let p =
+        Mp_epi.Bootstrap.instruction_props ~machine:(machine a) ~arch:a
+          ~size:128 instrs.(idx)
+      in
+      p.Mp_epi.Bootstrap.epi >= 0.0
+      && p.Mp_epi.Bootstrap.core_ipc > 0.0
+      && p.Mp_epi.Bootstrap.derived_latency > 0.0
+      && p.Mp_epi.Bootstrap.units <> [])
+
+let () =
+  Alcotest.run "mp_epi"
+    [
+      ("bootstrap",
+       [ Alcotest.test_case "throughput/latency" `Quick test_bootstrap_throughput_and_latency;
+         Alcotest.test_case "fadd latency" `Quick test_bootstrap_fadd_latency;
+         Alcotest.test_case "unit detection" `Quick test_bootstrap_units;
+         Alcotest.test_case "EPI orderings" `Quick test_epi_orderings;
+         Alcotest.test_case "zero data" `Quick test_zero_data_reduces_epi;
+         Alcotest.test_case "run subset" `Quick test_run_subset;
+         Alcotest.test_case "events per instr" `Quick test_events_per_instr_reported;
+         Alcotest.test_case "deterministic" `Quick test_bootstrap_deterministic;
+         QCheck_alcotest.to_alcotest prop_epi_nonnegative ]);
+      ("taxonomy",
+       [ Alcotest.test_case "category labels" `Quick test_category_labels;
+         Alcotest.test_case "table3 selection" `Quick test_table3_selection;
+         Alcotest.test_case "epi spread" `Quick test_epi_spread;
+         Alcotest.test_case "end to end" `Quick test_categorize_end_to_end ]);
+    ]

@@ -1,0 +1,275 @@
+(* Tests for mp_isa: instruction semantics, the textual definition
+   format, the shipped PowerPC subset and the binary encoding. *)
+
+open Mp_isa
+
+let isa () = Power_isa.load ()
+
+(* ----- registry --------------------------------------------------------- *)
+
+let test_load_size () =
+  Alcotest.(check bool) "ships a substantial subset" true (Isa_def.size (isa ()) >= 120)
+
+let test_find () =
+  let i = Isa_def.find_exn (isa ()) "add" in
+  Alcotest.(check string) "mnemonic" "add" i.Instruction.mnemonic;
+  Alcotest.(check bool) "missing" true (Isa_def.find (isa ()) "bogus" = None)
+
+let test_duplicate_rejected () =
+  let add = Isa_def.find_exn (isa ()) "add" in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Isa_def.add: duplicate \"add\"")
+    (fun () -> ignore (Isa_def.add (isa ()) add))
+
+let test_add_remove () =
+  let i = isa () in
+  let removed = Isa_def.remove i "add" in
+  Alcotest.(check int) "one fewer" (Isa_def.size i - 1) (Isa_def.size removed);
+  Alcotest.(check bool) "gone" false (Isa_def.mem removed "add");
+  let back = Isa_def.add removed (Isa_def.find_exn i "add") in
+  Alcotest.(check int) "restored" (Isa_def.size i) (Isa_def.size back)
+
+let test_select_loads () =
+  let loads = Isa_def.select (isa ()) Instruction.is_load in
+  Alcotest.(check bool) "many loads" true (List.length loads >= 25);
+  List.iter
+    (fun (i : Instruction.t) ->
+      Alcotest.(check bool) ("load " ^ i.Instruction.mnemonic) true
+        (Instruction.is_memory i))
+    loads
+
+let test_table3_present () =
+  let i = isa () in
+  List.iter
+    (fun m -> Alcotest.(check bool) ("table3 " ^ m) true (Isa_def.mem i m))
+    Power_isa.table3_mnemonics;
+  Alcotest.(check int) "24 rows" 24 (List.length Power_isa.table3_mnemonics)
+
+(* ----- semantics --------------------------------------------------------- *)
+
+let test_predicates () =
+  let i = isa () in
+  let f = Isa_def.find_exn i in
+  Alcotest.(check bool) "lbz load" true (Instruction.is_load (f "lbz"));
+  Alcotest.(check bool) "stfd store" true (Instruction.is_store (f "stfd"));
+  Alcotest.(check bool) "stfd float" true (Instruction.is_float (f "stfd"));
+  Alcotest.(check bool) "xvmaddadp vector" true (Instruction.is_vector (f "xvmaddadp"));
+  Alcotest.(check bool) "add integer" true (Instruction.is_integer (f "add"));
+  Alcotest.(check bool) "b branch" true (Instruction.is_branch (f "b"));
+  Alcotest.(check bool) "dadd decimal" true (Instruction.is_decimal (f "dadd"));
+  Alcotest.(check bool) "dcbt prefetch" true (f "dcbt").Instruction.prefetch;
+  Alcotest.(check bool) "add not memory" false (Instruction.is_memory (f "add"))
+
+let test_update_semantics () =
+  let f = Isa_def.find_exn (isa ()) in
+  let ldux = f "ldux" in
+  Alcotest.(check bool) "update" true ldux.Instruction.update;
+  Alcotest.(check bool) "indexed" true ldux.Instruction.indexed;
+  (* update loads write both the data register and the base *)
+  let writes = Instruction.writes ldux in
+  Alcotest.(check int) "gpr writes" 2
+    (match List.assoc_opt Instruction.Gpr writes with Some n -> n | None -> 0)
+
+let test_reads_writes () =
+  let f = Isa_def.find_exn (isa ()) in
+  let stfd = f "stfd" in
+  let reads = Instruction.reads stfd in
+  Alcotest.(check bool) "store reads data + base" true
+    (List.assoc_opt Instruction.Fpr reads = Some 1
+     && List.assoc_opt Instruction.Gpr reads = Some 1);
+  Alcotest.(check bool) "store writes nothing" true (Instruction.writes stfd = []);
+  let cmpw = f "cmpw" in
+  Alcotest.(check bool) "cmp writes CR" true
+    (List.assoc_opt Instruction.Cr (Instruction.writes cmpw) = Some 1)
+
+let test_make_validation () =
+  Alcotest.(check bool) "bad opcode rejected" true
+    (try
+       ignore (Instruction.make ~mnemonic:"x" ~exec_class:Instruction.Simple_int
+                 ~opcode:64 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad width rejected" true
+    (try
+       ignore (Instruction.make ~mnemonic:"x" ~exec_class:Instruction.Simple_int
+                 ~opcode:1 ~width:48 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "xo range depends on form" true
+    (try
+       ignore (Instruction.make ~mnemonic:"x" ~exec_class:Instruction.Simple_int
+                 ~opcode:1 ~form:Instruction.A ~xo:100 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_class_string_roundtrip () =
+  List.iter
+    (fun c ->
+      let s = Instruction.exec_class_to_string c in
+      Alcotest.(check bool) ("class " ^ s) true
+        (Instruction.exec_class_of_string s = Some c))
+    [ Instruction.Simple_int; Instruction.Complex_int; Instruction.Mul_int;
+      Instruction.Div_int; Instruction.Fp_arith; Instruction.Fp_fma;
+      Instruction.Fp_heavy; Instruction.Vec_logic; Instruction.Vec_arith;
+      Instruction.Vec_fma; Instruction.Dec_arith; Instruction.Cmp_op;
+      Instruction.Branch_op; Instruction.Nop_op; Instruction.Mem_op ]
+
+(* ----- text format -------------------------------------------------------- *)
+
+let test_text_roundtrip () =
+  let i = isa () in
+  match Isa_def.parse (Isa_def.to_text i) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok reparsed ->
+    Alcotest.(check string) "name" (Isa_def.name i) (Isa_def.name reparsed);
+    Alcotest.(check int) "size" (Isa_def.size i) (Isa_def.size reparsed);
+    List.iter2
+      (fun (a : Instruction.t) (b : Instruction.t) ->
+        if a <> b then
+          Alcotest.failf "instruction %s does not round-trip" a.Instruction.mnemonic)
+      (Isa_def.instructions i)
+      (Isa_def.instructions reparsed)
+
+let test_parse_minimal () =
+  let text =
+    "isa = tiny\n\n[instruction]\nmnemonic = foo\nclass = simple_int\nopcode = 3\n"
+  in
+  match Isa_def.parse text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok i ->
+    Alcotest.(check string) "name" "tiny" (Isa_def.name i);
+    Alcotest.(check int) "one instruction" 1 (Isa_def.size i)
+
+let test_parse_errors () =
+  let check_err text =
+    match Isa_def.parse text with
+    | Ok _ -> Alcotest.fail "expected parse error"
+    | Error _ -> ()
+  in
+  check_err "[instruction]\nclass = simple_int\nopcode = 1\n";
+  check_err "[instruction]\nmnemonic = a\nclass = nonsense\nopcode = 1\n";
+  check_err "mnemonic = orphan\n";
+  check_err "[instruction]\nmnemonic = a\nclass = simple_int\nopcode = zz\n"
+
+let test_parse_comments_blank () =
+  let text = "# a comment\nisa = c\n\n# another\n" in
+  match Isa_def.parse text with
+  | Ok i -> Alcotest.(check int) "empty isa" 0 (Isa_def.size i)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_definition_text_nonempty () =
+  let t = Power_isa.definition_text () in
+  Alcotest.(check bool) "has content" true (String.length t > 4000)
+
+(* ----- encoding ----------------------------------------------------------- *)
+
+let test_encode_known () =
+  let f = Isa_def.find_exn (isa ()) in
+  let add = f "add" in
+  let w = Instruction.Encoding.encode add { rt = 3; ra = 4; rb = 5; imm = 0 } in
+  Alcotest.(check int) "primary opcode" 31 (Instruction.Encoding.opcode_of_word w);
+  Alcotest.(check int) "xo" 266
+    (Instruction.Encoding.xo_of_word add.Instruction.form w)
+
+let test_encode_reg_bounds () =
+  let f = Isa_def.find_exn (isa ()) in
+  Alcotest.(check bool) "r32 rejected" true
+    (try
+       ignore (Instruction.Encoding.encode (f "add") { rt = 3; ra = 32; rb = 0; imm = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let prop_encode_decode_roundtrip =
+  let instrs = Array.of_list (Isa_def.instructions (isa ())) in
+  QCheck.Test.make ~name:"encode/decode field round-trip" ~count:1000
+    QCheck.(quad (int_range 0 31) (int_range 0 31) (int_range 0 31) (int_range 0 8191))
+    (fun (rt, ra, rb, imm) ->
+      let g = Mp_util.Rng.create (rt + (37 * ra) + (1009 * rb) + imm) in
+      let i = instrs.(Mp_util.Rng.int g (Array.length instrs)) in
+      let fields =
+        { Instruction.Encoding.rt; ra; rb;
+          imm = imm land ((1 lsl min i.Instruction.imm_bits 13) - 1) }
+      in
+      let w = Instruction.Encoding.encode i fields in
+      let d = Instruction.Encoding.decode_fields i w in
+      let open Instruction.Encoding in
+      match i.Instruction.form with
+      | Instruction.D | Instruction.DS | Instruction.B_form ->
+        d.rt = rt && d.ra = ra && d.imm = fields.imm
+      | Instruction.I_form -> d.imm = fields.imm
+      | Instruction.X | Instruction.XO | Instruction.VX | Instruction.XX3 ->
+        d.rt = rt && d.ra = ra && d.rb = rb
+      | Instruction.A -> d.rt = rt && d.ra = ra && d.rb = rb
+      | Instruction.MD -> d.rt = rt && d.ra = ra)
+
+let test_disasm_known () =
+  let i = isa () in
+  let add = Isa_def.find_exn i "add" in
+  let w = Instruction.Encoding.encode add { rt = 3; ra = 4; rb = 5; imm = 0 } in
+  (match Disasm.decode i w with
+   | Some m ->
+     Alcotest.(check string) "identified" "add"
+       m.Disasm.instruction.Instruction.mnemonic;
+     Alcotest.(check string) "listing" "add r3, r4, r5" (Disasm.to_string m)
+   | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "garbage rejected" true
+    (Disasm.decode i 0x00000000l = None)
+
+let prop_disasm_roundtrip =
+  let i = isa () in
+  let instrs = Array.of_list (Isa_def.instructions i) in
+  QCheck.Test.make ~name:"disassembly round-trip over the registry" ~count:500
+    QCheck.(triple (int_range 0 31) (int_range 0 31) (int_range 0 31))
+    (fun (rt, ra, rb) ->
+      let g = Mp_util.Rng.create (rt + (41 * ra) + (997 * rb)) in
+      let ins = instrs.(Mp_util.Rng.int g (Array.length instrs)) in
+      Disasm.roundtrip i ins { Instruction.Encoding.rt; ra; rb; imm = 1 })
+
+let test_opcode_xo_unique_per_form () =
+  (* a disassembler must be able to identify instructions: no two
+     instructions may share (form, opcode, xo) — except deliberate
+     aliases like bdnz/bc *)
+  let seen = Hashtbl.create 64 in
+  let aliases = [ "bdnz"; "nop" (* = ori 0,0,0 *) ] in
+  List.iter
+    (fun (i : Instruction.t) ->
+      if not (List.mem i.Instruction.mnemonic aliases) then begin
+        let key = (i.Instruction.form, i.Instruction.opcode, i.Instruction.xo) in
+        (match Hashtbl.find_opt seen key with
+         | Some other ->
+           Alcotest.failf "%s and %s share an encoding" i.Instruction.mnemonic other
+         | None -> ());
+        Hashtbl.add seen key i.Instruction.mnemonic
+      end)
+    (Isa_def.instructions (isa ()))
+
+let () =
+  Alcotest.run "mp_isa"
+    [
+      ("registry",
+       [ Alcotest.test_case "size" `Quick test_load_size;
+         Alcotest.test_case "find" `Quick test_find;
+         Alcotest.test_case "duplicate" `Quick test_duplicate_rejected;
+         Alcotest.test_case "add/remove" `Quick test_add_remove;
+         Alcotest.test_case "select loads" `Quick test_select_loads;
+         Alcotest.test_case "table3 present" `Quick test_table3_present ]);
+      ("semantics",
+       [ Alcotest.test_case "predicates" `Quick test_predicates;
+         Alcotest.test_case "update forms" `Quick test_update_semantics;
+         Alcotest.test_case "reads/writes" `Quick test_reads_writes;
+         Alcotest.test_case "make validation" `Quick test_make_validation;
+         Alcotest.test_case "class strings" `Quick test_class_string_roundtrip ]);
+      ("text format",
+       [ Alcotest.test_case "full round-trip" `Quick test_text_roundtrip;
+         Alcotest.test_case "minimal" `Quick test_parse_minimal;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "comments" `Quick test_parse_comments_blank;
+         Alcotest.test_case "definition text" `Quick test_definition_text_nonempty ]);
+      ("encoding",
+       [ Alcotest.test_case "known word" `Quick test_encode_known;
+         Alcotest.test_case "register bounds" `Quick test_encode_reg_bounds;
+         Alcotest.test_case "unique encodings" `Quick test_opcode_xo_unique_per_form;
+         Alcotest.test_case "disassemble" `Quick test_disasm_known;
+         QCheck_alcotest.to_alcotest prop_encode_decode_roundtrip;
+         QCheck_alcotest.to_alcotest prop_disasm_roundtrip ]);
+    ]

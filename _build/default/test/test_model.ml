@@ -1,0 +1,279 @@
+(* Tests for mp_model: feature extraction, the bottom-up 4-step
+   methodology and the top-down baselines. Synthetic measurements with
+   a known linear ground truth check exact recovery; real simulated
+   measurements check end-to-end accuracy. *)
+
+open Mp_sim
+open Mp_uarch
+
+let uarch () = Power7.define ()
+
+let cfg ~cores ~smt = Uarch_def.config ~cores ~smt (uarch ())
+
+(* Build a synthetic measurement with prescribed per-thread rates. *)
+let synthetic ~config ~rates ~power =
+  let nominal = 100_000.0 in
+  let thread rate =
+    {
+      Measurement.cycles = nominal;
+      instrs = nominal;
+      dispatched = nominal;
+      fxu = rate.(0) *. nominal;
+      vsu = rate.(1) *. nominal;
+      lsu = rate.(2) *. nominal;
+      st = 0.0;
+      bru = 0.0;
+      l1 = rate.(3) *. nominal;
+      l2 = rate.(4) *. nominal;
+      l3 = rate.(5) *. nominal;
+      mem = rate.(6) *. nominal;
+    }
+  in
+  {
+    Measurement.config;
+    program = "synthetic";
+    threads = Array.map thread rates;
+    core_ipc = 1.0;
+    power;
+    power_trace = [| power |];
+  }
+
+(* The synthetic ground truth used below. *)
+let true_w = [| 1.5; 2.5; 1.0; 0.5; 2.0; 5.0; 15.0 |]
+let true_wi = 30.0
+let true_uncore = 6.0
+let true_cmp = 1.2
+let true_smt = 0.8
+
+let truth_power (config : Uarch_def.config) rates =
+  let n = float_of_int config.Uarch_def.cores in
+  let dyn =
+    Array.fold_left
+      (fun acc r ->
+        acc +. (Array.fold_left ( +. ) 0.0 (Array.mapi (fun i v -> v *. true_w.(i)) r)))
+      0.0 rates
+    *. n
+  in
+  true_wi +. true_uncore +. (true_cmp *. n)
+  +. (if config.Uarch_def.smt > 1 then true_smt *. n else 0.0)
+  +. dyn
+
+let random_rates rng k =
+  Array.init k (fun _ -> Array.init 7 (fun _ -> Mp_util.Rng.float rng 0.5))
+
+let synthetic_dataset () =
+  let rng = Mp_util.Rng.create 404 in
+  let sample config =
+    let rates = random_rates rng config.Uarch_def.smt in
+    synthetic ~config ~rates ~power:(truth_power config rates)
+  in
+  let smt1 = List.init 40 (fun _ -> sample (cfg ~cores:1 ~smt:1)) in
+  let smt_on =
+    List.init 20 (fun i -> sample (cfg ~cores:1 ~smt:(if i mod 2 = 0 then 2 else 4)))
+  in
+  let multi =
+    List.concat_map
+      (fun cores ->
+        List.concat_map
+          (fun smt -> List.init 6 (fun _ -> sample (cfg ~cores ~smt)))
+          [ 1; 2; 4 ])
+      [ 1; 2; 4; 6; 8 ]
+  in
+  (smt1, smt_on, multi)
+
+(* ----- features ------------------------------------------------------------- *)
+
+let test_feature_extraction () =
+  let rates = [| [| 0.1; 0.2; 0.3; 0.04; 0.05; 0.06; 0.07 |] |] in
+  let m = synthetic ~config:(cfg ~cores:1 ~smt:1) ~rates ~power:1.0 in
+  let x = Mp_model.Features.per_thread m in
+  Alcotest.(check int) "one thread" 1 (Array.length x);
+  Alcotest.(check (float 1e-9)) "fxu rate" 0.1 x.(0).(0);
+  Alcotest.(check (float 1e-9)) "mem rate" 0.07 x.(0).(6);
+  Alcotest.(check int) "seven features" 7 Mp_model.Features.count
+
+let test_chip_sum_scales_with_cores () =
+  let rates = [| [| 0.1; 0.0; 0.0; 0.0; 0.0; 0.0; 0.0 |] |] in
+  let m1 = synthetic ~config:(cfg ~cores:1 ~smt:1) ~rates ~power:1.0 in
+  let m8 = synthetic ~config:(cfg ~cores:8 ~smt:1) ~rates ~power:1.0 in
+  Alcotest.(check (float 1e-9)) "1 core" 0.1 (Mp_model.Features.chip_sum m1).(0);
+  Alcotest.(check (float 1e-9)) "8 cores" 0.8 (Mp_model.Features.chip_sum m8).(0)
+
+(* ----- bottom-up recovery ----------------------------------------------------- *)
+
+let check_bu_recovery style =
+  let smt1, smt_on, multi = synthetic_dataset () in
+  let bu =
+    Mp_model.Bottom_up.train ~style ~baseline:true_wi ~smt1 ~smt_on ~multi ()
+  in
+  (* weights recovered *)
+  Array.iteri
+    (fun i w ->
+      Alcotest.(check (float 0.25))
+        (Printf.sprintf "weight %s" Mp_model.Features.names.(i))
+        true_w.(i) w)
+    bu.Mp_model.Bottom_up.weights;
+  Alcotest.(check (float 0.4)) "smt effect" true_smt bu.Mp_model.Bottom_up.smt_effect;
+  Alcotest.(check (float 0.3)) "cmp effect" true_cmp bu.Mp_model.Bottom_up.cmp_effect;
+  Alcotest.(check (float 0.8)) "uncore" true_uncore bu.Mp_model.Bottom_up.uncore;
+  (* predictions on fresh samples *)
+  let rng = Mp_util.Rng.create 505 in
+  List.iter
+    (fun config ->
+      let rates = random_rates rng config.Uarch_def.smt in
+      let m = synthetic ~config ~rates ~power:(truth_power config rates) in
+      Alcotest.(check (float 1.0)) "prediction" m.Measurement.power
+        (Mp_model.Bottom_up.predict bu m))
+    [ cfg ~cores:3 ~smt:2; cfg ~cores:8 ~smt:4; cfg ~cores:1 ~smt:1 ]
+
+let test_bu_joint_recovery () = check_bu_recovery Mp_model.Bottom_up.Joint
+
+let test_bu_decompose_sums () =
+  let smt1, smt_on, multi = synthetic_dataset () in
+  let bu = Mp_model.Bottom_up.train ~baseline:true_wi ~smt1 ~smt_on ~multi () in
+  let m = List.hd multi in
+  let b = Mp_model.Bottom_up.decompose bu m in
+  Alcotest.(check (float 1e-9)) "breakdown sums to prediction"
+    (Mp_model.Bottom_up.predict bu m)
+    (Mp_model.Bottom_up.breakdown_total b);
+  Alcotest.(check bool) "all parts non-negative" true
+    (b.Mp_model.Bottom_up.workload_independent >= 0.0
+     && b.Mp_model.Bottom_up.uncore_part >= -0.5
+     && b.Mp_model.Bottom_up.dynamic >= 0.0)
+
+let test_bu_validation_errors () =
+  let _smt1, smt_on, multi = synthetic_dataset () in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty step rejected" true
+    (bad (fun () ->
+         Mp_model.Bottom_up.train ~baseline:0.0 ~smt1:[] ~smt_on ~multi ()));
+  Alcotest.(check bool) "wrong config rejected" true
+    (bad (fun () ->
+         Mp_model.Bottom_up.train ~baseline:0.0 ~smt1:multi ~smt_on ~multi ()))
+
+let test_bu_weights_nonnegative () =
+  let smt1, smt_on, multi = synthetic_dataset () in
+  let bu = Mp_model.Bottom_up.train ~baseline:true_wi ~smt1 ~smt_on ~multi () in
+  Alcotest.(check bool) "non-negative weights" true
+    (Array.for_all (fun w -> w >= 0.0) bu.Mp_model.Bottom_up.weights)
+
+(* ----- top-down ----------------------------------------------------------------- *)
+
+let test_td_recovery () =
+  let _, _, multi = synthetic_dataset () in
+  let td = Mp_model.Top_down.train ~name:"synthetic" multi in
+  let rng = Mp_util.Rng.create 606 in
+  List.iter
+    (fun config ->
+      let rates = random_rates rng config.Uarch_def.smt in
+      let m = synthetic ~config ~rates ~power:(truth_power config rates) in
+      Alcotest.(check (float 1.5)) "td prediction" m.Measurement.power
+        (Mp_model.Top_down.predict td m))
+    [ cfg ~cores:5 ~smt:2; cfg ~cores:2 ~smt:4 ]
+
+let test_td_needs_samples () =
+  Alcotest.(check bool) "too few samples" true
+    (try ignore (Mp_model.Top_down.train ~name:"x" []); false
+     with Invalid_argument _ -> true)
+
+(* ----- validation metrics --------------------------------------------------------- *)
+
+let test_paae_and_by_config () =
+  let rates = [| [| 0.1; 0.0; 0.0; 0.0; 0.0; 0.0; 0.0 |] |] in
+  let m1 = synthetic ~config:(cfg ~cores:1 ~smt:1) ~rates ~power:100.0 in
+  let m2 = synthetic ~config:(cfg ~cores:2 ~smt:1) ~rates ~power:200.0 in
+  let predict (m : Measurement.t) = m.Measurement.power *. 1.1 in
+  Alcotest.(check (float 1e-6)) "paae 10%" 10.0
+    (Mp_model.Validation.paae ~predict [ m1; m2 ]);
+  let by = Mp_model.Validation.by_config ~predict [ m1; m2; m1 ] in
+  Alcotest.(check int) "two configs" 2 (List.length by);
+  List.iter
+    (fun (_, e) -> Alcotest.(check (float 1e-6)) "each 10%" 10.0 e)
+    by
+
+(* ----- end-to-end on the simulated machine ------------------------------------------ *)
+
+let test_bu_on_real_measurements () =
+  (* a small real training set: unit-stressing and memory loops *)
+  let arch = Mp_codegen.Arch.power7 () in
+  let machine = Machine.create arch.Mp_codegen.Arch.uarch in
+  let mono ?dep ?mem m =
+    let ins = Mp_codegen.Arch.find_instruction arch m in
+    let synth = Mp_codegen.Synthesizer.create ~name:("bu-" ^ m) arch in
+    Mp_codegen.Synthesizer.add_pass synth (Mp_codegen.Passes.skeleton ~size:256);
+    Mp_codegen.Synthesizer.add_pass synth (Mp_codegen.Passes.fill_sequence [ ins ]);
+    (match mem with
+     | Some d -> Mp_codegen.Synthesizer.add_pass synth (Mp_codegen.Passes.memory_model d)
+     | None ->
+       if Mp_isa.Instruction.is_memory ins then
+         Mp_codegen.Synthesizer.add_pass synth
+           (Mp_codegen.Passes.memory_model [ (Cache_geometry.L1, 1.0) ]));
+    Mp_codegen.Synthesizer.add_pass synth
+      (Mp_codegen.Passes.dependency
+         (Option.value ~default:Mp_codegen.Builder.No_deps dep));
+    Mp_codegen.Synthesizer.synthesize ~seed:31 synth
+  in
+  let programs =
+    [ mono "add"; mono "subf"; mono "mulld"; mono "xvmaddadp"; mono "fadd";
+      mono "lbz"; mono "std";
+      mono ~mem:[ (Cache_geometry.L2, 1.0) ] "ld";
+      mono ~mem:[ (Cache_geometry.L3, 1.0) ] "ld";
+      mono ~mem:[ (Cache_geometry.MEM, 1.0) ] "ld";
+      mono ~dep:(Mp_codegen.Builder.Fixed 1) "fadd";
+      mono ~dep:(Mp_codegen.Builder.Fixed 2) "mulld" ]
+  in
+  let run config p = Machine.run machine config p in
+  let smt1 = List.map (run (cfg ~cores:1 ~smt:1)) programs in
+  let smt_on =
+    List.map (run (cfg ~cores:1 ~smt:2)) programs
+    @ List.map (run (cfg ~cores:1 ~smt:4)) programs
+  in
+  let multi =
+    List.concat_map
+      (fun cores ->
+        List.map (run (cfg ~cores ~smt:1)) programs
+        @ List.map (run (cfg ~cores ~smt:4)) programs)
+      [ 1; 2; 4; 8 ]
+  in
+  let bu =
+    Mp_model.Bottom_up.train ~baseline:(Machine.baseline_reading machine)
+      ~smt1 ~smt_on ~multi ()
+  in
+  let predict = Mp_model.Bottom_up.predict bu in
+  (* in-sample accuracy must be a few percent *)
+  Alcotest.(check bool) "training PAAE < 5%" true
+    (Mp_model.Validation.paae ~predict multi < 5.0);
+  (* the memory weight hierarchy must be recovered: deeper = costlier *)
+  let w = bu.Mp_model.Bottom_up.weights in
+  Alcotest.(check bool) "L2 < L3 < MEM weights" true (w.(4) < w.(5) && w.(5) < w.(6));
+  (* the Isci-style area heuristic calibrates on the same data, less
+     accurately than the fully-trained bottom-up model *)
+  let uarch = arch.Mp_codegen.Arch.uarch in
+  let area = Mp_model.Area_heuristic.train ~uarch (smt1 @ smt_on @ multi) in
+  let area_predict = Mp_model.Area_heuristic.predict ~uarch area in
+  let area_paae = Mp_model.Validation.paae ~predict:area_predict multi in
+  Alcotest.(check bool)
+    (Printf.sprintf "area heuristic calibrates (%.1f%%)" area_paae)
+    true (area_paae < 20.0);
+  Alcotest.(check bool) "bottom-up at least as accurate" true
+    (Mp_model.Validation.paae ~predict multi <= area_paae +. 0.5)
+
+let () =
+  Alcotest.run "mp_model"
+    [
+      ("features",
+       [ Alcotest.test_case "extraction" `Quick test_feature_extraction;
+         Alcotest.test_case "chip sum" `Quick test_chip_sum_scales_with_cores ]);
+      ("bottom-up",
+       [ Alcotest.test_case "joint recovery" `Quick test_bu_joint_recovery;
+         Alcotest.test_case "decompose sums" `Quick test_bu_decompose_sums;
+         Alcotest.test_case "validation" `Quick test_bu_validation_errors;
+         Alcotest.test_case "non-negative" `Quick test_bu_weights_nonnegative ]);
+      ("top-down",
+       [ Alcotest.test_case "recovery" `Quick test_td_recovery;
+         Alcotest.test_case "needs samples" `Quick test_td_needs_samples ]);
+      ("validation",
+       [ Alcotest.test_case "paae/by-config" `Quick test_paae_and_by_config ]);
+      ("end-to-end",
+       [ Alcotest.test_case "real measurements" `Slow test_bu_on_real_measurements ]);
+    ]

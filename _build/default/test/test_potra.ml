@@ -1,0 +1,120 @@
+(* Tests for the POTRA-style trace module. *)
+
+open Mp_potra
+
+let mk samples = Trace.create ~period_ms:1.0 samples
+
+let test_basics () =
+  let t = mk [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "length" 3 (Trace.length t);
+  Alcotest.(check (float 1e-9)) "duration" 3.0 (Trace.duration_ms t);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Trace.mean t);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Trace.max t);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Trace.min t)
+
+let test_create_copies () =
+  let src = [| 1.0 |] in
+  let t = mk src in
+  src.(0) <- 99.0;
+  Alcotest.(check (float 1e-9)) "input copied" 1.0 (Trace.mean t)
+
+let test_window_means () =
+  let t = mk [| 1.0; 3.0; 5.0; 7.0; 100.0 |] in
+  let w = Trace.window_means t ~window:2 in
+  Alcotest.(check int) "two full windows" 2 (Array.length w);
+  Alcotest.(check (float 1e-9)) "w0" 2.0 w.(0);
+  Alcotest.(check (float 1e-9)) "w1" 6.0 w.(1)
+
+let test_stable_region () =
+  (* warmup ramp then a plateau *)
+  let samples =
+    Array.append [| 1.0; 5.0; 9.0; 12.0 |] (Array.make 12 20.0)
+  in
+  let t = mk samples in
+  match Trace.stable_region t with
+  | None -> Alcotest.fail "expected a stable region"
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "plateau found" true (lo >= 4 && hi = 15);
+    Alcotest.(check (float 0.01)) "stable mean" 20.0 (Trace.stable_mean t)
+
+let test_stable_region_none () =
+  let t = mk [| 1.0; 10.0; 2.0; 20.0; 3.0 |] in
+  Alcotest.(check bool) "no stable region" true (Trace.stable_region t = None);
+  Alcotest.(check (float 1e-6)) "falls back to mean" 7.2 (Trace.stable_mean t)
+
+let test_concat_subsample () =
+  let t = Trace.concat [ mk [| 1.0; 2.0 |]; mk [| 3.0; 4.0 |] ] in
+  Alcotest.(check int) "concat length" 4 (Trace.length t);
+  let s = Trace.subsample t ~every:2 in
+  Alcotest.(check int) "subsample length" 2 (Trace.length s);
+  Alcotest.(check (float 1e-9)) "keeps stride samples" 3.0
+    (Trace.max s)
+
+let test_segments () =
+  (* two clear phases plus a one-sample glitch that merges away *)
+  let t = mk [| 10.0; 10.1; 10.0; 10.05; 25.0; 50.0; 50.2; 50.1; 49.9 |] in
+  let segs = Trace.segments ~tolerance:0.05 t in
+  Alcotest.(check int) "two phases (glitch merged)" 2 (List.length segs);
+  (match segs with
+   | [ (a, b); (c, d) ] ->
+     Alcotest.(check int) "first starts at 0" 0 a;
+     Alcotest.(check bool) "contiguous" true (c = b + 1);
+     Alcotest.(check int) "last ends at end" 8 d
+   | _ -> Alcotest.fail "segments");
+  let means = Trace.segment_means ~tolerance:0.05 t in
+  Alcotest.(check bool) "second phase hotter" true (means.(1) > means.(0) +. 30.0)
+
+let test_segments_cover () =
+  let t = mk [| 1.0; 9.0; 1.0; 9.0; 1.0 |] in
+  let segs = Trace.segments ~tolerance:0.01 ~min_length:1 t in
+  let covered = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo + 1)) 0 segs in
+  Alcotest.(check int) "cover the trace" 5 covered
+
+let test_to_rows () =
+  let rows = Trace.to_rows (mk [| 5.0; 6.0 |]) in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  (match rows with
+   | (t0, v0) :: (t1, v1) :: _ ->
+     Alcotest.(check (float 1e-9)) "t0" 0.0 t0;
+     Alcotest.(check (float 1e-9)) "v0" 5.0 v0;
+     Alcotest.(check (float 1e-9)) "t1" 1.0 t1;
+     Alcotest.(check (float 1e-9)) "v1" 6.0 v1
+   | _ -> Alcotest.fail "rows")
+
+let prop_window_means_bounded =
+  QCheck.Test.make ~name:"window means within trace bounds" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 4 64) (float_range 0.0 100.0))
+              (int_range 1 8))
+    (fun (samples, window) ->
+      let t = mk samples in
+      let lo, hi = Mp_util.Stats.min_max samples in
+      Array.for_all
+        (fun w -> w >= lo -. 1e-9 && w <= hi +. 1e-9)
+        (Trace.window_means t ~window))
+
+let prop_stable_mean_bounded =
+  QCheck.Test.make ~name:"stable mean within bounds" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 64) (float_range 1.0 100.0))
+    (fun samples ->
+      let t = mk samples in
+      let lo, hi = Mp_util.Stats.min_max samples in
+      let m = Trace.stable_mean t in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "mp_potra"
+    [
+      ("trace",
+       [ Alcotest.test_case "basics" `Quick test_basics;
+         Alcotest.test_case "copies input" `Quick test_create_copies;
+         Alcotest.test_case "window means" `Quick test_window_means;
+         Alcotest.test_case "stable region" `Quick test_stable_region;
+         Alcotest.test_case "no stable region" `Quick test_stable_region_none;
+         Alcotest.test_case "concat/subsample" `Quick test_concat_subsample;
+         Alcotest.test_case "segments" `Quick test_segments;
+         Alcotest.test_case "segments cover" `Quick test_segments_cover;
+         Alcotest.test_case "rows" `Quick test_to_rows ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_window_means_bounded;
+         QCheck_alcotest.to_alcotest prop_stable_mean_bounded ]);
+    ]

@@ -1,0 +1,429 @@
+(* Tests for mp_sim: the cache simulator, the scoreboard core model and
+   the measurement harness. Steady-state IPCs are checked against the
+   values the POWER7 definition was calibrated to (paper Table 3). *)
+
+open Mp_codegen
+open Mp_sim
+
+let arch () = Arch.power7 ()
+
+let l1 = [ (Mp_uarch.Cache_geometry.L1, 1.0) ]
+
+let mono a ?(size = 512) ?(dep = Builder.No_deps) ?mem_mix mnemonic =
+  let ins = Arch.find_instruction a mnemonic in
+  let synth = Synthesizer.create ~name:("t-" ^ mnemonic) a in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_sequence [ ins ]);
+  if Mp_isa.Instruction.is_memory ins then
+    Synthesizer.add_pass synth
+      (Passes.memory_model (Option.value ~default:l1 mem_mix));
+  Synthesizer.add_pass synth (Passes.dependency dep);
+  Synthesizer.synthesize ~seed:77 synth
+
+let config a ~cores ~smt = Mp_uarch.Uarch_def.config ~cores ~smt a.Arch.uarch
+
+(* ----- cache simulator ------------------------------------------------------ *)
+
+let test_cache_hit_after_fill () =
+  let a = arch () in
+  let c = Cache_sim.create a.Arch.uarch in
+  let addr = 0x10000 in
+  Alcotest.(check bool) "first access misses to MEM" true
+    (Cache_sim.access c ~addr ~store:false = Mp_uarch.Cache_geometry.MEM);
+  Alcotest.(check bool) "second access hits L1" true
+    (Cache_sim.access c ~addr ~store:false = Mp_uarch.Cache_geometry.L1)
+
+let test_cache_lru_eviction () =
+  let a = arch () in
+  let u = a.Arch.uarch in
+  let c = Cache_sim.create u in
+  let l1g = Mp_uarch.Uarch_def.cache u Mp_uarch.Cache_geometry.L1 in
+  let ways = l1g.Mp_uarch.Cache_geometry.associativity in
+  (* fill one L1 set beyond capacity; lines land in the same L2 set's
+     siblings so they stay L2-resident *)
+  let addr i = Mp_uarch.Cache_geometry.address_with_set l1g ~set:3 ~tag:i in
+  for i = 0 to ways do
+    ignore (Cache_sim.access c ~addr:(addr i) ~store:false)
+  done;
+  (* line 0 was least recently used: it must have been evicted from L1 *)
+  Alcotest.(check bool) "evicted to L2" true
+    (Cache_sim.access c ~addr:(addr 0) ~store:false <> Mp_uarch.Cache_geometry.L1)
+
+let test_cache_counters () =
+  let a = arch () in
+  let c = Cache_sim.create a.Arch.uarch in
+  ignore (Cache_sim.access c ~addr:0 ~store:false);
+  ignore (Cache_sim.access c ~addr:0 ~store:false);
+  Alcotest.(check int) "one MEM source" 1 (Cache_sim.hits c Mp_uarch.Cache_geometry.MEM);
+  Alcotest.(check int) "one L1 hit" 1 (Cache_sim.hits c Mp_uarch.Cache_geometry.L1);
+  Cache_sim.reset_stats c;
+  Alcotest.(check int) "reset" 0 (Cache_sim.hits c Mp_uarch.Cache_geometry.L1);
+  Alcotest.(check bool) "contents survive reset" true
+    (Cache_sim.access c ~addr:0 ~store:false = Mp_uarch.Cache_geometry.L1)
+
+let test_prefetcher_detects_streams () =
+  let a = arch () in
+  let c = Cache_sim.create a.Arch.uarch in
+  for i = 0 to 15 do
+    ignore (Cache_sim.access c ~addr:(i * 128) ~store:false)
+  done;
+  Alcotest.(check bool) "prefetches issued on sequential walk" true
+    (Cache_sim.prefetches_issued c > 0)
+
+(* ----- core model: steady-state IPC ---------------------------------------- *)
+
+let run_ipc a p ~smt =
+  let machine = Machine.create a.Arch.uarch in
+  (Machine.run machine (config a ~cores:8 ~smt) p).Measurement.core_ipc
+
+let check_ipc name expected mnemonic =
+  let a = arch () in
+  let ipc = run_ipc a (mono a mnemonic) ~smt:1 in
+  Alcotest.(check (float 0.06)) name expected ipc
+
+let test_ipc_simple_int () = check_ipc "add 3.5" 3.53 "add"
+let test_ipc_fxu () = check_ipc "subf 2.0" 2.0 "subf"
+let test_ipc_mul () = check_ipc "mulldo 1.4" 1.4 "mulldo"
+let test_ipc_load () = check_ipc "lbz 1.68" 1.68 "lbz"
+let test_ipc_load_update () = check_ipc "ldux 1.0" 1.0 "ldux"
+let test_ipc_vsu () = check_ipc "xvmaddadp 2.0" 2.0 "xvmaddadp"
+let test_ipc_vec_store () = check_ipc "stxvw4x 0.48" 0.48 "stxvw4x"
+
+let test_dependency_chain_limits_ipc () =
+  let a = arch () in
+  let free = run_ipc a (mono a "fadd") ~smt:1 in
+  let chained = run_ipc a (mono a ~dep:(Builder.Fixed 1) "fadd") ~smt:1 in
+  Alcotest.(check bool) "chain is slower" true (chained < free /. 2.0);
+  (* fadd latency is 6: a single chain sustains ~1/6 IPC *)
+  Alcotest.(check (float 0.05)) "1/latency" (1.0 /. 6.0) chained
+
+let test_dependency_distance_parallelism () =
+  let a = arch () in
+  let d2 = run_ipc a (mono a ~dep:(Builder.Fixed 2) "fadd") ~smt:1 in
+  let d4 = run_ipc a (mono a ~dep:(Builder.Fixed 4) "fadd") ~smt:1 in
+  Alcotest.(check bool) "more chains, more ILP" true (d4 > d2 +. 0.1)
+
+let test_smt_increases_core_throughput () =
+  let a = arch () in
+  let p = mono a "subf" in
+  let smt1 = run_ipc a p ~smt:1 in
+  let smt2 = run_ipc a p ~smt:2 in
+  (* one thread of subf already saturates both FXU pipes: SMT must not
+     reduce throughput, and per-thread share must drop *)
+  Alcotest.(check bool) "core throughput preserved" true (smt2 >= smt1 -. 0.1)
+
+let test_smt_helps_latency_bound () =
+  let a = arch () in
+  let p = mono a ~dep:(Builder.Fixed 1) "fadd" in
+  let smt1 = run_ipc a p ~smt:1 in
+  let smt4 = run_ipc a p ~smt:4 in
+  (* chains from different threads overlap: core IPC scales *)
+  Alcotest.(check bool) "smt hides chain latency" true (smt4 > 3.0 *. smt1)
+
+let test_memory_latency_lowers_ipc () =
+  let a = arch () in
+  let l1_ipc = run_ipc a (mono a ~dep:(Builder.Fixed 1) "ld") ~smt:1 in
+  let mem_ipc =
+    run_ipc a
+      (mono a ~dep:(Builder.Fixed 1)
+         ~mem_mix:[ (Mp_uarch.Cache_geometry.MEM, 1.0) ] "ld")
+      ~smt:1
+  in
+  Alcotest.(check bool) "pointer chase to MEM is much slower" true
+    (mem_ipc < l1_ipc /. 10.0)
+
+(* ----- measurements ----------------------------------------------------------- *)
+
+let test_counters_consistent () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a "add" in
+  let m = Machine.run machine (config a ~cores:1 ~smt:1) p in
+  let c = Measurement.core_counters m in
+  (* 2 measured iterations of a 512-instruction body + bdnz; the window
+     boundaries land at dispatch crossings, so the issue count can be
+     off by up to one in-flight window on either side *)
+  Alcotest.(check bool) "instructions" true
+    (Float.abs (c.Measurement.instrs -. 1026.0) <= 64.0);
+  (* simple int ops issue to FXU and LSU pipes; together they cover all
+     payload instructions *)
+  let units = c.Measurement.fxu +. c.Measurement.lsu in
+  Alcotest.(check bool) "unit events" true
+    (Float.abs (units -. 1024.0) <= 64.0);
+  Alcotest.(check bool) "branches" true
+    (c.Measurement.bru >= 2.0 && c.Measurement.bru <= 3.0)
+
+let test_memory_counters () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p =
+    mono a
+      ~mem_mix:[ (Mp_uarch.Cache_geometry.L1, 0.5); (Mp_uarch.Cache_geometry.L2, 0.5) ]
+      "lbz"
+  in
+  let m = Machine.run machine (config a ~cores:1 ~smt:1) p in
+  let c = Measurement.core_counters m in
+  let total = c.Measurement.l1 +. c.Measurement.l2 +. c.Measurement.l3 +. c.Measurement.mem in
+  Alcotest.(check bool) "loads counted" true (total > 1000.0);
+  Alcotest.(check (float 0.06)) "half L1" 0.5 (c.Measurement.l1 /. total);
+  Alcotest.(check (float 0.06)) "half L2" 0.5 (c.Measurement.l2 /. total)
+
+let test_pmc_read_interface () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let m = Machine.run machine (config a ~cores:1 ~smt:1) (mono a "add") in
+  let c = Measurement.core_counters m in
+  Alcotest.(check (float 1e-9)) "PM_INST_CMPL" c.Measurement.instrs
+    (Measurement.read c Mp_uarch.Pmc.PM_INST_CMPL);
+  Alcotest.(check (float 1e-9)) "PM_RUN_CYC" c.Measurement.cycles
+    (Measurement.read c Mp_uarch.Pmc.PM_RUN_CYC)
+
+let test_measurement_determinism () =
+  let a = arch () in
+  let machine = Machine.create ~seed:5 a.Arch.uarch in
+  let p = mono a "mulld" in
+  let m1 = Machine.run machine (config a ~cores:2 ~smt:2) p in
+  let m2 = Machine.run machine (config a ~cores:2 ~smt:2) p in
+  Alcotest.(check (float 1e-9)) "same power" m1.Measurement.power m2.Measurement.power;
+  Alcotest.(check (float 1e-9)) "same ipc" m1.Measurement.core_ipc m2.Measurement.core_ipc
+
+let test_power_orderings () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let cfg = config a ~cores:8 ~smt:1 in
+  let idle = Machine.idle_reading machine cfg in
+  let loaded = (Machine.run machine cfg (mono a "xvmaddadp")).Measurement.power in
+  Alcotest.(check bool) "loaded > idle" true (loaded > idle +. 1.0);
+  let idle1 = Machine.idle_reading machine (config a ~cores:1 ~smt:1) in
+  Alcotest.(check bool) "idle grows with cores" true (idle > idle1);
+  Alcotest.(check bool) "baseline below idle" true
+    (Machine.baseline_reading machine < idle1)
+
+let test_power_scales_with_cores () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a "add" in
+  let p1 = (Machine.run machine (config a ~cores:1 ~smt:1) p).Measurement.power in
+  let p8 = (Machine.run machine (config a ~cores:8 ~smt:1) p).Measurement.power in
+  Alcotest.(check bool) "8 cores draw much more" true (p8 > p1 +. 15.0)
+
+let test_smt_power_overhead () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  (* a latency-bound loop leaves pipes idle: SMT2 adds both activity
+     and the SMT-logic overhead *)
+  let p = mono a ~dep:(Builder.Fixed 1) "mulld" in
+  let p1 = (Machine.run machine (config a ~cores:4 ~smt:1) p).Measurement.power in
+  let p2 = (Machine.run machine (config a ~cores:4 ~smt:2) p).Measurement.power in
+  Alcotest.(check bool) "smt2 draws more" true (p2 > p1)
+
+let test_zero_data_reduces_power () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let build policy =
+    let synth = Synthesizer.create ~name:"dataswitch" a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size:512);
+    Synthesizer.add_pass synth (Passes.fill_sequence [ Arch.find_instruction a "xvmaddadp" ]);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.add_pass synth (Passes.init_registers policy);
+    Synthesizer.add_pass synth (Passes.init_immediates policy);
+    Synthesizer.synthesize ~seed:21 synth
+  in
+  let cfg = config a ~cores:8 ~smt:1 in
+  let random = (Machine.run machine cfg (build Builder.Random_values)).Measurement.power in
+  let zero = (Machine.run machine cfg (build (Builder.Constant 0L))).Measurement.power in
+  Alcotest.(check bool) "zero data draws less" true (zero < random -. 1.0)
+
+let test_bandwidth_contention () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a ~mem_mix:[ (Mp_uarch.Cache_geometry.MEM, 1.0) ] "ld" in
+  let one = (Machine.run machine (config a ~cores:1 ~smt:1) p).Measurement.core_ipc in
+  let eight = (Machine.run machine (config a ~cores:8 ~smt:1) p).Measurement.core_ipc in
+  Alcotest.(check bool) "8 cores share the memory bandwidth" true
+    (eight < one *. 0.7)
+
+let test_run_phases () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let cfg = config a ~cores:1 ~smt:1 in
+  let hot = mono a "xvmaddadp" and cold = mono a ~dep:(Builder.Fixed 1) "fdiv" in
+  let ph = Machine.run_phases machine cfg [ (hot, 1.0); (cold, 1.0) ] in
+  let mh = Machine.run machine cfg hot and mc = Machine.run machine cfg cold in
+  Alcotest.(check (float 0.5)) "power is the weighted mean"
+    ((mh.Measurement.power +. mc.Measurement.power) /. 2.0)
+    ph.Measurement.power;
+  Alcotest.(check bool) "trace concatenates phases" true
+    (Array.length ph.Measurement.power_trace > 4)
+
+let test_heterogeneous_validation () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a "add" in
+  Alcotest.(check bool) "program count must equal SMT" true
+    (try
+       ignore (Machine.run_heterogeneous machine (config a ~cores:1 ~smt:2) [ p ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heterogeneous_mix () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let compute = mono a "xvmaddadp" in
+  let memory =
+    mono a ~mem_mix:[ (Mp_uarch.Cache_geometry.MEM, 1.0) ] "ld"
+  in
+  let cfg2 = config a ~cores:1 ~smt:2 in
+  let both = Machine.run_heterogeneous machine cfg2 [ compute; memory ] in
+  (* the compute thread must stay in steady state for the whole window:
+     its per-thread IPC should be close to its homogeneous SMT1 rate *)
+  let homog = Machine.run machine (config a ~cores:1 ~smt:1) compute in
+  let compute_ipc = Measurement.ipc both.Measurement.threads.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "compute thread unstarved (%.2f vs %.2f)" compute_ipc
+       homog.Measurement.core_ipc)
+    true
+    (compute_ipc > 0.8 *. homog.Measurement.core_ipc);
+  (* the memory thread's counters show main-memory activity *)
+  let memc = both.Measurement.threads.(1) in
+  Alcotest.(check bool) "memory thread touches MEM" true
+    (memc.Measurement.mem > 10.0);
+  (* and the mixed pair draws more power than the compute pair alone *)
+  let compute_pair = Machine.run machine cfg2 compute in
+  Alcotest.(check bool) "distinct from homogeneous" true
+    (Float.abs (both.Measurement.power -. compute_pair.Measurement.power) > 0.2)
+
+let test_heterogeneous_determinism () =
+  let a = arch () in
+  let machine = Machine.create ~seed:11 a.Arch.uarch in
+  let p1 = mono a "add" and p2 = mono a "mulld" in
+  let cfg2 = config a ~cores:2 ~smt:2 in
+  let m1 = Machine.run_heterogeneous machine cfg2 [ p1; p2 ] in
+  let m2 = Machine.run_heterogeneous machine cfg2 [ p1; p2 ] in
+  Alcotest.(check (float 1e-9)) "same power" m1.Measurement.power
+    m2.Measurement.power
+
+let test_smt_fairness () =
+  (* two identical threads contending for the same pipes must receive
+     comparable shares — the issue arbitration rotates *)
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a "subf" in
+  let m = Machine.run machine (config a ~cores:1 ~smt:2) p in
+  let i0 = Measurement.ipc m.Measurement.threads.(0) in
+  let i1 = Measurement.ipc m.Measurement.threads.(1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fair shares (%.2f vs %.2f)" i0 i1)
+    true
+    (Float.abs (i0 -. i1) < 0.2 *. Float.max i0 i1)
+
+let test_phases_validation () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  Alcotest.(check bool) "empty phases rejected" true
+    (try ignore (Machine.run_phases machine (config a ~cores:1 ~smt:1) []); false
+     with Invalid_argument _ -> true)
+
+(* ----- measurement arithmetic ------------------------------------------ *)
+
+let test_counter_arithmetic () =
+  let c1 =
+    { Measurement.zero_counters with
+      Measurement.cycles = 100.0; instrs = 50.0; fxu = 10.0 }
+  in
+  let c2 =
+    { Measurement.zero_counters with
+      Measurement.cycles = 80.0; instrs = 30.0; fxu = 5.0 }
+  in
+  let s = Measurement.add_counters c1 c2 in
+  Alcotest.(check (float 1e-9)) "instrs add" 80.0 s.Measurement.instrs;
+  Alcotest.(check (float 1e-9)) "cycles take max" 100.0 s.Measurement.cycles;
+  let k = Measurement.scale_counters 2.0 c1 in
+  Alcotest.(check (float 1e-9)) "scaled" 20.0 k.Measurement.fxu;
+  Alcotest.(check (float 1e-9)) "ipc" 0.5 (Measurement.ipc c1);
+  Alcotest.(check (float 1e-9)) "rate" 0.1 (Measurement.rate c1 c1.Measurement.fxu)
+
+let test_power_trace_properties () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let m = Machine.run machine (config a ~cores:4 ~smt:2) (mono a "fmadd") in
+  Alcotest.(check bool) "trace has samples" true
+    (Array.length m.Measurement.power_trace >= 16);
+  let mean = Mp_util.Stats.mean m.Measurement.power_trace in
+  Alcotest.(check bool) "sensor mean equals reported power" true
+    (Float.abs (mean -. m.Measurement.power) < 1e-9);
+  let _, hi = Mp_util.Stats.min_max m.Measurement.power_trace in
+  Alcotest.(check bool) "noise is small" true
+    (hi < m.Measurement.power *. 1.05)
+
+let test_total_threads () =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let m = Machine.run machine (config a ~cores:4 ~smt:2) (mono a "add") in
+  Alcotest.(check int) "4 cores x smt2" 8 (Measurement.total_threads m)
+
+let test_seed_changes_sensor () =
+  let a = arch () in
+  let p = mono a "mulld" in
+  let c = config a ~cores:2 ~smt:1 in
+  let m1 = Machine.run (Machine.create ~seed:1 a.Arch.uarch) c p in
+  let m2 = Machine.run (Machine.create ~seed:2 a.Arch.uarch) c p in
+  Alcotest.(check bool) "different sensor noise" true
+    (m1.Measurement.power <> m2.Measurement.power);
+  Alcotest.(check bool) "but close" true
+    (Float.abs (m1.Measurement.power -. m2.Measurement.power)
+     < 0.05 *. m1.Measurement.power)
+
+let prop_power_monotone_in_cores =
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let p = mono a "xvmaddadp" in
+  QCheck.Test.make ~name:"power grows with enabled cores" ~count:8
+    QCheck.(int_range 1 7)
+    (fun n ->
+      let pw k = (Machine.run machine (config a ~cores:k ~smt:1) p).Measurement.power in
+      pw (n + 1) > pw n)
+
+let () =
+  Alcotest.run "mp_sim"
+    [
+      ("cache",
+       [ Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+         Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+         Alcotest.test_case "counters" `Quick test_cache_counters;
+         Alcotest.test_case "prefetcher" `Quick test_prefetcher_detects_streams ]);
+      ("ipc",
+       [ Alcotest.test_case "simple int" `Quick test_ipc_simple_int;
+         Alcotest.test_case "fxu" `Quick test_ipc_fxu;
+         Alcotest.test_case "mul" `Quick test_ipc_mul;
+         Alcotest.test_case "load" `Quick test_ipc_load;
+         Alcotest.test_case "load update" `Quick test_ipc_load_update;
+         Alcotest.test_case "vsu" `Quick test_ipc_vsu;
+         Alcotest.test_case "vector store" `Quick test_ipc_vec_store;
+         Alcotest.test_case "chain limit" `Quick test_dependency_chain_limits_ipc;
+         Alcotest.test_case "distance ILP" `Quick test_dependency_distance_parallelism;
+         Alcotest.test_case "smt throughput" `Quick test_smt_increases_core_throughput;
+         Alcotest.test_case "smt latency hiding" `Quick test_smt_helps_latency_bound;
+         Alcotest.test_case "memory latency" `Quick test_memory_latency_lowers_ipc ]);
+      ("measurement",
+       [ Alcotest.test_case "counters consistent" `Quick test_counters_consistent;
+         Alcotest.test_case "memory counters" `Quick test_memory_counters;
+         Alcotest.test_case "pmc read" `Quick test_pmc_read_interface;
+         Alcotest.test_case "determinism" `Quick test_measurement_determinism;
+         Alcotest.test_case "power orderings" `Quick test_power_orderings;
+         Alcotest.test_case "power vs cores" `Quick test_power_scales_with_cores;
+         Alcotest.test_case "smt overhead" `Quick test_smt_power_overhead;
+         Alcotest.test_case "zero data" `Quick test_zero_data_reduces_power;
+         Alcotest.test_case "bandwidth contention" `Quick test_bandwidth_contention;
+         Alcotest.test_case "phases" `Quick test_run_phases;
+         Alcotest.test_case "phases validation" `Quick test_phases_validation;
+         Alcotest.test_case "hetero validation" `Quick test_heterogeneous_validation;
+         Alcotest.test_case "hetero mix" `Quick test_heterogeneous_mix;
+         Alcotest.test_case "hetero determinism" `Quick test_heterogeneous_determinism;
+         Alcotest.test_case "smt fairness" `Quick test_smt_fairness;
+         Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+         Alcotest.test_case "power trace" `Quick test_power_trace_properties;
+         Alcotest.test_case "total threads" `Quick test_total_threads;
+         Alcotest.test_case "sensor seeds" `Quick test_seed_changes_sensor;
+         QCheck_alcotest.to_alcotest prop_power_monotone_in_cores ]);
+    ]

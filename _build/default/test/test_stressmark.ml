@@ -1,0 +1,167 @@
+(* Tests for mp_stressmark: candidate selection, sequence programs and
+   set evaluation. *)
+
+open Mp_codegen
+open Mp_uarch
+
+let arch () = Arch.power7 ()
+
+let machine a = Mp_sim.Machine.create a.Arch.uarch
+
+let test_program_of_sequence () =
+  let a = arch () in
+  let seqn = Mp_stressmark.Stressmark.expert_instructions a in
+  let p =
+    Mp_stressmark.Stressmark.program_of_sequence ~arch:a ~size:120 ~name:"sm" seqn
+  in
+  Alcotest.(check bool) "valid" true (Ir.validate p = Ok ());
+  let mix = Ir.instruction_mix p in
+  Alcotest.(check int) "equal thirds mullw" 40 (List.assoc "mullw" mix);
+  Alcotest.(check int) "equal thirds xvmaddadp" 40 (List.assoc "xvmaddadp" mix);
+  Alcotest.(check int) "equal thirds lxvd2x" 40 (List.assoc "lxvd2x" mix);
+  (* memory instructions are pinned to the L1 *)
+  List.iter
+    (fun (i : Ir.instr) ->
+      Alcotest.(check bool) "L1 pinned" true
+        (i.Ir.mem_target = Some Cache_geometry.L1))
+    (Ir.memory_instructions p)
+
+let test_expert_sets () =
+  let a = arch () in
+  let manual = Mp_stressmark.Stressmark.expert_manual_sequences a in
+  Alcotest.(check int) "four hand-written orders" 4 (List.length manual);
+  List.iter
+    (fun s -> Alcotest.(check int) "six instructions" 6 (List.length s))
+    manual;
+  Alcotest.(check int) "dse space" 729
+    (List.length
+       (Mp_stressmark.Stressmark.exhaustive_sequences
+          (Mp_stressmark.Stressmark.expert_instructions a)
+          ~length:6))
+
+let test_microprobe_selection () =
+  (* crafted bootstrap data: the per-category IPC×EPI winners must be
+     picked, one per pure functional-unit category *)
+  let a = arch () in
+  let fake m ipc epi fxu lsu vsu =
+    {
+      Mp_epi.Bootstrap.mnemonic = m;
+      derived_latency = 1.0;
+      throughput = ipc;
+      core_ipc = ipc;
+      epi;
+      events_per_instr =
+        [ (Pipe.FXU, fxu); (Pipe.LSU, lsu); (Pipe.VSU, vsu); (Pipe.BRU, 0.0) ];
+      units = [];
+    }
+  in
+  let props =
+    [ fake "mulldo" 1.4 2.6 1.0 0.0 0.0;      (* FXU: product 3.64 *)
+      fake "subf" 2.0 1.69 1.0 0.0 0.0;       (* FXU: product 3.38 *)
+      fake "lbz" 1.68 2.14 0.0 1.0 0.0;       (* LSU: product 3.6 *)
+      fake "lxvw4x" 1.68 2.88 0.0 1.0 0.0;    (* LSU: product 4.84 *)
+      fake "ldux" 1.0 5.12 1.0 1.0 0.0;       (* LSU and FXU: excluded *)
+      fake "add" 3.5 1.73 0.6 0.4 0.0;        (* FXU or LSU: excluded *)
+      fake "xvnmsubmdp" 2.0 2.35 0.0 0.0 1.0; (* VSU: product 4.7 *)
+      fake "xstsqrtdp" 2.0 1.32 0.0 0.0 1.0 ]
+  in
+  let picks =
+    Mp_stressmark.Stressmark.microprobe_instructions ~isa:a.Arch.isa props
+  in
+  Alcotest.(check (list string)) "paper's picks"
+    [ "mulldo"; "lxvw4x"; "xvnmsubmdp" ]
+    (List.map (fun (i : Mp_isa.Instruction.t) -> i.Mp_isa.Instruction.mnemonic) picks)
+
+let test_evaluate_set () =
+  let a = arch () in
+  let seqs =
+    [ Mp_stressmark.Stressmark.expert_instructions a;
+      List.rev (Mp_stressmark.Stressmark.expert_instructions a) ]
+  in
+  let s =
+    Mp_stressmark.Stressmark.evaluate_set ~machine:(machine a) ~arch:a
+      ~name:"mini" ~size:120 ~smt_modes:[ 1; 2 ] seqs
+  in
+  Alcotest.(check int) "2 seqs x 2 smt" 4
+    (List.length s.Mp_stressmark.Stressmark.evaluations);
+  Alcotest.(check bool) "ordering" true
+    (s.Mp_stressmark.Stressmark.min_power <= s.Mp_stressmark.Stressmark.mean_power
+     && s.Mp_stressmark.Stressmark.mean_power <= s.Mp_stressmark.Stressmark.max_power);
+  Alcotest.(check (float 1e-9)) "best is max" s.Mp_stressmark.Stressmark.max_power
+    s.Mp_stressmark.Stressmark.best.Mp_stressmark.Stressmark.power
+
+let test_order_spread_positive () =
+  let a = arch () in
+  let f = Arch.find_instruction a in
+  let os =
+    Mp_stressmark.Stressmark.order_spread ~machine:(machine a) ~arch:a
+      ~size:120 ~smt:1
+      [ f "mulldo"; f "lxvw4x"; f "xvnmsubmdp" ]
+  in
+  Alcotest.(check int) "3! orders" 6 os.Mp_stressmark.Stressmark.n_orders;
+  Alcotest.(check bool) "order changes power" true
+    (os.Mp_stressmark.Stressmark.spread_pct > 0.5)
+
+let test_same_mix_same_ipc_different_power () =
+  (* the paper's core observation: identical instruction distribution
+     and IPC, different order, measurably different power *)
+  let a = arch () in
+  let m = machine a in
+  let f = Arch.find_instruction a in
+  let cfg = Uarch_def.config ~cores:8 ~smt:1 a.Arch.uarch in
+  let run order name =
+    let p = Mp_stressmark.Stressmark.program_of_sequence ~arch:a ~size:240 ~name order in
+    Mp_sim.Machine.run m cfg p
+  in
+  let alt = run [ f "mulldo"; f "xvnmsubmdp"; f "mulldo"; f "xvnmsubmdp";
+                  f "mulldo"; f "xvnmsubmdp" ] "alt" in
+  let clu = run [ f "mulldo"; f "mulldo"; f "mulldo"; f "xvnmsubmdp";
+                  f "xvnmsubmdp"; f "xvnmsubmdp" ] "clu" in
+  Alcotest.(check (float 0.05)) "same IPC"
+    alt.Mp_sim.Measurement.core_ipc clu.Mp_sim.Measurement.core_ipc;
+  Alcotest.(check bool) "different power" true
+    (Float.abs (alt.Mp_sim.Measurement.power -. clu.Mp_sim.Measurement.power) > 0.5)
+
+let test_heterogeneous_search () =
+  let a = arch () in
+  let m = machine a in
+  let evals, best =
+    Mp_stressmark.Stressmark.heterogeneous_search ~machine:m ~arch:a
+      ~size:120 ~smt:2
+      ~homogeneous_best:(Mp_stressmark.Stressmark.expert_instructions a)
+      ()
+  in
+  (* multisets of 3 blocks over 2 threads: C(4,2) = 6 *)
+  Alcotest.(check int) "six assignments" 6 (List.length evals);
+  Alcotest.(check bool) "sorted best-first" true
+    (let rec sorted = function
+       | (a : Mp_stressmark.Stressmark.hetero_evaluation)
+         :: (b :: _ as rest) ->
+         a.Mp_stressmark.Stressmark.power >= b.Mp_stressmark.Stressmark.power
+         && sorted rest
+       | _ -> true
+     in
+     sorted evals);
+  Alcotest.(check (float 1e-9)) "best is head"
+    best.Mp_stressmark.Stressmark.power
+    (List.hd evals).Mp_stressmark.Stressmark.power;
+  List.iter
+    (fun (e : Mp_stressmark.Stressmark.hetero_evaluation) ->
+      Alcotest.(check int) "two blocks" 2
+        (List.length e.Mp_stressmark.Stressmark.assignment))
+    evals
+
+let () =
+  Alcotest.run "mp_stressmark"
+    [
+      ("construction",
+       [ Alcotest.test_case "sequence program" `Quick test_program_of_sequence;
+         Alcotest.test_case "expert sets" `Quick test_expert_sets;
+         Alcotest.test_case "microprobe selection" `Quick test_microprobe_selection ]);
+      ("evaluation",
+       [ Alcotest.test_case "evaluate set" `Quick test_evaluate_set;
+         Alcotest.test_case "order spread" `Quick test_order_spread_positive;
+         Alcotest.test_case "same mix, different power" `Quick
+           test_same_mix_same_ipc_different_power;
+         Alcotest.test_case "heterogeneous search" `Quick test_heterogeneous_search ]);
+    ]

@@ -1,0 +1,170 @@
+(* Tests for mp_uarch: cache geometry arithmetic, the POWER7 definition,
+   instruction-to-unit mapping and configurations. *)
+
+open Mp_uarch
+
+let uarch () = Power7.define ()
+
+let find u m = Mp_isa.Isa_def.find_exn (Power7.isa u) m
+
+(* ----- cache geometry ---------------------------------------------------- *)
+
+let l1 () = Uarch_def.cache (uarch ()) Cache_geometry.L1
+
+let test_geometry_counts () =
+  let u = uarch () in
+  let l1 = Uarch_def.cache u Cache_geometry.L1 in
+  let l2 = Uarch_def.cache u Cache_geometry.L2 in
+  let l3 = Uarch_def.cache u Cache_geometry.L3 in
+  Alcotest.(check int) "L1 sets" 32 (Cache_geometry.sets l1);
+  Alcotest.(check int) "L2 sets" 256 (Cache_geometry.sets l2);
+  Alcotest.(check int) "L3 sets" 4096 (Cache_geometry.sets l3);
+  Alcotest.(check int) "L1 offset bits" 7 (Cache_geometry.offset_bits l1);
+  Alcotest.(check int) "L1 set bits" 5 (Cache_geometry.set_bits l1);
+  Alcotest.(check int) "L2 set bits" 8 (Cache_geometry.set_bits l2);
+  Alcotest.(check int) "L3 set bits" 12 (Cache_geometry.set_bits l3)
+
+let test_set_field_nesting () =
+  (* Figure 3b: each level's set field extends the previous one's, so
+     equal L2 sets imply equal L1 sets *)
+  let u = uarch () in
+  let l1 = Uarch_def.cache u Cache_geometry.L1 in
+  let l2 = Uarch_def.cache u Cache_geometry.L2 in
+  let a = Cache_geometry.address_with_set l2 ~set:0x53 ~tag:7 in
+  let b = Cache_geometry.address_with_set l2 ~set:0x53 ~tag:9 in
+  Alcotest.(check int) "same L1 set" (Cache_geometry.set_index l1 a)
+    (Cache_geometry.set_index l1 b)
+
+let test_geometry_validation () =
+  Alcotest.(check bool) "non power of two" true
+    (try
+       ignore (Cache_geometry.make ~level:Cache_geometry.L1 ~size_bytes:3000
+                 ~associativity:8 ~line_bytes:128 ~latency_cycles:1);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_set_roundtrip =
+  QCheck.Test.make ~name:"address_with_set/set_index round-trip" ~count:500
+    QCheck.(pair (int_range 0 31) (int_range 0 100000))
+    (fun (set, tag) ->
+      let g = l1 () in
+      let addr = Cache_geometry.address_with_set g ~set ~tag in
+      Cache_geometry.set_index g addr = set && Cache_geometry.tag g addr = tag)
+
+let prop_line_address_idempotent =
+  QCheck.Test.make ~name:"line_address idempotent" ~count:500
+    QCheck.(int_range 0 10_000_000)
+    (fun addr ->
+      let g = l1 () in
+      let la = Cache_geometry.line_address g addr in
+      Cache_geometry.line_address g la = la && la land 127 = 0)
+
+(* ----- configurations ----------------------------------------------------- *)
+
+let test_all_configs () =
+  let u = uarch () in
+  Alcotest.(check int) "8 cores x 3 smt" 24 (List.length (Uarch_def.all_configs u));
+  let c = Uarch_def.config ~cores:4 ~smt:2 u in
+  Alcotest.(check int) "threads" 8 (Uarch_def.threads c);
+  Alcotest.(check string) "to_string" "4c-smt2" (Uarch_def.config_to_string c)
+
+let test_config_validation () =
+  let u = uarch () in
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "0 cores" true (bad (fun () -> Uarch_def.config ~cores:0 ~smt:1 u));
+  Alcotest.(check bool) "9 cores" true (bad (fun () -> Uarch_def.config ~cores:9 ~smt:1 u));
+  Alcotest.(check bool) "smt3" true (bad (fun () -> Uarch_def.config ~cores:1 ~smt:3 u))
+
+(* ----- resource mapping ---------------------------------------------------- *)
+
+let test_units_stressed () =
+  let u = uarch () in
+  let units m = Uarch_def.units_stressed u (find u m) in
+  Alcotest.(check bool) "lbz -> LSU" true (units "lbz" = [ Pipe.LSU ]);
+  Alcotest.(check bool) "ldux -> FXU+LSU" true (units "ldux" = [ Pipe.FXU; Pipe.LSU ]);
+  Alcotest.(check bool) "xvmaddadp -> VSU" true (units "xvmaddadp" = [ Pipe.VSU ]);
+  Alcotest.(check bool) "stxvw4x -> LSU+VSU" true (units "stxvw4x" = [ Pipe.LSU; Pipe.VSU ]);
+  Alcotest.(check bool) "stfdux -> FXU+LSU+VSU" true
+    (units "stfdux" = [ Pipe.FXU; Pipe.LSU; Pipe.VSU ]);
+  Alcotest.(check bool) "b -> BRU" true (units "b" = [ Pipe.BRU ]);
+  Alcotest.(check bool) "stresses query" true
+    (Uarch_def.stresses u (find u "xvmaddadp") Pipe.VSU)
+
+let test_peak_ipc () =
+  let u = uarch () in
+  let peak m = Uarch_def.peak_ipc u (find u m) in
+  Alcotest.(check (float 0.01)) "add" 3.538 (peak "add");
+  Alcotest.(check (float 0.01)) "subf" 2.0 (peak "subf");
+  Alcotest.(check (float 0.01)) "mulldo" 1.399 (peak "mulldo");
+  Alcotest.(check (float 0.01)) "lbz" 1.681 (peak "lbz");
+  Alcotest.(check (float 0.01)) "ldux" 1.0 (peak "ldux");
+  Alcotest.(check (float 0.01)) "stfd" 0.481 (peak "stfd");
+  Alcotest.(check (float 0.01)) "xstsqrtdp (override)" 2.0 (peak "xstsqrtdp")
+
+let test_level_latency_monotone () =
+  let u = uarch () in
+  let lat l = Uarch_def.level_latency u l in
+  Alcotest.(check bool) "monotone" true
+    (lat Cache_geometry.L1 < lat Cache_geometry.L2
+     && lat Cache_geometry.L2 < lat Cache_geometry.L3
+     && lat Cache_geometry.L3 < lat Cache_geometry.MEM)
+
+let test_pipe_counts () =
+  let u = uarch () in
+  Alcotest.(check int) "2 FXU" 2 (Uarch_def.pipe_count u Pipe.Fxu);
+  Alcotest.(check int) "2 LSU" 2 (Uarch_def.pipe_count u Pipe.Lsu);
+  Alcotest.(check int) "2 VSU" 2 (Uarch_def.pipe_count u Pipe.Vsu);
+  Alcotest.(check int) "1 store port" 1 (Uarch_def.pipe_count u Pipe.Store_port)
+
+let test_parent_units () =
+  Alcotest.(check bool) "store port -> LSU" true
+    (Pipe.parent_unit Pipe.Store_port = Pipe.LSU);
+  Alcotest.(check bool) "update port -> FXU" true
+    (Pipe.parent_unit Pipe.Update_port = Pipe.FXU)
+
+(* ----- PMC catalogue -------------------------------------------------------- *)
+
+let test_pmc_mapping () =
+  Alcotest.(check string) "fxu" "PM_FXU_FIN" (Pmc.name (Pmc.of_unit Pipe.FXU));
+  Alcotest.(check string) "l3" "PM_DATA_FROM_L3"
+    (Pmc.name (Pmc.of_level Cache_geometry.L3));
+  Alcotest.(check int) "catalogue size" 12 (List.length Pmc.all);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Pmc.name id) true (String.length (Pmc.description id) > 0))
+    Pmc.all
+
+let test_every_instruction_mapped () =
+  (* every non-nop instruction of the shipped ISA must stress at least
+     one functional unit *)
+  let u = uarch () in
+  List.iter
+    (fun (i : Mp_isa.Instruction.t) ->
+      if i.Mp_isa.Instruction.exec_class <> Mp_isa.Instruction.Nop_op then
+        Alcotest.(check bool)
+          ("mapped " ^ i.Mp_isa.Instruction.mnemonic)
+          true
+          (Uarch_def.units_stressed u i <> []))
+    (Mp_isa.Isa_def.instructions (Power7.isa u))
+
+let () =
+  Alcotest.run "mp_uarch"
+    [
+      ("geometry",
+       [ Alcotest.test_case "counts" `Quick test_geometry_counts;
+         Alcotest.test_case "set nesting" `Quick test_set_field_nesting;
+         Alcotest.test_case "validation" `Quick test_geometry_validation;
+         QCheck_alcotest.to_alcotest prop_set_roundtrip;
+         QCheck_alcotest.to_alcotest prop_line_address_idempotent ]);
+      ("configs",
+       [ Alcotest.test_case "all configs" `Quick test_all_configs;
+         Alcotest.test_case "validation" `Quick test_config_validation ]);
+      ("resources",
+       [ Alcotest.test_case "units stressed" `Quick test_units_stressed;
+         Alcotest.test_case "peak ipc" `Quick test_peak_ipc;
+         Alcotest.test_case "latencies" `Quick test_level_latency_monotone;
+         Alcotest.test_case "pipe counts" `Quick test_pipe_counts;
+         Alcotest.test_case "parent units" `Quick test_parent_units;
+         Alcotest.test_case "all mapped" `Quick test_every_instruction_mapped ]);
+      ("pmc", [ Alcotest.test_case "mapping" `Quick test_pmc_mapping ]);
+    ]
