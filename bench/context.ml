@@ -8,6 +8,7 @@ open Microprobe
 type t = {
   arch : Arch.t;
   machine : Machine.t;
+  pool : Mp_util.Parallel.t;
   quick : bool;
   mutable families : Workloads.Training.family list option;
   mutable spec : (Uarch_def.config * Measurement.t list) list option;
@@ -17,6 +18,7 @@ type t = {
   mutable micro_multi : Measurement.t list option;
   mutable bu : Power_model.Bottom_up.t option;
   mutable props : Epi.Bootstrap.props list option;
+  mutable metrics : (string * float) list;  (* exported to BENCH_sim.json *)
 }
 
 let create ~quick =
@@ -24,6 +26,7 @@ let create ~quick =
   {
     arch;
     machine = Machine.create arch.Arch.uarch;
+    pool = Mp_util.Parallel.global ();
     quick;
     families = None;
     spec = None;
@@ -33,7 +36,13 @@ let create ~quick =
     micro_multi = None;
     bu = None;
     props = None;
+    metrics = [];
   }
+
+let record_metric t name v =
+  t.metrics <- (name, v) :: List.remove_assoc name t.metrics
+
+let metrics t = List.rev t.metrics
 
 let config t ~cores ~smt = Uarch_def.config ~cores ~smt t.arch.Arch.uarch
 
@@ -86,7 +95,13 @@ let family_programs ?(skip = 1) ?only_random ?(exclude_random = false) t =
   |> List.map (fun (e : Workloads.Training.entry) -> e.Workloads.Training.program)
 
 let run_programs t config programs =
-  List.map (Machine.run t.machine config) programs
+  Machine.run_batch ~pool:t.pool t.machine
+    (List.map (fun p -> (config, p)) programs)
+
+(* fan one program list across several configurations as a single batch *)
+let run_grid t configs programs =
+  Machine.run_batch ~pool:t.pool t.machine
+    (List.concat_map (fun c -> List.map (fun p -> (c, p)) programs) configs)
 
 let train_smt1 t =
   match t.train_smt1 with
@@ -105,8 +120,9 @@ let train_smt_on t =
   | None ->
     let d =
       timed "measure suite @ 1c-smt{2,4}" (fun () ->
-          run_programs t (config t ~cores:1 ~smt:2) (family_programs ~skip:2 t)
-          @ run_programs t (config t ~cores:1 ~smt:4) (family_programs ~skip:2 t))
+          run_grid t
+            [ config t ~cores:1 ~smt:2; config t ~cores:1 ~smt:4 ]
+            (family_programs ~skip:2 t))
     in
     t.train_smt_on <- Some d;
     d
@@ -118,9 +134,7 @@ let random_multi t =
     let programs = family_programs ~skip:3 ~only_random:true t in
     let d =
       timed "measure random set on every configuration" (fun () ->
-          List.concat_map
-            (fun c -> run_programs t c programs)
-            (all_configs t))
+          run_grid t (all_configs t) programs)
     in
     t.random_multi <- Some d;
     d
@@ -138,7 +152,7 @@ let micro_multi t =
     in
     let d =
       timed "measure micro-architecture set across configurations" (fun () ->
-          List.concat_map (fun c -> run_programs t c programs) configs)
+          run_grid t configs programs)
     in
     t.micro_multi <- Some d;
     d
@@ -158,7 +172,12 @@ let spec t =
       timed "measure SPEC CPU2006 surrogate on every configuration" (fun () ->
           List.map
             (fun c ->
-              (c, List.map (fun b -> Workloads.Spec.run ~machine:t.machine ~config:c b) suite))
+              ( c,
+                List.map
+                  (fun b ->
+                    Workloads.Spec.run ~machine:t.machine ~config:c
+                      ~pool:t.pool b)
+                  suite ))
             configs)
     in
     t.spec <- Some d;

@@ -171,7 +171,7 @@ let search_drivers (ctx : Context.t) =
   let rnd =
     Dse.Random_search.search ~rng:(Util.Rng.create 100)
       ~sample:(fun g -> List.init 6 (fun _ -> Util.Rng.choose g picks))
-      ~eval ~budget
+      ~eval ~budget ()
   in
   Text_table.add_row table
     [ "random"; string_of_int !evaluations;

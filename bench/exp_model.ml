@@ -141,9 +141,7 @@ let fig7 (ctx : Context.t) =
   List.iter
     (fun (case : Workloads.Extreme.case) ->
       let ms =
-        List.map
-          (fun c -> Machine.run ctx.Context.machine c case.Workloads.Extreme.program)
-          configs
+        Context.run_grid ctx configs [ case.Workloads.Extreme.program ]
       in
       let td_cells =
         List.map

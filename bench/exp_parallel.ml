@@ -1,0 +1,63 @@
+(* Parallel-engine benchmark: the same measurement batch run serially
+   (pool of one, no cache) and across the domain pool, with a
+   bit-identical result check — the engine's determinism contract is
+   asserted on every harness run, not only in the test suite. *)
+
+open Microprobe
+
+let run (ctx : Context.t) =
+  Context.section "Parallel engine — pooled run_batch vs serial";
+  let arch = ctx.Context.arch in
+  let programs = Context.family_programs ~skip:2 ctx in
+  let configs =
+    [ Context.config ctx ~cores:1 ~smt:1;
+      Context.config ctx ~cores:4 ~smt:2;
+      Context.config ctx ~cores:8 ~smt:4 ]
+  in
+  let jobs =
+    List.concat_map (fun c -> List.map (fun p -> (c, p)) programs) configs
+  in
+  Context.log "%d jobs (%d programs x %d configurations), pool of %d domains"
+    (List.length jobs) (List.length programs) (List.length configs)
+    (Mp_util.Parallel.size ctx.Context.pool);
+  (* fresh machines with the cache off so both sides simulate every job *)
+  let serial_machine = Machine.create ~cache:false arch.Arch.uarch in
+  let serial_pool = Mp_util.Parallel.create 1 in
+  let t0 = Unix.gettimeofday () in
+  let serial = Machine.run_batch ~pool:serial_pool serial_machine jobs in
+  let t_serial = Unix.gettimeofday () -. t0 in
+  Mp_util.Parallel.shutdown serial_pool;
+  let par_machine = Machine.create ~cache:false arch.Arch.uarch in
+  let t0 = Unix.gettimeofday () in
+  let par = Machine.run_batch ~pool:ctx.Context.pool par_machine jobs in
+  let t_par = Unix.gettimeofday () -. t0 in
+  let identical = List.for_all2 (fun a b -> compare a b = 0) serial par in
+  if not identical then
+    failwith "parbench: pooled results diverge from the serial run";
+  let speedup = t_serial /. t_par in
+  Context.record_metric ctx "parbench_jobs" (float_of_int (List.length jobs));
+  Context.record_metric ctx "parbench_serial_seconds" t_serial;
+  Context.record_metric ctx "parbench_parallel_seconds" t_par;
+  Context.record_metric ctx "parbench_speedup" speedup;
+  Context.log
+    "serial %.2fs, pooled %.2fs -> %.2fx speedup; results bit-identical"
+    t_serial t_par speedup;
+  (* memoization: the same batch again on a caching machine — the warm
+     pass must also match the serial reference bit for bit *)
+  let memo_machine = Machine.create arch.Arch.uarch in
+  let t0 = Unix.gettimeofday () in
+  ignore (Machine.run_batch ~pool:ctx.Context.pool memo_machine jobs);
+  let t_cold = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let warm = Machine.run_batch ~pool:ctx.Context.pool memo_machine jobs in
+  let t_warm = Unix.gettimeofday () -. t0 in
+  if not (List.for_all2 (fun a b -> compare a b = 0) serial warm) then
+    failwith "parbench: cached results diverge from the serial run";
+  let memo_speedup = t_cold /. Float.max t_warm 1e-9 in
+  Context.record_metric ctx "parbench_memo_cold_seconds" t_cold;
+  Context.record_metric ctx "parbench_memo_warm_seconds" t_warm;
+  Context.record_metric ctx "parbench_memo_speedup" memo_speedup;
+  Context.log
+    "memoized rerun: cold %.2fs, warm %.3fs -> %.0fx; cached results\n\
+     bit-identical to serial"
+    t_cold t_warm memo_speedup

@@ -71,14 +71,14 @@ let fig9 (ctx : Context.t) =
   in
   (* 4. DAXPY kernels *)
   let daxpy_evals =
-    List.concat_map
-      (fun p ->
-        List.map
-          (fun smt ->
-            (Machine.run machine (Context.config ctx ~cores:8 ~smt) p)
-              .Measurement.power)
-          [ 1; 2; 4 ])
-      (Workloads.Daxpy.variants ~arch ~size ())
+    Machine.run_batch ~pool:ctx.Context.pool machine
+      (List.concat_map
+         (fun p ->
+           List.map
+             (fun smt -> (Context.config ctx ~cores:8 ~smt, p))
+             [ 1; 2; 4 ])
+         (Workloads.Daxpy.variants ~arch ~size ()))
+    |> List.map (fun (m : Measurement.t) -> m.Measurement.power)
   in
   let table =
     Text_table.create [ "Set"; "Min"; "Mean"; "Max"; "Max vs SPEC peak" ]
@@ -149,6 +149,40 @@ let order_experiment (ctx : Context.t) =
     (String.concat ", " os.Stressmark.multiset)
     os.Stressmark.n_orders os.Stressmark.min_power os.Stressmark.max_power
     os.Stressmark.spread_pct
+
+let ga (ctx : Context.t) =
+  Context.section
+    "Extension — GA max-power search (batched, memoized evaluation)";
+  let arch = ctx.Context.arch in
+  let machine = ctx.Context.machine in
+  let picks =
+    Stressmark.microprobe_instructions ~isa:arch.Arch.isa
+      (Context.bootstrap_props ctx)
+  in
+  let size = if ctx.Context.quick then 512 else 1024 in
+  let r =
+    Context.timed "GA stressmark search" (fun () ->
+        Stressmark.ga_search ~machine ~arch ~size ~pool:ctx.Context.pool
+          ~population:(if ctx.Context.quick then 12 else 24)
+          ~generations:(if ctx.Context.quick then 6 else 12)
+          ~candidates:picks ~length:6 ())
+  in
+  let lookups = r.Stressmark.ga_cache_hits + r.Stressmark.ga_cache_misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else float_of_int r.Stressmark.ga_cache_hits /. float_of_int lookups
+  in
+  Context.record_metric ctx "ga_cache_hit_rate" hit_rate;
+  Context.log "Best GA stressmark: %s (SMT%d) at %.1f after %d evaluations"
+    (String.concat "," r.Stressmark.ga_best.Stressmark.sequence)
+    r.Stressmark.ga_best.Stressmark.smt r.Stressmark.ga_best.Stressmark.power
+    r.Stressmark.ga_evaluations;
+  Context.log
+    "Measurement cache over the search: %d hits / %d lookups (%.1f%% hit\n\
+     rate) — only %d distinct simulations ran; revisited sequences were\n\
+     served from the cache."
+    r.Stressmark.ga_cache_hits lookups (hit_rate *. 100.0)
+    r.Stressmark.ga_cache_misses
 
 let heterogeneous (ctx : Context.t) =
   Context.section

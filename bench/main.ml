@@ -20,9 +20,42 @@ let experiments : (string * string * (Context.t -> unit)) list =
     ("fig9", "Max-power stressmark sets", Exp_stressmark.fig9);
     ("order", "Instruction-order power experiment", Exp_stressmark.order_experiment);
     ("hetero", "Heterogeneous per-thread stressmarks", Exp_stressmark.heterogeneous);
+    ("ga", "GA stressmark search (batched, memoized)", Exp_stressmark.ga);
+    ("parbench", "Parallel engine speedup vs serial", Exp_parallel.run);
     ("ablation", "Design-choice ablations", Exp_ablation.run);
     ("bechamel", "Kernel timings", Bechamel_suite.run);
   ]
+
+(* hand-rolled JSON writer — the harness has no JSON dependency and the
+   shape is flat enough not to want one *)
+let write_bench_json ~path ~quick ~total (ctx : Context.t) timings =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  let json_f v =
+    if Float.is_nan v then "null" else Printf.sprintf "%.6f" v
+  in
+  out "{\n";
+  out "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  out "  \"pool_size\": %d,\n" (Mp_util.Parallel.size ctx.Context.pool);
+  out "  \"total_seconds\": %s,\n" (json_f total);
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      out "    { \"name\": %S, \"seconds\": %s }%s\n" name (json_f seconds)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  out "  ],\n";
+  out "  \"metrics\": {\n";
+  let metrics = Context.metrics ctx in
+  List.iteri
+    (fun i (name, v) ->
+      out "    %S: %s%s\n" name (json_f v)
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "Wrote %s\n" path
 
 let usage () =
   print_endline "usage: main.exe [--quick] [experiment ...]";
@@ -61,6 +94,15 @@ let () =
       (if quick then "quick" else "full");
     let ctx = Context.create ~quick in
     let t0 = Unix.gettimeofday () in
-    List.iter (fun (_, _, f) -> f ctx) to_run;
-    Printf.printf "\nTotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    let timings =
+      List.map
+        (fun (name, _, f) ->
+          let e0 = Unix.gettimeofday () in
+          f ctx;
+          (name, Unix.gettimeofday () -. e0))
+        to_run
+    in
+    let total = Unix.gettimeofday () -. t0 in
+    Printf.printf "\nTotal harness time: %.1fs\n" total;
+    write_bench_json ~path:"BENCH_sim.json" ~quick ~total ctx timings
   end

@@ -6,11 +6,35 @@ type 'p result = {
   all : 'p evaluation list;
 }
 
+(* Descending by score with an explicit NaN-last rule: a fitness that
+   divides by a zero counter must sink, not poison the ordering (plain
+   [compare] on floats is not even a total preorder under NaN). *)
+let compare_scores_desc a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> Float.compare b a
+
+let compare_desc a b = compare_scores_desc a.score b.score
+
 let best_of = function
   | [] -> invalid_arg "Driver.best_of: empty"
   | e :: rest ->
-    List.fold_left (fun acc x -> if x.score > acc.score then x else acc) e rest
+    List.fold_left
+      (fun acc x -> if compare_desc x acc < 0 then x else acc)
+      e rest
 
 let top n evals =
-  let sorted = List.sort (fun a b -> compare b.score a.score) evals in
+  let sorted = List.sort compare_desc evals in
   List.filteri (fun i _ -> i < n) sorted
+
+let eval_list ?eval_batch ~eval points =
+  match eval_batch with
+  | None ->
+    List.rev (List.rev_map (fun p -> { point = p; score = eval p }) points)
+  | Some batch ->
+    let scores = batch points in
+    if List.length scores <> List.length points then
+      invalid_arg "Driver.eval_list: eval_batch returned a different length";
+    List.map2 (fun p s -> { point = p; score = s }) points scores

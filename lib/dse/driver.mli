@@ -1,4 +1,11 @@
-(** Common result shape of the search drivers. *)
+(** Common result shape and evaluation plumbing of the search drivers.
+
+    Every driver takes a scalar [eval] and, optionally, an [eval_batch]
+    hook that scores a whole list of points at once. The measurement
+    engine implements [eval_batch] with {!Mp_sim.Machine.run_batch}, so
+    a driver that groups its candidate points (a GA generation, a
+    random-search budget, an exhaustive space) gets pool-parallel,
+    memoized evaluation without knowing anything about domains. *)
 
 type 'p evaluation = { point : 'p; score : float }
 
@@ -8,8 +15,26 @@ type 'p result = {
   all : 'p evaluation list;  (** every evaluated point, in evaluation order *)
 }
 
+val compare_scores_desc : float -> float -> int
+(** Total order, descending, NaN strictly last. *)
+
+val compare_desc : 'p evaluation -> 'p evaluation -> int
+(** {!compare_scores_desc} on the scores. *)
+
 val best_of : 'p evaluation list -> 'p evaluation
-(** Highest score; raises [Invalid_argument] on an empty list. *)
+(** Highest non-NaN score (first among ties; a NaN-scored evaluation
+    is returned only when every score is NaN); raises
+    [Invalid_argument] on an empty list. *)
 
 val top : int -> 'p evaluation list -> 'p evaluation list
-(** The [n] highest-scoring evaluations, best first. *)
+(** The [n] highest-scoring evaluations, best first, NaN last. *)
+
+val eval_list :
+  ?eval_batch:('p list -> float list) ->
+  eval:('p -> float) ->
+  'p list ->
+  'p evaluation list
+(** Score points in order. With [eval_batch], the whole list is scored
+    in one call (which must return one score per point, in order —
+    raises [Invalid_argument] otherwise); without it, [eval] is applied
+    left-to-right. *)

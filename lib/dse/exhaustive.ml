@@ -1,13 +1,10 @@
-let search ?on_progress ~eval points =
+let search ?on_progress ?eval_batch ~eval points =
   if points = [] then invalid_arg "Exhaustive.search: empty space";
+  let all = Driver.eval_list ?eval_batch ~eval points in
   let count = ref 0 in
-  let all =
-    List.map
-      (fun p ->
-        let e = { Driver.point = p; score = eval p } in
-        incr count;
-        (match on_progress with Some f -> f !count e | None -> ());
-        e)
-      points
-  in
+  List.iter
+    (fun e ->
+      incr count;
+      match on_progress with Some f -> f !count e | None -> ())
+    all;
   { Driver.best = Driver.best_of all; evaluations = !count; all }

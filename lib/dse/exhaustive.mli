@@ -4,9 +4,11 @@
 
 val search :
   ?on_progress:(int -> 'p Driver.evaluation -> unit) ->
+  ?eval_batch:('p list -> float list) ->
   eval:('p -> float) ->
   'p list ->
   'p Driver.result
-(** Evaluate every point. [on_progress] fires after each evaluation
-    with the running count. Raises [Invalid_argument] on an empty
-    space. *)
+(** Evaluate every point — as one batch when [eval_batch] is given
+    (see {!Driver.eval_list}). [on_progress] fires once per evaluation
+    with the running count (after the batch completes, in batch mode).
+    Raises [Invalid_argument] on an empty space. *)

@@ -4,52 +4,60 @@ type 'p operators = {
   crossover : Mp_util.Rng.t -> 'p -> 'p -> 'p;
 }
 
-let search ~rng ~ops ~eval ?(population = 24) ?(generations = 12) ?(elite = 4)
-    ?(mutation_rate = 0.3) ?(seeds = []) () =
+let search ~rng ~ops ~eval ?eval_batch ?(population = 24) ?(generations = 12)
+    ?(elite = 4) ?(mutation_rate = 0.3) ?(seeds = []) () =
   if population < 2 then invalid_arg "Genetic.search: population";
   if elite >= population then invalid_arg "Genetic.search: elite";
-  let evaluate p = { Driver.point = p; score = eval p } in
-  let all = ref [] in
-  let note e = all := e :: !all in
+  let eval_all points = Driver.eval_list ?eval_batch ~eval points in
+  (* single-pass accumulator: evaluation list (reversed), count and the
+     running best — no O(n) re-scan at the end *)
+  let all_rev = ref [] in
+  let count = ref 0 in
+  let best = ref None in
+  let note e =
+    all_rev := e :: !all_rev;
+    incr count;
+    match !best with
+    | Some b when Driver.compare_desc e b >= 0 -> ()
+    | _ -> best := Some e
+  in
   let tournament pop =
     let a = Mp_util.Rng.choose rng pop and b = Mp_util.Rng.choose rng pop in
-    if a.Driver.score >= b.Driver.score then a else b
+    if Driver.compare_desc a b <= 0 then a else b
   in
   let seeds = Array.of_list seeds in
-  let initial =
-    Array.init population (fun i ->
-        let p =
-          if i < Array.length seeds then seeds.(i) else ops.init rng
-        in
-        let e = evaluate p in
-        note e;
-        e)
+  (* build points first (consuming the RNG left-to-right), then score
+     the whole population as one batch *)
+  let initial_points =
+    List.init population (fun i -> i)
+    |> List.map (fun i ->
+           if i < Array.length seeds then seeds.(i) else ops.init rng)
   in
-  let current = ref initial in
+  let initial = eval_all initial_points in
+  List.iter note initial;
+  let current = ref (Array.of_list initial) in
   for _gen = 1 to generations do
     let sorted =
-      Array.of_list
-        (List.sort
-           (fun a b -> compare b.Driver.score a.Driver.score)
-           (Array.to_list !current))
+      Array.of_list (List.sort Driver.compare_desc (Array.to_list !current))
     in
-    let next =
-      Array.init population (fun i ->
-          if i < elite then sorted.(i)
-          else begin
-            let a = tournament sorted and b = tournament sorted in
-            let child = ops.crossover rng a.Driver.point b.Driver.point in
-            let child =
-              if Mp_util.Rng.float rng 1.0 < mutation_rate then
-                ops.mutate rng child
-              else child
-            in
-            let e = evaluate child in
-            note e;
-            e
-          end)
-    in
-    current := next
+    let elites = Array.sub sorted 0 elite in
+    let offspring_points = ref [] in
+    for _i = elite to population - 1 do
+      let a = tournament sorted and b = tournament sorted in
+      let child = ops.crossover rng a.Driver.point b.Driver.point in
+      let child =
+        if Mp_util.Rng.float rng 1.0 < mutation_rate then ops.mutate rng child
+        else child
+      in
+      offspring_points := child :: !offspring_points
+    done;
+    (* each generation's offspring is evaluated as one batch *)
+    let offspring = eval_all (List.rev !offspring_points) in
+    List.iter note offspring;
+    current := Array.append elites (Array.of_list offspring)
   done;
-  let all = List.rev !all in
-  { Driver.best = Driver.best_of all; evaluations = List.length all; all }
+  {
+    Driver.best = Option.get !best;
+    evaluations = !count;
+    all = List.rev !all_rev;
+  }

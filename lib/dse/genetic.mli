@@ -12,6 +12,7 @@ val search :
   rng:Mp_util.Rng.t ->
   ops:'p operators ->
   eval:('p -> float) ->
+  ?eval_batch:('p list -> float list) ->
   ?population:int ->
   ?generations:int ->
   ?elite:int ->
@@ -20,7 +21,11 @@ val search :
   unit ->
   'p Driver.result
 (** Defaults: population 24, generations 12, elite 4, mutation rate
-    0.3. Selection is 2-way tournament; elites carry over unchanged.
-    [seeds] are placed in the initial population (truncated to the
-    population size); the rest comes from [ops.init]. Deterministic
-    given [rng]. *)
+    0.3. Selection is 2-way tournament; elites carry over unchanged
+    (and are never re-evaluated). [seeds] are placed in the initial
+    population (truncated to the population size); the rest comes from
+    [ops.init]. Deterministic given [rng]: candidate generation
+    consumes the RNG before any scoring, so supplying [eval_batch]
+    (the initial population and each generation's offspring are then
+    scored as single batches — see {!Driver.eval_list}) cannot change
+    the search trajectory. NaN fitness sorts strictly last. *)

@@ -1,8 +1,10 @@
-let search ~rng ~sample ~eval ~budget =
+let search ~rng ~sample ~eval ?eval_batch ~budget () =
   if budget <= 0 then invalid_arg "Random_search.search: budget";
-  let all =
-    List.init budget (fun _ ->
-        let p = sample rng in
-        { Driver.point = p; score = eval p })
-  in
+  (* draw all points first (the RNG must be consumed in order), then
+     score the whole budget as one batch *)
+  let points = ref [] in
+  for _ = 1 to budget do
+    points := sample rng :: !points
+  done;
+  let all = Driver.eval_list ?eval_batch ~eval (List.rev !points) in
   { Driver.best = Driver.best_of all; evaluations = budget; all }

@@ -4,5 +4,11 @@ val search :
   rng:Mp_util.Rng.t ->
   sample:(Mp_util.Rng.t -> 'p) ->
   eval:('p -> float) ->
+  ?eval_batch:('p list -> float list) ->
   budget:int ->
+  unit ->
   'p Driver.result
+(** All [budget] points are drawn before scoring, so with [eval_batch]
+    the entire budget is evaluated as one batch (see
+    {!Driver.eval_list}); the sampled points are identical either
+    way. *)

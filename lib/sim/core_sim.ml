@@ -7,27 +7,38 @@ type opmap = {
   ids : (string, int) Hashtbl.t;
   mutable names : string array;
   mutable count : int;
+  lock : Mutex.t;
+      (* deploys may run on pool domains; the intern table is the only
+         mutable state they share, so every access takes the lock.
+         Deterministic id assignment is the caller's job: Machine
+         pre-interns every opcode in job order before fanning out. *)
 }
 
 let opmap_create () =
-  { ids = Hashtbl.create 64; names = Array.make 64 ""; count = 0 }
+  { ids = Hashtbl.create 64; names = Array.make 64 ""; count = 0;
+    lock = Mutex.create () }
 
 let opmap_size m = m.count
 
 let intern m name =
-  match Hashtbl.find_opt m.ids name with
-  | Some id -> id
-  | None ->
-    let id = m.count in
-    Hashtbl.add m.ids name id;
-    if id >= Array.length m.names then begin
-      let bigger = Array.make (2 * Array.length m.names) "" in
-      Array.blit m.names 0 bigger 0 (Array.length m.names);
-      m.names <- bigger
-    end;
-    m.names.(id) <- name;
-    m.count <- id + 1;
-    id
+  Mutex.lock m.lock;
+  let id =
+    match Hashtbl.find_opt m.ids name with
+    | Some id -> id
+    | None ->
+      let id = m.count in
+      Hashtbl.add m.ids name id;
+      if id >= Array.length m.names then begin
+        let bigger = Array.make (2 * Array.length m.names) "" in
+        Array.blit m.names 0 bigger 0 (Array.length m.names);
+        m.names <- bigger
+      end;
+      m.names.(id) <- name;
+      m.count <- id + 1;
+      id
+  in
+  Mutex.unlock m.lock;
+  id
 
 let opmap_name m id =
   if id < 0 || id >= m.count then invalid_arg "Core_sim.opmap_name";
@@ -221,7 +232,22 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
   let op_issues = Array.make (max 1 (opmap_size opmap + 64)) 0 in
   let level_loads = Array.make 4 0 in
   let switch_events = ref 0 in
-  let transitions : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* dispatch-bus opcode transitions: a flat dense matrix over interned
+     opcode pairs — the per-dispatch Hashtbl this replaces dominated the
+     dispatch loop. All ids are < opmap_size at run entry (interning
+     happens at deploy, never mid-run). *)
+  let trans_stride = max 1 (opmap_size opmap) in
+  let transitions = Array.make (trans_stride * trans_stride) 0 in
+  (* scratch for pipe-slot selection, hoisted out of the cycle loop *)
+  let max_fixed =
+    Array.fold_left
+      (fun acc (p : dprog) ->
+        Array.fold_left
+          (fun acc (d : dinstr) -> max acc (Array.length d.fixed))
+          acc p.body)
+      1 progs
+  in
+  let fixed_slots = Array.make max_fixed (-1) in
   let threads =
     Array.map
       (fun prog ->
@@ -279,7 +305,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
     Array.fill op_issues 0 (Array.length op_issues) 0;
     Array.fill level_loads 0 4 0;
     switch_events := 0;
-    Hashtbl.reset transitions;
+    Array.fill transitions 0 (Array.length transitions) 0;
     Cache_sim.reset_stats cache
   in
   let mispredict_penalty = 6 in
@@ -340,9 +366,8 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
              dependent switching activity the ground truth charges for *)
           if op_id <> t.last_dispatch_op && t.last_dispatch_op >= 0 then begin
             incr switch_events;
-            let key = (t.last_dispatch_op * 65536) + op_id in
-            Hashtbl.replace transitions key
-              (1 + Option.value ~default:0 (Hashtbl.find_opt transitions key))
+            let key = (t.last_dispatch_op * trans_stride) + op_id in
+            transitions.(key) <- transitions.(key) + 1
           end
         end;
         t.last_dispatch_op <- op_id;
@@ -379,7 +404,6 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
               (* pipe availability *)
               let fixed = di.fixed in
               let nfixed = Array.length fixed in
-              let fixed_slots = Array.make nfixed (-1) in
               let ok = ref true in
               for f = 0 to nfixed - 1 do
                 let kind, _ = fixed.(f) in
@@ -561,9 +585,16 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
     level_loads;
     switch_events = !switch_events;
     transitions =
-      Hashtbl.fold
-        (fun key count acc -> ((key lsr 16, key land 0xFFFF, count) :: acc))
-        transitions [];
+      (* ascending (prev, next) order: deterministic regardless of the
+         matrix stride, so energy sums are reproducible across machines
+         whose intern tables grew differently *)
+      (let acc = ref [] in
+       for key = Array.length transitions - 1 downto 0 do
+         let count = transitions.(key) in
+         if count > 0 then
+           acc := (key / trans_stride, key mod trans_stride, count) :: !acc
+       done;
+       !acc);
     daf;
     prefetches = Cache_sim.prefetches_issued cache;
   }

@@ -16,6 +16,12 @@ val opmap_create : unit -> opmap
 val opmap_size : opmap -> int
 val opmap_name : opmap -> int -> string
 
+val intern : opmap -> string -> int
+(** Id of a mnemonic, interning it if new. Domain-safe (the table is
+    locked), but id assignment then depends on arrival order: callers
+    that need reproducible ids must intern deterministically before
+    fanning work out (see {!Machine.run_batch}). *)
+
 type dprog
 (** A program deployed for one hardware thread: operands resolved to
     dense register ids and memory instructions bound to concrete

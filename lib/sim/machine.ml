@@ -6,12 +6,34 @@ type t = {
   table : Energy_table.t;
   opmap : Core_sim.opmap;
   seed : int;
+  cache : Measurement_cache.t option;
 }
 
-let create ?(seed = 2012) uarch =
-  { uarch; table = Energy_table.power7; opmap = Core_sim.opmap_create (); seed }
+let create ?(seed = 2012) ?(cache = true) uarch =
+  {
+    uarch;
+    table = Energy_table.power7;
+    opmap = Core_sim.opmap_create ();
+    seed;
+    cache = (if cache then Some (Measurement_cache.create ()) else None);
+  }
 
 let uarch t = t.uarch
+
+let measurement_cache t = t.cache
+
+(* Intern every opcode a program will deploy, in body order (exactly the
+   order [Core_sim.deploy] would), plus the implicit loop-closing bdnz.
+   Doing this eagerly — and, for batches, in job order before fanning
+   out — keeps id assignment independent of worker scheduling and of
+   cache hits, so energy sums (whose float addition order follows ids)
+   are bit-identical between serial and pooled runs. *)
+let pre_intern t (p : Ir.t) =
+  Array.iter
+    (fun (i : Ir.instr) ->
+      ignore (Core_sim.intern t.opmap i.Ir.op.Mp_isa.Instruction.mnemonic))
+    p.Ir.body;
+  ignore (Core_sim.intern t.opmap "bdnz")
 
 let run_rng t (config : Uarch_def.config) name =
   Mp_util.Rng.create
@@ -105,32 +127,59 @@ let measurement_of t config name rng (activity : Core_sim.activity) =
     power_trace = reading.Power_sim.trace;
   }
 
-let run ?warmup ?measure t config (p : Ir.t) =
-  let rng, activity = simulate ?warmup ?measure t config p in
-  measurement_of t config p.Ir.name rng activity
+let cached t ~warmup ~measure config name per_thread compute =
+  match t.cache with
+  | None -> compute ()
+  | Some cache ->
+    let key =
+      Measurement_cache.key ~seed:t.seed ~config ~warmup ~measure ~name
+        per_thread
+    in
+    Measurement_cache.find_or_add cache key compute
 
-let run_heterogeneous ?warmup ?measure t (config : Uarch_def.config) programs =
+let run ?(warmup = 1) ?(measure = 2) t config (p : Ir.t) =
+  pre_intern t p;
+  cached t ~warmup ~measure config p.Ir.name [| p |] (fun () ->
+      let rng, activity = simulate ~warmup ~measure t config p in
+      measurement_of t config p.Ir.name rng activity)
+
+let run_heterogeneous ?(warmup = 1) ?(measure = 2) t
+    (config : Uarch_def.config) programs =
   let n = List.length programs in
   if n <> config.Uarch_def.smt then
     invalid_arg
       "Machine.run_heterogeneous: one program per hardware thread required";
+  List.iter (pre_intern t) programs;
   let per_thread = Array.of_list programs in
   let name =
     String.concat "|"
       (List.map (fun (p : Ir.t) -> p.Ir.name) programs)
   in
-  let rng, activity = simulate_many ?warmup ?measure t config name per_thread in
-  measurement_of t config name rng activity
+  cached t ~warmup ~measure config name per_thread (fun () ->
+      let rng, activity =
+        simulate_many ~warmup ~measure t config name per_thread
+      in
+      measurement_of t config name rng activity)
 
-let run_phases t config phases =
+let run_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
+  (* deterministic id assignment: intern everything in job order before
+     any worker touches the opmap *)
+  List.iter (fun (_, p) -> pre_intern t p) jobs;
+  let pool =
+    match pool with Some p -> p | None -> Mp_util.Parallel.global ()
+  in
+  Mp_util.Parallel.map pool
+    (fun (config, p) -> run ~warmup ~measure t config p)
+    jobs
+
+let run_phases ?pool t config phases =
   match phases with
   | [] -> invalid_arg "Machine.run_phases: no phases"
   | _ ->
     let total_w = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 phases in
     if total_w <= 0.0 then invalid_arg "Machine.run_phases: zero weight";
-    let results =
-      List.map (fun (p, w) -> (run t config p, w /. total_w)) phases
-    in
+    let ms = run_batch ?pool t (List.map (fun (p, _) -> (config, p)) phases) in
+    let results = List.map2 (fun m (_, w) -> (m, w /. total_w)) ms phases in
     let nominal = 1_000_000.0 in
     let combine_thread idx =
       List.fold_left
@@ -169,8 +218,10 @@ let run_phases t config phases =
         (List.map
            (fun ((m : Measurement.t), w) ->
              let n = max 2 (int_of_float (w *. 24.0)) in
-             Array.init n (fun i ->
-                 m.Measurement.power_trace.(i mod Array.length m.Measurement.power_trace)))
+             let len = Array.length m.Measurement.power_trace in
+             if len = 0 then Array.make n m.Measurement.power
+             else
+               Array.init n (fun i -> m.Measurement.power_trace.(i mod len)))
            results)
     in
     let name =

@@ -11,11 +11,19 @@
 
 type t
 
-val create : ?seed:int -> Mp_uarch.Uarch_def.t -> t
+val create : ?seed:int -> ?cache:bool -> Mp_uarch.Uarch_def.t -> t
 (** A machine with its ground-truth power behaviour. [seed] controls
-    sensor noise and stream randomisation (default 2012). *)
+    sensor noise and stream randomisation (default 2012). [cache]
+    (default [true]) memoizes measurements content-addressed on
+    (program, configuration, seed, warmup/measure) — measurements are
+    deterministic, so memoization is observationally invisible apart
+    from wall-clock time. *)
 
 val uarch : t -> Mp_uarch.Uarch_def.t
+
+val measurement_cache : t -> Measurement_cache.t option
+(** The machine's memoization table ([None] when created with
+    [~cache:false]); expose it to read hit-rate statistics. *)
 
 val run :
   ?warmup:int -> ?measure:int ->
@@ -23,6 +31,18 @@ val run :
   Measurement.t
 (** Deploy and measure one micro-benchmark. [warmup]/[measure] are loop
     iterations (defaults 1 and 2). *)
+
+val run_batch :
+  ?warmup:int -> ?measure:int -> ?pool:Mp_util.Parallel.t ->
+  t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t) list ->
+  Measurement.t list
+(** Measure a list of (configuration, program) jobs, fanned across
+    [pool] (default: {!Mp_util.Parallel.global}). Results come back in
+    job order and are {e bit-identical} to running the same jobs
+    serially through {!run} on a fresh machine: per-run RNGs are seeded
+    from (seed, name, configuration) and opcode ids are pre-interned in
+    job order before the fan-out, so no float is summed in a different
+    order. *)
 
 val run_heterogeneous :
   ?warmup:int -> ?measure:int ->
@@ -34,12 +54,14 @@ val run_heterogeneous :
     deployment the paper's Section 6 leaves to future work. *)
 
 val run_phases :
+  ?pool:Mp_util.Parallel.t ->
   t -> Mp_uarch.Uarch_def.config -> (Mp_codegen.Ir.t * float) list ->
   Measurement.t
 (** Measure a phased workload: each [(program, weight)] runs as its own
     steady-state region and the counters/power combine by weight — how
     the SPEC-surrogate benchmarks execute. The power trace concatenates
-    the phase traces (Figure 5a's time axis). *)
+    the phase traces (Figure 5a's time axis). Phases are measured as one
+    {!run_batch} over [pool]. *)
 
 val idle_reading : t -> Mp_uarch.Uarch_def.config -> float
 (** Sensor reading of the enabled-but-idle machine. *)

@@ -1,0 +1,144 @@
+open Mp_uarch
+open Mp_codegen
+
+type t = {
+  lock : Mutex.t;
+  table : (string, Measurement.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type stats = { hits : int; misses : int }
+
+let create () =
+  { lock = Mutex.create (); table = Hashtbl.create 256; hits = 0; misses = 0 }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = { hits = t.hits; misses = t.misses } in
+  Mutex.unlock t.lock;
+  s
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+(* ----- fingerprinting --------------------------------------------------- *)
+
+let level_tag = function
+  | Cache_geometry.L1 -> '1'
+  | Cache_geometry.L2 -> '2'
+  | Cache_geometry.L3 -> '3'
+  | Cache_geometry.MEM -> 'M'
+
+let add_int buf n =
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_int64 buf n =
+  Buffer.add_string buf (Int64.to_string n);
+  Buffer.add_char buf ';'
+
+let add_reg buf r =
+  Buffer.add_string buf (Reg.to_string r);
+  Buffer.add_char buf ','
+
+let add_program buf (p : Ir.t) =
+  Buffer.add_string buf p.Ir.name;
+  Buffer.add_char buf '\x00';
+  Array.iter
+    (fun (i : Ir.instr) ->
+      Buffer.add_string buf i.Ir.op.Mp_isa.Instruction.mnemonic;
+      Buffer.add_char buf '(';
+      List.iter (add_reg buf) i.Ir.dests;
+      Buffer.add_char buf '<';
+      List.iter (add_reg buf) i.Ir.srcs;
+      (match i.Ir.imm with
+       | Some v ->
+         Buffer.add_char buf '#';
+         add_int64 buf v
+       | None -> ());
+      (match i.Ir.mem_target with
+       | Some l ->
+         Buffer.add_char buf '@';
+         Buffer.add_char buf (level_tag l)
+       | None -> ());
+      (match i.Ir.taken_pattern with
+       | Some pat ->
+         Buffer.add_char buf '?';
+         Array.iter (fun b -> Buffer.add_char buf (if b then 't' else 'f')) pat
+       | None -> ());
+      Buffer.add_char buf ')')
+    p.Ir.body;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (r, v) ->
+      add_reg buf r;
+      Buffer.add_char buf '=';
+      add_int64 buf v)
+    p.Ir.reg_init;
+  Buffer.add_char buf '|';
+  match p.Ir.memory_distribution with
+  | None -> Buffer.add_char buf '-'
+  | Some dist ->
+    List.iter
+      (fun (l, w) ->
+        Buffer.add_char buf (level_tag l);
+        add_int64 buf (Int64.bits_of_float w))
+      dist
+
+let key ~seed ~(config : Uarch_def.config) ~warmup ~measure ~name per_thread =
+  let buf = Buffer.create 4096 in
+  add_int buf seed;
+  add_int buf config.Uarch_def.cores;
+  add_int buf config.Uarch_def.smt;
+  add_int buf warmup;
+  add_int buf measure;
+  Buffer.add_string buf name;
+  Buffer.add_char buf '\x00';
+  Array.iter (add_program buf) per_thread;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ----- lookup ----------------------------------------------------------- *)
+
+let find t k =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.table k in
+  (match r with
+   | Some _ -> t.hits <- t.hits + 1
+   | None -> t.misses <- t.misses + 1);
+  Mutex.unlock t.lock;
+  r
+
+let add t k m =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k m;
+  Mutex.unlock t.lock
+
+let find_or_add t k compute =
+  match find t k with
+  | Some m -> m
+  | None ->
+    let m = compute () in
+    add t k m;
+    m

@@ -1,0 +1,58 @@
+(** Content-addressed memoization of measurements.
+
+    The search drivers re-measure identical (program, configuration)
+    points constantly — GA elitism carries points across generations,
+    crossover regenerates previously seen sequences, and phased
+    workloads repeat their phase programs. Measurements are
+    deterministic given (machine seed, program, configuration,
+    warmup/measure), so a content-addressed cache returns the exact
+    measurement the simulation would have produced.
+
+    Keys digest everything the simulation depends on: the machine seed,
+    the configuration, the warmup/measure window, the run name (the
+    per-run RNG is seeded from it) and a structural fingerprint of every
+    per-thread program (opcodes, operands, immediates, memory targets,
+    branch patterns, register initialisation and the memory
+    distribution).
+
+    All operations are domain-safe: the table is guarded by a mutex so
+    a {!Machine.run_batch} fan-out can share one cache. *)
+
+type t
+
+val create : unit -> t
+
+type stats = { hits : int; misses : int }
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 when nothing was looked up. *)
+
+val reset_stats : t -> unit
+val clear : t -> unit
+
+val length : t -> int
+(** Number of memoized measurements. *)
+
+val key :
+  seed:int ->
+  config:Mp_uarch.Uarch_def.config ->
+  warmup:int ->
+  measure:int ->
+  name:string ->
+  Mp_codegen.Ir.t array ->
+  string
+(** Digest of one measurement job. The array holds the per-thread
+    programs (a single element for homogeneous deployment — replication
+    over SMT threads is captured by [config]). *)
+
+val find : t -> string -> Measurement.t option
+(** Counts a hit or a miss. *)
+
+val add : t -> string -> Measurement.t -> unit
+(** First writer wins (concurrent writers compute identical values). *)
+
+val find_or_add : t -> string -> (unit -> Measurement.t) -> Measurement.t
+(** [find_or_add t k compute] returns the cached measurement for [k],
+    or runs [compute] (outside the lock) and memoizes its result. *)

@@ -75,31 +75,42 @@ let microprobe_instructions ~isa props =
 let exhaustive_sequences candidates ~length =
   Mp_dse.Space.sequences candidates ~length
 
-let evaluate_one ~machine ~arch ~size ~smt idx sequence =
-  let name =
-    Printf.sprintf "sm-%d-%s" idx
-      (String.concat "." (List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) sequence))
-  in
-  let program = program_of_sequence ~arch ~size ~name sequence in
-  let config = Uarch_def.config ~cores:8 ~smt arch.Arch.uarch in
-  let m = Mp_sim.Machine.run machine config program in
+let mnemonics sequence =
+  List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) sequence
+
+let sequence_name idx sequence =
+  Printf.sprintf "sm-%d-%s" idx (String.concat "." (mnemonics sequence))
+
+let evaluation_of ~smt sequence (m : Mp_sim.Measurement.t) =
   {
-    sequence = List.map (fun (i : Instruction.t) -> i.Instruction.mnemonic) sequence;
+    sequence = mnemonics sequence;
     smt;
     power = m.Mp_sim.Measurement.power;
     core_ipc = m.Mp_sim.Measurement.core_ipc;
   }
 
+(* batch a (smt, sequence) list through Machine.run_batch *)
+let evaluate_jobs ~machine ~arch ~size ?pool jobs =
+  let runs =
+    List.map
+      (fun (smt, idx, sequence) ->
+        ( Uarch_def.config ~cores:8 ~smt arch.Arch.uarch,
+          program_of_sequence ~arch ~size ~name:(sequence_name idx sequence)
+            sequence ))
+      jobs
+  in
+  let ms = Mp_sim.Machine.run_batch ?pool machine runs in
+  List.map2 (fun (smt, _, sequence) m -> evaluation_of ~smt sequence m) jobs ms
+
 let evaluate_set ~machine ~arch ~name ?(size = 1024) ?(smt_modes = [ 1; 2; 4 ])
-    sequences =
+    ?pool sequences =
   if sequences = [] then invalid_arg "Stressmark.evaluate_set: no sequences";
-  let evaluations =
+  let jobs =
     List.concat_map
-      (fun smt ->
-        List.mapi (fun idx s -> evaluate_one ~machine ~arch ~size ~smt idx s)
-          sequences)
+      (fun smt -> List.mapi (fun idx s -> (smt, idx, s)) sequences)
       smt_modes
   in
+  let evaluations = evaluate_jobs ~machine ~arch ~size ?pool jobs in
   let powers = Array.of_list (List.map (fun e -> e.power) evaluations) in
   let lo, hi = Mp_util.Stats.min_max powers in
   let best =
@@ -165,10 +176,82 @@ type order_spread = {
   spread_pct : float;
 }
 
-let order_spread ~machine ~arch ?(size = 1024) ?(smt = 4) multiset =
+type ga_summary = {
+  ga_best : evaluation;
+  ga_evaluations : int;
+  ga_cache_hits : int;
+  ga_cache_misses : int;
+}
+
+let cache_stats machine =
+  match Mp_sim.Machine.measurement_cache machine with
+  | Some c -> Mp_sim.Measurement_cache.stats c
+  | None -> { Mp_sim.Measurement_cache.hits = 0; misses = 0 }
+
+let ga_search ~machine ~arch ?(size = 1024) ?(smt = 4) ?(seed = 7)
+    ?(population = 16) ?(generations = 8) ?pool ~candidates ~length () =
+  if candidates = [] then invalid_arg "Stressmark.ga_search: no candidates";
+  if length < 1 then invalid_arg "Stressmark.ga_search: length";
+  let config = Uarch_def.config ~cores:8 ~smt arch.Arch.uarch in
+  (* the program name is a pure function of the sequence, so any
+     sequence the GA revisits hits the measurement cache *)
+  let program_of s =
+    program_of_sequence ~arch ~size
+      ~name:("ga-" ^ String.concat "." (mnemonics s))
+      s
+  in
+  let run_one s = Mp_sim.Machine.run machine config (program_of s) in
+  let eval s = (run_one s).Mp_sim.Measurement.power in
+  let eval_batch ss =
+    Mp_sim.Machine.run_batch ?pool machine
+      (List.map (fun s -> (config, program_of s)) ss)
+    |> List.map (fun m -> m.Mp_sim.Measurement.power)
+  in
+  let cand = Array.of_list candidates in
+  let pick rng = cand.(Mp_util.Rng.int rng (Array.length cand)) in
+  let ops =
+    {
+      Mp_dse.Genetic.init =
+        (fun rng ->
+          let r = ref [] in
+          for _ = 1 to length do
+            r := pick rng :: !r
+          done;
+          List.rev !r);
+      mutate =
+        (fun rng s ->
+          let pos = Mp_util.Rng.int rng length in
+          let repl = pick rng in
+          List.mapi (fun i x -> if i = pos then repl else x) s);
+      crossover =
+        (fun rng a b ->
+          if length < 2 then a
+          else
+            let cut = 1 + Mp_util.Rng.int rng (length - 1) in
+            List.mapi (fun i x -> if i < cut then x else List.nth b i) a);
+    }
+  in
+  let before = cache_stats machine in
+  let rng = Mp_util.Rng.create seed in
+  let r =
+    Mp_dse.Genetic.search ~rng ~ops ~eval ~eval_batch ~population ~generations
+      ()
+  in
+  let after = cache_stats machine in
+  let best_m = run_one r.Mp_dse.Driver.best.Mp_dse.Driver.point in
+  {
+    ga_best = evaluation_of ~smt r.Mp_dse.Driver.best.Mp_dse.Driver.point best_m;
+    ga_evaluations = r.Mp_dse.Driver.evaluations;
+    ga_cache_hits = after.Mp_sim.Measurement_cache.hits - before.Mp_sim.Measurement_cache.hits;
+    ga_cache_misses =
+      after.Mp_sim.Measurement_cache.misses - before.Mp_sim.Measurement_cache.misses;
+  }
+
+let order_spread ~machine ~arch ?(size = 1024) ?(smt = 4) ?pool multiset =
   let orders = Mp_dse.Space.distinct_permutations multiset in
   let evals =
-    List.mapi (fun idx s -> evaluate_one ~machine ~arch ~size ~smt idx s) orders
+    evaluate_jobs ~machine ~arch ~size ?pool
+      (List.mapi (fun idx s -> (smt, idx, s)) orders)
   in
   let powers =
     Array.of_list (List.map (fun (e : evaluation) -> e.power) evals)

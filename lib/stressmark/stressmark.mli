@@ -61,10 +61,13 @@ val evaluate_set :
   name:string ->
   ?size:int ->
   ?smt_modes:int list ->
+  ?pool:Mp_util.Parallel.t ->
   Mp_isa.Instruction.t list list ->
   set_summary
 (** Measure every sequence on 8 cores in each SMT mode (default all
-    three) and summarise. *)
+    three) and summarise. All (sequence, SMT) measurements are fanned
+    out as one {!Mp_sim.Machine.run_batch} across [pool] (the global
+    pool by default). *)
 
 val exhaustive_sequences :
   Mp_isa.Instruction.t list -> length:int -> Mp_isa.Instruction.t list list
@@ -105,8 +108,35 @@ val order_spread :
   arch:Mp_codegen.Arch.t ->
   ?size:int ->
   ?smt:int ->
+  ?pool:Mp_util.Parallel.t ->
   Mp_isa.Instruction.t list ->
   order_spread
-(** Fix an instruction multiset and measure every distinct ordering —
-    the paper's observation that order alone moves power by up to
-    ~17%. *)
+(** Fix an instruction multiset and measure every distinct ordering
+    (batched across [pool]) — the paper's observation that order alone
+    moves power by up to ~17%. *)
+
+type ga_summary = {
+  ga_best : evaluation;
+  ga_evaluations : int;  (** fitness evaluations the GA requested *)
+  ga_cache_hits : int;  (** measurement-cache hits during the search *)
+  ga_cache_misses : int;  (** simulations actually executed *)
+}
+
+val ga_search :
+  machine:Mp_sim.Machine.t ->
+  arch:Mp_codegen.Arch.t ->
+  ?size:int ->
+  ?smt:int ->
+  ?seed:int ->
+  ?population:int ->
+  ?generations:int ->
+  ?pool:Mp_util.Parallel.t ->
+  candidates:Mp_isa.Instruction.t list ->
+  length:int ->
+  unit ->
+  ga_summary
+(** Genetic max-power search over [length]-long sequences of the
+    candidate instructions. Each generation is scored as one
+    {!Mp_sim.Machine.run_batch}; stressmark names are content-derived,
+    so sequences the GA revisits are served from the measurement cache
+    — [ga_cache_hits]/[ga_cache_misses] report the split. *)

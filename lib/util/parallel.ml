@@ -1,0 +1,158 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get in_worker_key
+
+let worker_loop pool =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.jobs && not pool.stop do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if Queue.is_empty pool.jobs then Mutex.unlock pool.lock
+    else begin
+      let job = Queue.pop pool.jobs in
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  let size = max 1 n in
+  let pool =
+    {
+      size;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+(* Left-to-right by construction — [List.map]'s application order is
+   unspecified, and callers rely on jobs running in list order when we
+   degrade to sequential (e.g. RNG-consuming setup code). *)
+let seq_map f xs = List.rev (List.rev_map f xs)
+
+let map pool f xs =
+  if pool.size <= 1 || pool.workers = [] || in_worker () then seq_map f xs
+  else begin
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      let failure = ref None in
+      let remaining = ref n in
+      let done_lock = Mutex.create () in
+      let done_cond = Condition.create () in
+      let job i () =
+        (try results.(i) <- Some (f input.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           Mutex.lock done_lock;
+           (* keep the lowest-indexed failure so re-raising is
+              deterministic regardless of worker interleaving *)
+           (match !failure with
+            | Some (j, _, _) when j < i -> ()
+            | _ -> failure := Some (i, e, bt));
+           Mutex.unlock done_lock);
+        Mutex.lock done_lock;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast done_cond;
+        Mutex.unlock done_lock
+      in
+      Mutex.lock pool.lock;
+      for i = 0 to n - 1 do
+        Queue.add (job i) pool.jobs
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.lock;
+      Mutex.lock done_lock;
+      while !remaining > 0 do
+        Condition.wait done_cond done_lock
+      done;
+      Mutex.unlock done_lock;
+      match !failure with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false)
+             results)
+    end
+  end
+
+let chunks size xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+let map_chunked ?chunk pool f xs =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (4 * pool.size))
+    in
+    if chunk <= 1 then map pool f xs
+    else List.concat (map pool (fun c -> seq_map f c) (chunks chunk xs))
+  end
+
+let default_size () =
+  match Sys.getenv_opt "MP_POOL_SIZE" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n > 0 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let global_pool = ref None
+let global_lock = Mutex.create ()
+
+let global () =
+  Mutex.lock global_lock;
+  let pool =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+      let p = create (default_size ()) in
+      global_pool := Some p;
+      at_exit (fun () -> shutdown p);
+      p
+  in
+  Mutex.unlock global_lock;
+  pool

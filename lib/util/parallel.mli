@@ -1,0 +1,50 @@
+(** A small fixed-size domain pool for fan-out over independent jobs.
+
+    The measurement engine evaluates thousands of (program,
+    configuration) points whose simulations are independent; this pool
+    spreads them over the machine's cores with plain stdlib domains —
+    no external dependencies.
+
+    Semantics:
+    - {!map} and {!map_chunked} preserve the order of the input list;
+      the result is indistinguishable from [List.map] applied
+      left-to-right (jobs must therefore be independent and
+      deterministic, which every simulation job is by construction).
+    - A pool of size 1 — and any call made {e from inside} a pool
+      worker — degrades to sequential execution, so nested maps can
+      never deadlock on the job queue.
+    - If any job raises, the exception of the lowest-indexed failing
+      job is re-raised in the caller once all jobs have drained. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns a pool of [n] worker domains (clamped to at
+    least 1; a size-1 pool spawns no domains and runs sequentially). *)
+
+val size : t -> int
+(** Number of workers ([1] means sequential). *)
+
+val shutdown : t -> unit
+(** Stop the workers and join them. Idempotent. Maps on a shut-down
+    pool run sequentially. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: one job per element. *)
+
+val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map} but groups elements into chunks of [chunk] (default:
+    enough chunks for ~4 per worker) to amortise queue traffic when
+    jobs are small. *)
+
+val in_worker : unit -> bool
+(** True when called from inside a pool worker (nested maps degrade). *)
+
+val default_size : unit -> int
+(** The pool size used by {!global}: the [MP_POOL_SIZE] environment
+    variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val global : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_size} workers and shut down at exit. *)

@@ -171,4 +171,5 @@ let benchmark ~arch ?(size = 1024) name =
 
 let suite ~arch ?size () = List.map (fun n -> benchmark ~arch ?size n) names
 
-let run ~machine ~config b = Mp_sim.Machine.run_phases machine config b.phases
+let run ~machine ~config ?pool b =
+  Mp_sim.Machine.run_phases ?pool machine config b.phases

@@ -27,6 +27,9 @@ val benchmark : arch:Mp_codegen.Arch.t -> ?size:int -> string -> benchmark
 val run :
   machine:Mp_sim.Machine.t ->
   config:Mp_uarch.Uarch_def.config ->
+  ?pool:Mp_util.Parallel.t ->
   benchmark ->
   Mp_sim.Measurement.t
-(** Measure a benchmark (its phases weighted) on a configuration. *)
+(** Measure a benchmark (its phases weighted) on a configuration. The
+    phases are fanned out through {!Mp_sim.Machine.run_phases}, across
+    [pool] when given (the global pool otherwise). *)

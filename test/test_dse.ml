@@ -53,7 +53,7 @@ let test_random_search () =
   let rng = Mp_util.Rng.create 3 in
   let r =
     Random_search.search ~rng ~sample:(fun g -> Mp_util.Rng.int g 100)
-      ~eval:parabola ~budget:200
+      ~eval:parabola ~budget:200 ()
   in
   Alcotest.(check int) "budget respected" 200 r.Driver.evaluations;
   Alcotest.(check bool) "close to optimum" true

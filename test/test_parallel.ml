@@ -1,0 +1,164 @@
+(* Tests for the Mp_util.Parallel domain pool and the determinism
+   contract of Machine.run_batch: pooled, memoized evaluation must be
+   bit-identical to serial Machine.run. *)
+
+open Mp_codegen
+open Mp_sim
+
+(* ----- pool ----------------------------------------------------------------- *)
+
+let test_map_order () =
+  let pool = Mp_util.Parallel.create 4 in
+  let xs = List.init 100 Fun.id in
+  let r = Mp_util.Parallel.map pool (fun x -> x * x) xs in
+  Mp_util.Parallel.shutdown pool;
+  Alcotest.(check (list int)) "order preserved" (List.map (fun x -> x * x) xs) r
+
+let test_map_chunked () =
+  let pool = Mp_util.Parallel.create 3 in
+  let xs = List.init 50 Fun.id in
+  let r = Mp_util.Parallel.map_chunked ~chunk:7 pool (fun x -> x + 1) xs in
+  Mp_util.Parallel.shutdown pool;
+  Alcotest.(check (list int)) "chunked order" (List.map (( + ) 1) xs) r
+
+let test_map_empty_and_size_one () =
+  let pool = Mp_util.Parallel.create 1 in
+  Alcotest.(check (list int)) "empty" []
+    (Mp_util.Parallel.map pool (fun x -> x) []);
+  Alcotest.(check (list int)) "size-1 pool is sequential" [ 2; 4 ]
+    (Mp_util.Parallel.map pool (fun x -> 2 * x) [ 1; 2 ]);
+  Mp_util.Parallel.shutdown pool
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let pool = Mp_util.Parallel.create 4 in
+  let raised =
+    try
+      ignore
+        (Mp_util.Parallel.map pool
+           (fun x -> if x mod 2 = 0 then raise (Boom x) else x)
+           (List.init 10 Fun.id));
+      None
+    with Boom n -> Some n
+  in
+  (* the lowest-indexed failure wins, deterministically *)
+  Alcotest.(check (option int)) "lowest failure" (Some 0) raised;
+  (* and the pool survives a failed batch *)
+  Alcotest.(check (list int)) "pool alive after failure" [ 2; 3; 4 ]
+    (Mp_util.Parallel.map pool (( + ) 1) [ 1; 2; 3 ]);
+  Mp_util.Parallel.shutdown pool
+
+let test_nested_map_degrades () =
+  (* a map issued from inside a worker must degrade to sequential
+     execution instead of deadlocking on the pool's own queue *)
+  let pool = Mp_util.Parallel.create 2 in
+  let r =
+    Mp_util.Parallel.map pool
+      (fun x ->
+        Alcotest.(check bool) "inside worker" true (Mp_util.Parallel.in_worker ());
+        Mp_util.Parallel.map pool (fun y -> x * y) [ 1; 2; 3 ])
+      [ 1; 2 ]
+  in
+  Mp_util.Parallel.shutdown pool;
+  Alcotest.(check (list (list int))) "nested results"
+    [ [ 1; 2; 3 ]; [ 2; 4; 6 ] ]
+    r
+
+let test_default_size_env () =
+  Unix.putenv "MP_POOL_SIZE" "3";
+  Alcotest.(check int) "env override" 3 (Mp_util.Parallel.default_size ());
+  Unix.putenv "MP_POOL_SIZE" "not-a-number";
+  Alcotest.(check bool) "garbage ignored" true
+    (Mp_util.Parallel.default_size () >= 1);
+  Unix.putenv "MP_POOL_SIZE" ""
+
+(* ----- run_batch determinism ------------------------------------------------ *)
+
+let l1 = [ (Mp_uarch.Cache_geometry.L1, 1.0) ]
+
+let mono a mnemonic =
+  let ins = Arch.find_instruction a mnemonic in
+  let synth = Synthesizer.create ~name:("par-" ^ mnemonic) a in
+  Synthesizer.add_pass synth (Passes.skeleton ~size:256);
+  Synthesizer.add_pass synth (Passes.fill_sequence [ ins ]);
+  if Mp_isa.Instruction.is_memory ins then
+    Synthesizer.add_pass synth (Passes.memory_model l1);
+  Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+  Synthesizer.synthesize ~seed:77 synth
+
+let mixed_jobs a =
+  let progs = List.map (mono a) [ "mullw"; "lwz"; "xvmaddadp" ] in
+  let configs =
+    [ Mp_uarch.Uarch_def.config ~cores:1 ~smt:1 a.Arch.uarch;
+      Mp_uarch.Uarch_def.config ~cores:4 ~smt:2 a.Arch.uarch ]
+  in
+  let jobs =
+    List.concat_map (fun c -> List.map (fun p -> (c, p)) progs) configs
+  in
+  (* duplicates exercise the measurement cache on the batch side *)
+  jobs @ [ List.hd jobs; List.nth jobs 3 ]
+
+let check_identical msg serial batch =
+  Alcotest.(check int) (msg ^ ": same length") (List.length serial)
+    (List.length batch);
+  List.iter2
+    (fun (s : Measurement.t) (b : Measurement.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s bit-identical" msg s.Measurement.program)
+        true
+        (compare s b = 0))
+    serial batch
+
+let test_run_batch_matches_serial () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  (* serial reference: caching off, plain Machine.run, job at a time *)
+  let serial_machine = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run serial_machine c p) jobs in
+  (* pooled run with the cache on, forced multi-domain pool *)
+  let batch_machine = Machine.create a.Arch.uarch in
+  let pool = Mp_util.Parallel.create 4 in
+  let batch = Machine.run_batch ~pool batch_machine jobs in
+  Mp_util.Parallel.shutdown pool;
+  check_identical "pool-4 vs serial" serial batch;
+  (* and a second pass over the same machine: all cache hits *)
+  let again = Machine.run_batch batch_machine jobs in
+  check_identical "cache hits vs serial" serial again;
+  match Machine.measurement_cache batch_machine with
+  | None -> Alcotest.fail "expected a cache on the batch machine"
+  | Some c ->
+    let s = Measurement_cache.stats c in
+    Alcotest.(check bool) "hits recorded" true
+      (s.Measurement_cache.hits > 0)
+
+let test_run_batch_pool_size_one () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let m2 = Machine.create ~cache:false a.Arch.uarch in
+  let pool = Mp_util.Parallel.create 1 in
+  let batch = Machine.run_batch ~pool m2 jobs in
+  Mp_util.Parallel.shutdown pool;
+  check_identical "pool-1 vs serial" serial batch
+
+let () =
+  Alcotest.run "mp_parallel"
+    [
+      ("pool",
+       [ Alcotest.test_case "map order" `Quick test_map_order;
+         Alcotest.test_case "map chunked" `Quick test_map_chunked;
+         Alcotest.test_case "empty and size one" `Quick
+           test_map_empty_and_size_one;
+         Alcotest.test_case "exception propagation" `Quick
+           test_exception_propagation;
+         Alcotest.test_case "nested map degrades" `Quick
+           test_nested_map_degrades;
+         Alcotest.test_case "MP_POOL_SIZE" `Quick test_default_size_env ]);
+      ("run_batch",
+       [ Alcotest.test_case "bit-identical vs serial" `Quick
+           test_run_batch_matches_serial;
+         Alcotest.test_case "pool of one" `Quick
+           test_run_batch_pool_size_one ]);
+    ]
