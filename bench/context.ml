@@ -209,7 +209,7 @@ let bootstrap_props t =
       timed "bootstrap the ISA (latency/throughput/units/EPI)" (fun () ->
           Epi.Bootstrap.run ~machine:t.machine ~arch:t.arch
             ~size:(if t.quick then 512 else 1024)
-            ())
+            ~pool:t.pool ())
     in
     t.props <- Some p;
     p

@@ -28,9 +28,11 @@ let run (ctx : Context.t) =
   let t_serial = Unix.gettimeofday () -. t0 in
   Mp_util.Parallel.shutdown serial_pool;
   let par_machine = Machine.create ~cache:false arch.Arch.uarch in
+  let steals0 = Mp_util.Parallel.steal_count ctx.Context.pool in
   let t0 = Unix.gettimeofday () in
   let par = Machine.run_batch ~pool:ctx.Context.pool par_machine jobs in
   let t_par = Unix.gettimeofday () -. t0 in
+  let steals = Mp_util.Parallel.steal_count ctx.Context.pool - steals0 in
   let identical = List.for_all2 (fun a b -> compare a b = 0) serial par in
   if not identical then
     failwith "parbench: pooled results diverge from the serial run";
@@ -39,9 +41,11 @@ let run (ctx : Context.t) =
   Context.record_metric ctx "parbench_serial_seconds" t_serial;
   Context.record_metric ctx "parbench_parallel_seconds" t_par;
   Context.record_metric ctx "parbench_speedup" speedup;
+  Context.record_metric ctx "parbench_steals" (float_of_int steals);
   Context.log
-    "serial %.2fs, pooled %.2fs -> %.2fx speedup; results bit-identical"
-    t_serial t_par speedup;
+    "serial %.2fs, pooled %.2fs -> %.2fx speedup (%d jobs stolen across\n\
+     workers); results bit-identical"
+    t_serial t_par speedup steals;
   (* memoization: the same batch again on a caching machine — the warm
      pass must also match the serial reference bit for bit *)
   let memo_machine = Machine.create arch.Arch.uarch in
@@ -57,6 +61,17 @@ let run (ctx : Context.t) =
   Context.record_metric ctx "parbench_memo_cold_seconds" t_cold;
   Context.record_metric ctx "parbench_memo_warm_seconds" t_warm;
   Context.record_metric ctx "parbench_memo_speedup" memo_speedup;
+  (* disk hits on the "cold" pass mean a previous harness invocation of
+     this same build already simulated these points *)
+  (match Machine.measurement_cache memo_machine with
+   | None -> ()
+   | Some c ->
+     let s = Measurement_cache.stats c in
+     Context.record_metric ctx "parbench_disk_hits"
+       (float_of_int s.Measurement_cache.disk_hits);
+     if s.Measurement_cache.disk_hits > 0 then
+       Context.log "%d of the cold-pass lookups were served from the disk cache"
+         s.Measurement_cache.disk_hits);
   Context.log
     "memoized rerun: cold %.2fs, warm %.3fs -> %.0fx; cached results\n\
      bit-identical to serial"

@@ -197,7 +197,7 @@ let heterogeneous (ctx : Context.t) =
   let evals, best =
     Context.timed "evaluate all thread-assignment multisets" (fun () ->
         Stressmark.heterogeneous_search ~machine ~arch ~size
-          ~homogeneous_best:picks ())
+          ~pool:ctx.Context.pool ~homogeneous_best:picks ())
   in
   let table = Text_table.create [ "Per-thread assignment (SMT4)"; "Power" ] in
   List.iter

@@ -104,5 +104,25 @@ let () =
     in
     let total = Unix.gettimeofday () -. t0 in
     Printf.printf "\nTotal harness time: %.1fs\n" total;
+    (* engine metrics: always emitted, even when a selected-experiment
+       or quick run records nothing else *)
+    Context.record_metric ctx "pool_size"
+      (float_of_int (Mp_util.Parallel.size ctx.Context.pool));
+    Context.record_metric ctx "detected_cores"
+      (float_of_int (Domain.recommended_domain_count ()));
+    Context.record_metric ctx "pool_steals"
+      (float_of_int (Mp_util.Parallel.steal_count ctx.Context.pool));
+    (match Microprobe.Machine.measurement_cache ctx.Context.machine with
+     | None -> ()
+     | Some c ->
+       let s = Microprobe.Measurement_cache.stats c in
+       Context.record_metric ctx "cache_hits"
+         (float_of_int s.Microprobe.Measurement_cache.hits);
+       Context.record_metric ctx "cache_misses"
+         (float_of_int s.Microprobe.Measurement_cache.misses);
+       Context.record_metric ctx "cache_disk_hits"
+         (float_of_int s.Microprobe.Measurement_cache.disk_hits);
+       Context.record_metric ctx "cache_hit_rate"
+         (Microprobe.Measurement_cache.hit_rate c));
     write_bench_json ~path:"BENCH_sim.json" ~quick ~total ctx timings
   end

@@ -30,6 +30,7 @@ module Emit = Mp_codegen.Emit
 module Dse = Mp_dse
 module Machine = Mp_sim.Machine
 module Measurement = Mp_sim.Measurement
+module Measurement_cache = Mp_sim.Measurement_cache
 module Trace = Mp_potra.Trace
 module Power_model = Mp_model
 module Workloads = Mp_workloads

@@ -35,21 +35,20 @@ let ubench ~arch ~size ~deps ~zero_data (ins : Instruction.t) =
 
 let stress_threshold = 0.20
 
-let instruction_props ~machine ~arch ?config ?(size = 1024) ?(zero_data = false)
-    ins =
-  let config =
-    match config with
-    | Some c -> c
-    | None -> Mp_uarch.Uarch_def.config ~cores:8 ~smt:1 arch.Arch.uarch
-  in
-  let run_one deps =
-    (* three measured iterations: shrinks the warmup-drain bias on the
-       dependent-chain latency estimate *)
-    Machine.run machine ~measure:3 config
-      (ubench ~arch ~size ~deps ~zero_data ins)
-  in
-  let nodep = run_one false in
-  let dep = run_one true in
+let resolve_config ~arch config =
+  match config with
+  | Some c -> c
+  | None -> Mp_uarch.Uarch_def.config ~cores:8 ~smt:1 arch.Arch.uarch
+
+(* three measured iterations: shrinks the warmup-drain bias on the
+   dependent-chain latency estimate *)
+let measure_iterations = 3
+
+(* Derive the properties from the two measurements — shared between the
+   serial path ({!instruction_props}) and the batched {!run}, so both
+   compute bit-identical results from bit-identical measurements. *)
+let props_of_measurements ~machine ~config ins (nodep : Measurement.t)
+    (dep : Measurement.t) =
   let core = Measurement.core_counters nodep in
   let instrs = Float.max 1.0 core.Measurement.instrs in
   let events =
@@ -94,16 +93,48 @@ let instruction_props ~machine ~arch ?config ?(size = 1024) ?(zero_data = false)
     units;
   }
 
+let instruction_props ~machine ~arch ?config ?(size = 1024) ?(zero_data = false)
+    ins =
+  let config = resolve_config ~arch config in
+  let run_one deps =
+    Machine.run machine ~measure:measure_iterations config
+      (ubench ~arch ~size ~deps ~zero_data ins)
+  in
+  let nodep = run_one false in
+  let dep = run_one true in
+  props_of_measurements ~machine ~config ins nodep dep
+
 let bootstrappable (i : Instruction.t) =
   (not i.Instruction.privileged)
   && (not (Instruction.is_branch i))
   && (not i.Instruction.prefetch)
   && i.Instruction.exec_class <> Instruction.Nop_op
 
-let run ~machine ~arch ?config ?size ?instructions () =
+let run ~machine ~arch ?config ?(size = 1024) ?instructions ?pool () =
   let instrs =
     match instructions with
     | Some l -> l
     | None -> Arch.select arch bootstrappable
   in
-  List.map (fun i -> instruction_props ~machine ~arch ?config ?size i) instrs
+  let config = resolve_config ~arch config in
+  (* The whole characterization campaign as one batch: the nodep/dep
+     pair of every instruction, in exactly the order the serial loop
+     would run them — so opcode interning (and therefore every float
+     summation order downstream) matches the serial path and the
+     results are bit-identical to per-instruction instruction_props. *)
+  let jobs =
+    List.concat_map
+      (fun ins ->
+        [ (config, ubench ~arch ~size ~deps:false ~zero_data:false ins);
+          (config, ubench ~arch ~size ~deps:true ~zero_data:false ins) ])
+      instrs
+  in
+  let ms = Machine.run_batch ~measure:measure_iterations ?pool machine jobs in
+  let rec pair instrs ms =
+    match (instrs, ms) with
+    | [], [] -> []
+    | ins :: instrs, nodep :: dep :: ms ->
+      props_of_measurements ~machine ~config ins nodep dep :: pair instrs ms
+    | _ -> assert false
+  in
+  pair instrs ms

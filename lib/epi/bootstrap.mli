@@ -38,7 +38,13 @@ val run :
   ?config:Mp_uarch.Uarch_def.config ->
   ?size:int ->
   ?instructions:Mp_isa.Instruction.t list ->
+  ?pool:Mp_util.Parallel.t ->
   unit ->
   props list
 (** Bootstrap the whole ISA (or a subset): every non-privileged,
-    non-branch, non-prefetch instruction. *)
+    non-branch, non-prefetch instruction. The dep/nodep pairs of the
+    whole campaign are evaluated as {e one}
+    {!Mp_sim.Machine.run_batch} over [pool] (default: the global
+    pool), in the order the serial loop would run them — the returned
+    properties are bit-identical to calling {!instruction_props} per
+    instruction. *)

@@ -585,9 +585,10 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
     level_loads;
     switch_events = !switch_events;
     transitions =
-      (* ascending (prev, next) order: deterministic regardless of the
-         matrix stride, so energy sums are reproducible across machines
-         whose intern tables grew differently *)
+      (* ascending (prev, next) id order: deterministic regardless of
+         the matrix stride; Power_sim re-sorts by opcode *name* before
+         summing so the energy is also independent of how this
+         machine's intern table grew *)
       (let acc = ref [] in
        for key = Array.length transitions - 1 downto 0 do
          let count = transitions.(key) in

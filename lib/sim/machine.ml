@@ -7,6 +7,7 @@ type t = {
   opmap : Core_sim.opmap;
   seed : int;
   cache : Measurement_cache.t option;
+  uarch_fp : string;  (* keys machines with different uarchs apart *)
 }
 
 let create ?(seed = 2012) ?(cache = true) uarch =
@@ -15,7 +16,11 @@ let create ?(seed = 2012) ?(cache = true) uarch =
     table = Energy_table.power7;
     opmap = Core_sim.opmap_create ();
     seed;
-    cache = (if cache then Some (Measurement_cache.create ()) else None);
+    cache =
+      (if cache then
+         Some (Measurement_cache.create ?disk:(Measurement_cache.env_disk ()) ())
+       else None);
+    uarch_fp = Measurement_cache.uarch_fingerprint uarch;
   }
 
 let uarch t = t.uarch
@@ -132,8 +137,8 @@ let cached t ~warmup ~measure config name per_thread compute =
   | None -> compute ()
   | Some cache ->
     let key =
-      Measurement_cache.key ~seed:t.seed ~config ~warmup ~measure ~name
-        per_thread
+      Measurement_cache.key ~uarch:t.uarch_fp ~seed:t.seed ~config ~warmup
+        ~measure ~name per_thread
     in
     Measurement_cache.find_or_add cache key compute
 
@@ -161,6 +166,14 @@ let run_heterogeneous ?(warmup = 1) ?(measure = 2) t
       in
       measurement_of t config name rng activity)
 
+(* Scheduling cost hint: simulated work scales with enabled threads and
+   loop size. Purely a hint — results are order-preserved regardless. *)
+let job_cost (config : Uarch_def.config) (ps : Ir.t list) =
+  let body =
+    List.fold_left (fun acc (p : Ir.t) -> acc + Array.length p.Ir.body) 0 ps
+  in
+  float_of_int (config.Uarch_def.cores * config.Uarch_def.smt * (body + 1))
+
 let run_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
   (* deterministic id assignment: intern everything in job order before
      any worker touches the opmap *)
@@ -168,8 +181,21 @@ let run_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
-  Mp_util.Parallel.map pool
+  Mp_util.Parallel.map
+    ~cost:(fun (config, p) -> job_cost config [ p ])
+    pool
     (fun (config, p) -> run ~warmup ~measure t config p)
+    jobs
+
+let run_heterogeneous_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
+  List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
+  let pool =
+    match pool with Some p -> p | None -> Mp_util.Parallel.global ()
+  in
+  Mp_util.Parallel.map
+    ~cost:(fun (config, ps) -> job_cost config ps)
+    pool
+    (fun (config, ps) -> run_heterogeneous ~warmup ~measure t config ps)
     jobs
 
 let run_phases ?pool t config phases =

@@ -15,9 +15,13 @@ val create : ?seed:int -> ?cache:bool -> Mp_uarch.Uarch_def.t -> t
 (** A machine with its ground-truth power behaviour. [seed] controls
     sensor noise and stream randomisation (default 2012). [cache]
     (default [true]) memoizes measurements content-addressed on
-    (program, configuration, seed, warmup/measure) — measurements are
-    deterministic, so memoization is observationally invisible apart
-    from wall-clock time. *)
+    (uarch, program, configuration, seed, warmup/measure) —
+    measurements are deterministic, so memoization is observationally
+    invisible apart from wall-clock time. The cache also persists to
+    disk unless the [MP_CACHE=off] environment variable disables it
+    ([MP_CACHE_DIR] names the directory, default [_mp_cache]), so
+    repeated harness invocations of the same build skip
+    already-simulated points — see {!Measurement_cache.env_disk}. *)
 
 val uarch : t -> Mp_uarch.Uarch_def.t
 
@@ -42,7 +46,9 @@ val run_batch :
     serially through {!run} on a fresh machine: per-run RNGs are seeded
     from (seed, name, configuration) and opcode ids are pre-interned in
     job order before the fan-out, so no float is summed in a different
-    order. *)
+    order. Jobs carry a cost hint (threads × loop size) so the
+    work-stealing pool starts the heaviest simulations first — a
+    scheduling detail with no observable effect on results. *)
 
 val run_heterogeneous :
   ?warmup:int -> ?measure:int ->
@@ -52,6 +58,16 @@ val run_heterogeneous :
     core (the list length must equal the SMT mode; every core runs the
     same per-thread assignment). This is the heterogeneous-workload
     deployment the paper's Section 6 leaves to future work. *)
+
+val run_heterogeneous_batch :
+  ?warmup:int -> ?measure:int -> ?pool:Mp_util.Parallel.t ->
+  t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t list) list ->
+  Measurement.t list
+(** {!run_heterogeneous} over a whole candidate population as one
+    fan-out across [pool], under the same determinism contract as
+    {!run_batch}: results in job order, bit-identical to the serial
+    loop (all per-thread programs are pre-interned in job order before
+    any worker runs). *)
 
 val run_phases :
   ?pool:Mp_util.Parallel.t ->

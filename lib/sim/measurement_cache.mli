@@ -1,4 +1,5 @@
-(** Content-addressed memoization of measurements.
+(** Content-addressed memoization of measurements, in memory and
+    optionally on disk.
 
     The search drivers re-measure identical (program, configuration)
     points constantly — GA elitism carries points across generations,
@@ -10,19 +11,57 @@
 
     Keys digest everything the simulation depends on: the machine seed,
     the configuration, the warmup/measure window, the run name (the
-    per-run RNG is seeded from it) and a structural fingerprint of every
+    per-run RNG is seeded from it), a structural fingerprint of every
     per-thread program (opcodes, operands, immediates, memory targets,
     branch patterns, register initialisation and the memory
-    distribution).
+    distribution) and, via the optional [uarch] argument, the
+    micro-architecture definition itself.
+
+    {2 Disk persistence}
+
+    A cache created with [~disk] also persists entries under
+    [disk.dir], one file per entry ([namespace ^ "-" ^ key], written to
+    a temp file and renamed so readers never see partial entries), and
+    consults the directory on in-memory misses — repeated harness
+    invocations skip every point a previous run already simulated. The
+    namespace stamps the schema version {e and a digest of the running
+    executable}: entries written by a different build are ignored (and
+    pruned on first use), because a rebuilt simulator may map the same
+    key to a different measurement. Corrupt, truncated or
+    wrong-version files are treated as misses, never errors.
 
     All operations are domain-safe: the table is guarded by a mutex so
     a {!Machine.run_batch} fan-out can share one cache. *)
 
 type t
 
-val create : unit -> t
+type disk = { dir : string; namespace : string }
 
-type stats = { hits : int; misses : int }
+val schema_version : int
+(** Bumped when the on-disk entry layout changes. *)
+
+val namespace : unit -> string
+(** ["v<schema>-<digest of the running executable>"] — the prefix under
+    which this build's entries live. *)
+
+val env_disk : unit -> disk option
+(** The disk configuration the environment selects: [None] when
+    [MP_CACHE] is [off]/[0]/[false]/[no], otherwise the directory named
+    by [MP_CACHE_DIR] (default ["_mp_cache"]) with {!namespace}. This
+    is what {!Machine.create} uses. *)
+
+val create : ?disk:disk -> unit -> t
+(** [create ()] is purely in-memory; [create ~disk ()] also reads and
+    writes [disk.dir] (created on first write; stale-namespace entries
+    are pruned once per process). *)
+
+val persistent : t -> bool
+
+type stats = {
+  hits : int;      (** lookups served without computing (memory or disk) *)
+  misses : int;    (** computations actually executed *)
+  disk_hits : int; (** the subset of [hits] loaded from disk *)
+}
 
 val stats : t -> stats
 
@@ -30,12 +69,20 @@ val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 when nothing was looked up. *)
 
 val reset_stats : t -> unit
+
 val clear : t -> unit
+(** Drop the in-memory table and the counters (disk entries are kept). *)
 
 val length : t -> int
-(** Number of memoized measurements. *)
+(** Number of memoized measurements in memory. *)
+
+val uarch_fingerprint : Mp_uarch.Uarch_def.t -> string
+(** Digest of a micro-architecture definition, for the [uarch] key
+    component — two machines with different uarchs must never share an
+    entry. *)
 
 val key :
+  ?uarch:string ->
   seed:int ->
   config:Mp_uarch.Uarch_def.config ->
   warmup:int ->
@@ -45,14 +92,27 @@ val key :
   string
 (** Digest of one measurement job. The array holds the per-thread
     programs (a single element for homogeneous deployment — replication
-    over SMT threads is captured by [config]). *)
+    over SMT threads is captured by [config]); [uarch] is a
+    {!uarch_fingerprint} (default empty for callers with a fixed
+    uarch). *)
 
 val find : t -> string -> Measurement.t option
-(** Counts a hit or a miss. *)
+(** Memory first, then disk (promoting a disk entry into memory).
+    Counts a hit or a miss. *)
 
 val add : t -> string -> Measurement.t -> unit
-(** First writer wins (concurrent writers compute identical values). *)
+(** First writer wins (concurrent writers compute identical values);
+    persisted when the cache has a disk. *)
 
 val find_or_add : t -> string -> (unit -> Measurement.t) -> Measurement.t
 (** [find_or_add t k compute] returns the cached measurement for [k],
-    or runs [compute] (outside the lock) and memoizes its result. *)
+    or runs [compute] (outside the lock) and memoizes its result.
+
+    {e Single-flight}: concurrent calls for the same key run [compute]
+    at most once — the first claimant computes while the others block
+    until the value is published, then return it (counted as hits, so
+    [misses] equals computations executed). If the computing domain's
+    [compute] raises, the exception propagates to it alone and one
+    blocked caller takes over the computation. [compute] must not
+    re-enter [find_or_add] with the same key (it would deadlock);
+    simulation jobs never do. *)

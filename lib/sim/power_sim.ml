@@ -16,14 +16,24 @@ let static_power ~(table : Energy_table.t) ~(config : Uarch_def.config) =
 let core_dynamic ~(table : Energy_table.t) ~opmap ~(activity : Core_sim.activity) =
   let cycles = float_of_int (max 1 activity.Core_sim.measured_cycles) in
   let scale = table.data_scale activity.Core_sim.daf in
-  let opcode_energy = ref 0.0 in
+  (* Sum opcode and transition energies in opcode-NAME order, never in
+     intern-id order: ids reflect the machine's interning history, and
+     float summation order must not — otherwise a measurement served
+     from the persistent cache to a machine with a different history
+     would differ in the last bit from a fresh simulation. *)
+  let issued = ref [] in
   Array.iteri
     (fun id count ->
       if count > 0 then
-        opcode_energy :=
-          !opcode_energy
-          +. (float_of_int count *. table.opcode_epi (Core_sim.opmap_name opmap id)))
+        issued := (Core_sim.opmap_name opmap id, count) :: !issued)
     activity.Core_sim.op_issues;
+  let opcode_energy =
+    List.fold_left
+      (fun acc (name, count) ->
+        acc +. (float_of_int count *. table.opcode_epi name))
+      0.0
+      (List.sort compare !issued)
+  in
   let cache_energy = ref 0.0 in
   Array.iteri
     (fun lid count ->
@@ -43,13 +53,15 @@ let core_dynamic ~(table : Energy_table.t) ~opmap ~(activity : Core_sim.activity
   let transition_energy =
     List.fold_left
       (fun acc (a, b, count) ->
-        acc
-        +. (float_of_int count
-            *. table.transition_energy (Core_sim.opmap_name opmap a)
-                 (Core_sim.opmap_name opmap b)))
-      0.0 activity.Core_sim.transitions
+        acc +. (float_of_int count *. table.transition_energy a b))
+      0.0
+      (List.sort compare
+         (List.map
+            (fun (a, b, count) ->
+              (Core_sim.opmap_name opmap a, Core_sim.opmap_name opmap b, count))
+            activity.Core_sim.transitions))
   in
-  ((!opcode_energy *. scale)
+  ((opcode_energy *. scale)
    +. !cache_energy
    +. (stores *. table.store_energy)
    +. (dispatched *. table.dispatch_energy)

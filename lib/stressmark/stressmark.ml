@@ -132,7 +132,7 @@ type hetero_evaluation = {
   power : float;
 }
 
-let heterogeneous_search ~machine ~arch ?(size = 1024) ?(smt = 4)
+let heterogeneous_search ~machine ~arch ?(size = 1024) ?(smt = 4) ?pool
     ~homogeneous_best () =
   let l1 = [ (Cache_geometry.L1, 1.0) ] in
   let mem = [ (Cache_geometry.MEM, 1.0) ] in
@@ -157,13 +157,20 @@ let heterogeneous_search ~machine ~arch ?(size = 1024) ?(smt = 4)
   let assignments =
     Mp_dse.Space.combinations_with_repetition (List.map fst blocks) ~length:smt
   in
-  let evals =
+  (* the whole assignment population as one batch per search round —
+     bit-identical to the serial per-assignment loop *)
+  let jobs =
     List.map
       (fun assignment ->
-        let programs = List.map (fun b -> List.assoc b blocks) assignment in
-        let m = Mp_sim.Machine.run_heterogeneous machine config programs in
-        { assignment; power = m.Mp_sim.Measurement.power })
+        (config, List.map (fun b -> List.assoc b blocks) assignment))
       assignments
+  in
+  let ms = Mp_sim.Machine.run_heterogeneous_batch ?pool machine jobs in
+  let evals =
+    List.map2
+      (fun assignment m ->
+        { assignment; power = m.Mp_sim.Measurement.power })
+      assignments ms
   in
   let sorted = List.sort (fun a b -> compare b.power a.power) evals in
   (sorted, List.hd sorted)
@@ -186,7 +193,7 @@ type ga_summary = {
 let cache_stats machine =
   match Mp_sim.Machine.measurement_cache machine with
   | Some c -> Mp_sim.Measurement_cache.stats c
-  | None -> { Mp_sim.Measurement_cache.hits = 0; misses = 0 }
+  | None -> { Mp_sim.Measurement_cache.hits = 0; misses = 0; disk_hits = 0 }
 
 let ga_search ~machine ~arch ?(size = 1024) ?(smt = 4) ?(seed = 7)
     ?(population = 16) ?(generations = 8) ?pool ~candidates ~length () =

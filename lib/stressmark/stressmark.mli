@@ -83,6 +83,7 @@ val heterogeneous_search :
   arch:Mp_codegen.Arch.t ->
   ?size:int ->
   ?smt:int ->
+  ?pool:Mp_util.Parallel.t ->
   homogeneous_best:Mp_isa.Instruction.t list ->
   unit ->
   hetero_evaluation list * hetero_evaluation
@@ -91,9 +92,12 @@ val heterogeneous_search :
     homogeneous max-power loop ("compute"), a main-memory streaming
     loop ("mem") and an L1-resident load loop ("l1"). Every multiset
     assignment of blocks to the [smt] (default 4) threads is evaluated
-    on 8 cores; returns all evaluations (sorted best-first) and the
-    best. Heterogeneous mixes can beat the homogeneous stressmark when
-    memory-interface power is on the table, as MAMPO observed. *)
+    on 8 cores, fanned out as one
+    {!Mp_sim.Machine.run_heterogeneous_batch} over [pool] (results
+    bit-identical to the serial loop); returns all evaluations (sorted
+    best-first) and the best. Heterogeneous mixes can beat the
+    homogeneous stressmark when memory-interface power is on the
+    table, as MAMPO observed. *)
 
 type order_spread = {
   multiset : string list;

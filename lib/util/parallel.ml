@@ -1,30 +1,135 @@
+(* Work-stealing domain pool. Each worker owns a deque; batch
+   submission deals jobs round-robin across the deques (heaviest first
+   when the caller supplies a cost hint), owners take from the front of
+   their own deque and idle workers steal from the back of a victim's —
+   the two ends of a Chase-Lev deque, here guarded by a per-deque mutex
+   because jobs are whole simulations (milliseconds to seconds each)
+   and queue traffic is never the bottleneck. Stealing is what keeps
+   domains busy at batch tails, where one 8c-SMT4 simulation can
+   outlast a dozen 1c-SMT1 ones. *)
+
+module Deque = struct
+  type 'a t = {
+    mutable buf : 'a option array;
+    mutable head : int;  (* index of the front element *)
+    mutable len : int;
+    lock : Mutex.t;
+  }
+
+  let create () =
+    { buf = Array.make 16 None; head = 0; len = 0; lock = Mutex.create () }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let bigger = Array.make (2 * n) None in
+    for i = 0 to d.len - 1 do
+      bigger.(i) <- d.buf.((d.head + i) mod n)
+    done;
+    d.buf <- bigger;
+    d.head <- 0
+
+  let push_back d x =
+    Mutex.lock d.lock;
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+    d.len <- d.len + 1;
+    Mutex.unlock d.lock
+
+  (* owner end: front — cost-sorted batches start their heaviest jobs
+     first *)
+  let pop_front d =
+    Mutex.lock d.lock;
+    let r =
+      if d.len = 0 then None
+      else begin
+        let x = d.buf.(d.head) in
+        d.buf.(d.head) <- None;
+        d.head <- (d.head + 1) mod Array.length d.buf;
+        d.len <- d.len - 1;
+        x
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+
+  (* thief end: back *)
+  let pop_back d =
+    Mutex.lock d.lock;
+    let r =
+      if d.len = 0 then None
+      else begin
+        let i = (d.head + d.len - 1) mod Array.length d.buf in
+        let x = d.buf.(i) in
+        d.buf.(i) <- None;
+        d.len <- d.len - 1;
+        x
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+end
+
 type t = {
   size : int;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* guards epoch/stop and the idle wait *)
   nonempty : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  deques : (unit -> unit) Deque.t array;
+  mutable epoch : int;  (* bumped on every submission *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  steals : int Atomic.t;
 }
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 
 let in_worker () = Domain.DLS.get in_worker_key
 
-let worker_loop pool =
+(* own deque first, then sweep the others starting just past [me] so
+   thieves spread over victims instead of all hammering worker 0 *)
+let find_work pool me =
+  match Deque.pop_front pool.deques.(me) with
+  | Some _ as j -> j
+  | None ->
+    let n = Array.length pool.deques in
+    let rec scan k =
+      if k = n then None
+      else
+        match Deque.pop_back pool.deques.((me + k) mod n) with
+        | Some _ as j ->
+          Atomic.incr pool.steals;
+          j
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let worker_loop pool me =
   Domain.DLS.set in_worker_key true;
   let rec loop () =
-    Mutex.lock pool.lock;
-    while Queue.is_empty pool.jobs && not pool.stop do
-      Condition.wait pool.nonempty pool.lock
-    done;
-    if Queue.is_empty pool.jobs then Mutex.unlock pool.lock
-    else begin
-      let job = Queue.pop pool.jobs in
+    let seen =
+      Mutex.lock pool.lock;
+      let e = pool.epoch in
       Mutex.unlock pool.lock;
+      e
+    in
+    match find_work pool me with
+    | Some job ->
       job ();
       loop ()
-    end
+    | None ->
+      Mutex.lock pool.lock;
+      while pool.epoch = seen && not pool.stop do
+        Condition.wait pool.nonempty pool.lock
+      done;
+      let stopping = pool.stop in
+      Mutex.unlock pool.lock;
+      if stopping then
+        (* drain whatever is still queued, then exit *)
+        match find_work pool me with
+        | Some job ->
+          job ();
+          loop ()
+        | None -> ()
+      else loop ()
   in
   loop ()
 
@@ -35,17 +140,21 @@ let create n =
       size;
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      jobs = Queue.create ();
+      deques = Array.init size (fun _ -> Deque.create ());
+      epoch = 0;
       stop = false;
       workers = [];
+      steals = Atomic.make 0;
     }
   in
   if size > 1 then
     pool.workers <-
-      List.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+      List.init size (fun i -> Domain.spawn (fun () -> worker_loop pool i));
   pool
 
 let size t = t.size
+
+let steal_count t = Atomic.get t.steals
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -61,7 +170,23 @@ let shutdown t =
    degrade to sequential (e.g. RNG-consuming setup code). *)
 let seq_map f xs = List.rev (List.rev_map f xs)
 
-let map pool f xs =
+(* Execution order of a batch: heaviest-first when [cost] is given
+   (descending cost, ties by index so scheduling is reproducible),
+   submission order otherwise. Pure scheduling hint — results are
+   indexed, so the output order never depends on it. *)
+let schedule_order cost input =
+  let n = Array.length input in
+  match cost with
+  | None -> Array.init n Fun.id
+  | Some c ->
+    let keyed = Array.mapi (fun i x -> (c x, i)) input in
+    Array.sort
+      (fun (ca, ia) (cb, ib) ->
+        match compare (cb : float) ca with 0 -> compare ia ib | d -> d)
+      keyed;
+    Array.map snd keyed
+
+let map ?cost pool f xs =
   if pool.size <= 1 || pool.workers = [] || in_worker () then seq_map f xs
   else begin
     let input = Array.of_list xs in
@@ -79,7 +204,8 @@ let map pool f xs =
            let bt = Printexc.get_raw_backtrace () in
            Mutex.lock done_lock;
            (* keep the lowest-indexed failure so re-raising is
-              deterministic regardless of worker interleaving *)
+              deterministic regardless of worker interleaving and of
+              which domain a failing job was stolen by *)
            (match !failure with
             | Some (j, _, _) when j < i -> ()
             | _ -> failure := Some (i, e, bt));
@@ -89,10 +215,14 @@ let map pool f xs =
         if !remaining = 0 then Condition.broadcast done_cond;
         Mutex.unlock done_lock
       in
+      let order = schedule_order cost input in
       Mutex.lock pool.lock;
-      for i = 0 to n - 1 do
-        Queue.add (job i) pool.jobs
-      done;
+      (* deal round-robin: with a cost hint, the k heaviest jobs land
+         one per worker; whatever imbalance remains is stolen away *)
+      Array.iteri
+        (fun k idx -> Deque.push_back pool.deques.(k mod pool.size) (job idx))
+        order;
+      pool.epoch <- pool.epoch + 1;
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.lock;
       Mutex.lock done_lock;
@@ -119,7 +249,7 @@ let chunks size xs =
   in
   go [] [] 0 xs
 
-let map_chunked ?chunk pool f xs =
+let map_chunked ?chunk ?cost pool f xs =
   let n = List.length xs in
   if n = 0 then []
   else begin
@@ -128,8 +258,15 @@ let map_chunked ?chunk pool f xs =
       | Some c -> max 1 c
       | None -> max 1 (n / (4 * pool.size))
     in
-    if chunk <= 1 then map pool f xs
-    else List.concat (map pool (fun c -> seq_map f c) (chunks chunk xs))
+    if chunk <= 1 then map ?cost pool f xs
+    else
+      let chunk_cost =
+        Option.map
+          (fun c ch -> List.fold_left (fun acc x -> acc +. c x) 0.0 ch)
+          cost
+      in
+      List.concat
+        (map ?cost:chunk_cost pool (fun c -> seq_map f c) (chunks chunk xs))
   end
 
 let default_size () =

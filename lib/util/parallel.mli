@@ -1,20 +1,31 @@
-(** A small fixed-size domain pool for fan-out over independent jobs.
+(** A fixed-size work-stealing domain pool for fan-out over independent
+    jobs.
 
     The measurement engine evaluates thousands of (program,
     configuration) points whose simulations are independent; this pool
     spreads them over the machine's cores with plain stdlib domains —
     no external dependencies.
 
+    Scheduling: every worker owns a deque. A batch is dealt round-robin
+    across the deques; owners take from the front of their own deque
+    and an idle worker steals from the back of another's (the two ends
+    of a Chase-Lev deque, mutex-guarded). Stealing keeps domains busy
+    at batch tails, where job costs are heavily skewed — an 8-core/SMT4
+    simulation costs ~10x a 1-core/SMT1 one.
+
     Semantics:
     - {!map} and {!map_chunked} preserve the order of the input list;
       the result is indistinguishable from [List.map] applied
       left-to-right (jobs must therefore be independent and
       deterministic, which every simulation job is by construction).
+      The optional [cost] hint only reorders {e execution} (heaviest
+      first), never results.
     - A pool of size 1 — and any call made {e from inside} a pool
       worker — degrades to sequential execution, so nested maps can
-      never deadlock on the job queue.
+      never deadlock on the job deques.
     - If any job raises, the exception of the lowest-indexed failing
-      job is re-raised in the caller once all jobs have drained. *)
+      job is re-raised in the caller once all jobs have drained —
+      regardless of which worker ran or stole the failing job. *)
 
 type t
 
@@ -25,17 +36,27 @@ val create : int -> t
 val size : t -> int
 (** Number of workers ([1] means sequential). *)
 
+val steal_count : t -> int
+(** Total jobs executed by a worker other than the one they were dealt
+    to, since pool creation. Monotone; a scheduler health metric
+    (exported to BENCH_sim.json), not part of any determinism
+    contract. *)
+
 val shutdown : t -> unit
-(** Stop the workers and join them. Idempotent. Maps on a shut-down
-    pool run sequentially. *)
+(** Stop the workers and join them (queued jobs are drained first).
+    Idempotent. Maps on a shut-down pool run sequentially. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
-(** Order-preserving parallel map: one job per element. *)
+val map : ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: one job per element. [cost] is a
+    scheduling hint — jobs are started heaviest-first (ties broken by
+    input position) so long jobs don't land at the batch tail; it has
+    no effect on the result. *)
 
-val map_chunked : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+val map_chunked :
+  ?chunk:int -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!map} but groups elements into chunks of [chunk] (default:
     enough chunks for ~4 per worker) to amortise queue traffic when
-    jobs are small. *)
+    jobs are small. A chunk's cost is the sum of its members'. *)
 
 val in_worker : unit -> bool
 (** True when called from inside a pool worker (nested maps degrade). *)

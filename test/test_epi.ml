@@ -70,6 +70,39 @@ let test_run_subset () =
       ~instructions:instrs () in
   Alcotest.(check int) "three bootstrapped" 3 (List.length ps)
 
+let test_batched_run_matches_serial () =
+  (* the batched campaign (one run_batch over a forced multi-domain
+     pool) must be bit-identical, instruction by instruction, to the
+     serial per-instruction path *)
+  let a = arch () in
+  let instrs =
+    List.map (Arch.find_instruction a)
+      [ "add"; "lbz"; "fadd"; "mulldo"; "xvmaddadp" ]
+  in
+  let serial_machine = machine a in
+  let serial =
+    List.map
+      (fun i ->
+        Mp_epi.Bootstrap.instruction_props ~machine:serial_machine ~arch:a
+          ~size:128 i)
+      instrs
+  in
+  let batch_machine = machine a in
+  let pool = Mp_util.Parallel.create 4 in
+  let batched =
+    Mp_epi.Bootstrap.run ~machine:batch_machine ~arch:a ~size:128
+      ~instructions:instrs ~pool ()
+  in
+  Mp_util.Parallel.shutdown pool;
+  Alcotest.(check int) "same count" (List.length serial) (List.length batched);
+  List.iter2
+    (fun (s : Mp_epi.Bootstrap.props) (b : Mp_epi.Bootstrap.props) ->
+      Alcotest.(check bool)
+        (s.Mp_epi.Bootstrap.mnemonic ^ " bit-identical")
+        true
+        (compare s b = 0))
+    serial batched
+
 (* ----- taxonomy -------------------------------------------------------------- *)
 
 let fake ~m ~ipc ~epi ~fxu ~lsu ~vsu =
@@ -220,6 +253,8 @@ let () =
          Alcotest.test_case "EPI orderings" `Quick test_epi_orderings;
          Alcotest.test_case "zero data" `Quick test_zero_data_reduces_epi;
          Alcotest.test_case "run subset" `Quick test_run_subset;
+         Alcotest.test_case "batched run = serial" `Quick
+           test_batched_run_matches_serial;
          Alcotest.test_case "events per instr" `Quick test_events_per_instr_reported;
          Alcotest.test_case "deterministic" `Quick test_bootstrap_deterministic;
          QCheck_alcotest.to_alcotest prop_epi_nonnegative ]);

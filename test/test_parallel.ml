@@ -29,6 +29,26 @@ let test_map_empty_and_size_one () =
     (Mp_util.Parallel.map pool (fun x -> 2 * x) [ 1; 2 ]);
   Mp_util.Parallel.shutdown pool
 
+let test_cost_hint_preserves_order () =
+  (* heavily skewed costs + a cost hint: execution is reordered
+     (heaviest first, dealt across deques, tails stolen) but the result
+     must still read exactly like List.map *)
+  let pool = Mp_util.Parallel.create 4 in
+  let xs = List.init 60 Fun.id in
+  let cost x = float_of_int (if x mod 7 = 0 then 100 * x else 1) in
+  let f x =
+    (* skewed wall-clock too, so stealing actually happens *)
+    if x mod 7 = 0 then Unix.sleepf 0.002;
+    x * 3
+  in
+  let r = Mp_util.Parallel.map ~cost pool f xs in
+  Alcotest.(check (list int)) "cost-hinted order" (List.map f xs) r;
+  (* same with chunking: a chunk's cost is the sum of its members' *)
+  let rc = Mp_util.Parallel.map_chunked ~chunk:5 ~cost pool (fun x -> x + 1) xs in
+  Alcotest.(check (list int)) "chunked cost-hinted order"
+    (List.map (( + ) 1) xs) rc;
+  Mp_util.Parallel.shutdown pool
+
 exception Boom of int
 
 let test_exception_propagation () =
@@ -48,6 +68,53 @@ let test_exception_propagation () =
   Alcotest.(check (list int)) "pool alive after failure" [ 2; 3; 4 ]
     (Mp_util.Parallel.map pool (( + ) 1) [ 1; 2; 3 ]);
   Mp_util.Parallel.shutdown pool
+
+let test_exception_in_stolen_task () =
+  (* job 0 is the slowest and fails last in wall-clock terms; the other
+     failing jobs are dealt to (and stolen across) other workers and
+     fail first — the reported exception must still be job 0's, so
+     failure propagation is deterministic under stealing *)
+  let pool = Mp_util.Parallel.create 4 in
+  let raised =
+    try
+      ignore
+        (Mp_util.Parallel.map
+           ~cost:(fun x -> float_of_int (100 - x))
+           pool
+           (fun x ->
+             if x = 0 then Unix.sleepf 0.02;
+             raise (Boom x))
+           (List.init 12 Fun.id));
+      None
+    with Boom n -> Some n
+  in
+  Alcotest.(check (option int)) "job 0's exception wins" (Some 0) raised;
+  Alcotest.(check (list int)) "pool alive after failure" [ 2; 3 ]
+    (Mp_util.Parallel.map pool (( + ) 1) [ 1; 2 ]);
+  Mp_util.Parallel.shutdown pool
+
+let test_steal_counter () =
+  (* a size-1 pool runs sequentially: nothing to steal *)
+  let p1 = Mp_util.Parallel.create 1 in
+  ignore (Mp_util.Parallel.map p1 (fun x -> x) (List.init 10 Fun.id));
+  Alcotest.(check int) "sequential pool never steals" 0
+    (Mp_util.Parallel.steal_count p1);
+  Mp_util.Parallel.shutdown p1;
+  (* the counter is monotone and the skewed batch's results are intact
+     whatever the workers stole *)
+  let p4 = Mp_util.Parallel.create 4 in
+  let before = Mp_util.Parallel.steal_count p4 in
+  let r =
+    Mp_util.Parallel.map p4
+      (fun x ->
+        if x mod 4 = 0 then Unix.sleepf 0.004;
+        x)
+      (List.init 32 Fun.id)
+  in
+  Alcotest.(check (list int)) "results intact" (List.init 32 Fun.id) r;
+  Alcotest.(check bool) "monotone" true
+    (Mp_util.Parallel.steal_count p4 >= before);
+  Mp_util.Parallel.shutdown p4
 
 let test_nested_map_degrades () =
   (* a map issued from inside a worker must degrade to sequential
@@ -151,8 +218,13 @@ let () =
          Alcotest.test_case "map chunked" `Quick test_map_chunked;
          Alcotest.test_case "empty and size one" `Quick
            test_map_empty_and_size_one;
+         Alcotest.test_case "cost hint preserves order" `Quick
+           test_cost_hint_preserves_order;
          Alcotest.test_case "exception propagation" `Quick
            test_exception_propagation;
+         Alcotest.test_case "exception in stolen task" `Quick
+           test_exception_in_stolen_task;
+         Alcotest.test_case "steal counter" `Quick test_steal_counter;
          Alcotest.test_case "nested map degrades" `Quick
            test_nested_map_degrades;
          Alcotest.test_case "MP_POOL_SIZE" `Quick test_default_size_env ]);

@@ -374,6 +374,136 @@ let test_seed_changes_sensor () =
     (Float.abs (m1.Measurement.power -. m2.Measurement.power)
      < 0.05 *. m1.Measurement.power)
 
+(* ----- heterogeneous batch -------------------------------------------------- *)
+
+let test_hetero_batch_matches_serial () =
+  let a = arch () in
+  let c = config a ~cores:2 ~smt:2 in
+  let p1 = mono a "mulld" and p2 = mono a "lbz" in
+  let jobs = [ (c, [ p1; p2 ]); (c, [ p2; p1 ]); (c, [ p1; p1 ]) ] in
+  let serial_machine = Machine.create ~cache:false a.Arch.uarch in
+  let serial =
+    List.map
+      (fun (c, ps) -> Machine.run_heterogeneous serial_machine c ps)
+      jobs
+  in
+  let batch_machine = Machine.create ~cache:false a.Arch.uarch in
+  let pool = Mp_util.Parallel.create 4 in
+  let batch = Machine.run_heterogeneous_batch ~pool batch_machine jobs in
+  Mp_util.Parallel.shutdown pool;
+  List.iter2
+    (fun (s : Measurement.t) (b : Measurement.t) ->
+      Alcotest.(check bool)
+        (s.Measurement.program ^ " hetero batch bit-identical")
+        true
+        (compare s b = 0))
+    serial batch
+
+(* ----- disk-persistent measurement cache ------------------------------------ *)
+
+let with_cache_dir dir f =
+  Unix.putenv "MP_CACHE_DIR" dir;
+  Fun.protect ~finally:(fun () -> Unix.putenv "MP_CACHE_DIR" "_mp_cache") f
+
+let fresh_dir tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mp_cache_test_%s_%d" tag (Unix.getpid ()))
+
+let cache_stats machine =
+  match Machine.measurement_cache machine with
+  | Some c -> Measurement_cache.stats c
+  | None -> Alcotest.fail "expected a measurement cache"
+
+let test_disk_cache_roundtrip () =
+  with_cache_dir (fresh_dir "rt") (fun () ->
+      let a = arch () in
+      let p = mono a "mulld" in
+      let other = mono a "lbz" in
+      let c = config a ~cores:2 ~smt:1 in
+      (* reference value, no caching at all *)
+      let m0 = Machine.create ~cache:false a.Arch.uarch in
+      let r0 = Machine.run m0 c p in
+      (* m1 interns [other] first, so its intern-table history differs
+         from a machine that only ever saw [p] — the disk entry it
+         writes must be bit-identical anyway *)
+      let m1 = Machine.create a.Arch.uarch in
+      ignore (Machine.run m1 c other);
+      let r1 = Machine.run m1 c p in
+      Alcotest.(check bool) "writer matches reference" true
+        (compare r0 r1 = 0);
+      let dir = Sys.getenv "MP_CACHE_DIR" in
+      Alcotest.(check bool) "cache dir populated" true
+        (Sys.file_exists dir && Array.length (Sys.readdir dir) > 0);
+      (* a fresh machine with a different intern history: in-memory
+         cold, disk warm *)
+      let m2 = Machine.create a.Arch.uarch in
+      let r2 = Machine.run m2 c p in
+      Alcotest.(check bool) "disk-served result bit-identical" true
+        (compare r0 r2 = 0);
+      let s = cache_stats m2 in
+      Alcotest.(check int) "served from disk" 1 s.Measurement_cache.disk_hits;
+      Alcotest.(check int) "no simulation ran" 0 s.Measurement_cache.misses)
+
+let test_disk_cache_corrupt_skipped () =
+  with_cache_dir (fresh_dir "corrupt") (fun () ->
+      let a = arch () in
+      let p = mono a "subf" in
+      let c = config a ~cores:1 ~smt:1 in
+      let m1 = Machine.create a.Arch.uarch in
+      let r1 = Machine.run m1 c p in
+      (* vandalise every entry on disk *)
+      let dir = Sys.getenv "MP_CACHE_DIR" in
+      Array.iter
+        (fun f ->
+          let oc = open_out_bin (Filename.concat dir f) in
+          output_string oc "not a marshalled measurement";
+          close_out oc)
+        (Sys.readdir dir);
+      (* corrupt entries are skipped without error and recomputed *)
+      let m2 = Machine.create a.Arch.uarch in
+      let r2 = Machine.run m2 c p in
+      Alcotest.(check bool) "recomputed bit-identical" true
+        (compare r1 r2 = 0);
+      let s = cache_stats m2 in
+      Alcotest.(check int) "nothing served from disk" 0
+        s.Measurement_cache.disk_hits;
+      Alcotest.(check int) "recomputed once" 1 s.Measurement_cache.misses)
+
+let test_single_flight () =
+  let cache = Measurement_cache.create () in
+  let calls = Atomic.make 0 in
+  let dummy =
+    {
+      Measurement.config = { Mp_uarch.Uarch_def.cores = 1; smt = 1 };
+      program = "sf";
+      threads = [||];
+      core_ipc = 0.0;
+      power = 1.0;
+      power_trace = [||];
+    }
+  in
+  let pool = Mp_util.Parallel.create 4 in
+  let rs =
+    Mp_util.Parallel.map pool
+      (fun _ ->
+        Measurement_cache.find_or_add cache "the-key" (fun () ->
+            Atomic.incr calls;
+            Unix.sleepf 0.02;
+            dummy))
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Mp_util.Parallel.shutdown pool;
+  (* concurrent misses on one key run the computation at most once *)
+  Alcotest.(check int) "compute ran once" 1 (Atomic.get calls);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "same value" true (compare r dummy = 0))
+    rs;
+  let s = Measurement_cache.stats cache in
+  Alcotest.(check int) "one miss (one simulation)" 1 s.Measurement_cache.misses;
+  Alcotest.(check int) "five hits" 5 s.Measurement_cache.hits
+
 let prop_power_monotone_in_cores =
   let a = arch () in
   let machine = Machine.create a.Arch.uarch in
@@ -426,4 +556,12 @@ let () =
          Alcotest.test_case "total threads" `Quick test_total_threads;
          Alcotest.test_case "sensor seeds" `Quick test_seed_changes_sensor;
          QCheck_alcotest.to_alcotest prop_power_monotone_in_cores ]);
+      ("batch",
+       [ Alcotest.test_case "hetero batch = serial" `Quick
+           test_hetero_batch_matches_serial ]);
+      ("disk cache",
+       [ Alcotest.test_case "round trip" `Quick test_disk_cache_roundtrip;
+         Alcotest.test_case "corrupt entries skipped" `Quick
+           test_disk_cache_corrupt_skipped;
+         Alcotest.test_case "single flight" `Quick test_single_flight ]);
     ]
