@@ -23,6 +23,19 @@ let tests (ctx : Context.t) =
   in
   let synth = mk_synth () in
   let program = Synthesizer.synthesize ~seed:1 synth in
+  (* periodic steady-state kernel for the dense-vs-skipping pair: pure
+     fadd reaches a bit-exact repeating state, and the cache-less
+     machine makes every run an actual simulation *)
+  let periodic =
+    let s = Synthesizer.create ~name:"bench-period" arch in
+    Synthesizer.add_pass s (Passes.skeleton ~size:256);
+    Synthesizer.add_pass s
+      (Passes.fill_sequence [ Arch.find_instruction arch "fadd" ]);
+    Synthesizer.add_pass s (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:7 s
+  in
+  let nocache = Machine.create ~cache:false arch.Arch.uarch in
+  let cfg42 = Context.config ctx ~cores:4 ~smt:2 in
   let counter = ref 0 in
   let dataset =
     (* a small regression problem representative of model training *)
@@ -42,6 +55,14 @@ let tests (ctx : Context.t) =
       (Staged.stage (fun () -> ignore (Machine.run machine cfg1 program)));
     Test.make ~name:"simulate+measure @8c-smt4"
       (Staged.stage (fun () -> ignore (Machine.run machine cfg84 program)));
+    Test.make ~name:"simulate dense measure=48 @4c-smt2"
+      (Staged.stage (fun () ->
+           ignore
+             (Machine.run ~measure:48 ~period:false nocache cfg42 periodic)));
+    Test.make ~name:"simulate period-skip measure=48 @4c-smt2"
+      (Staged.stage (fun () ->
+           ignore
+             (Machine.run ~measure:48 ~period:true nocache cfg42 periodic)));
     Test.make ~name:"NNLS fit (200x8)"
       (Staged.stage (fun () ->
            let x, y = dataset in

@@ -112,6 +112,10 @@ let () =
       (float_of_int (Domain.recommended_domain_count ()));
     Context.record_metric ctx "pool_steals"
       (float_of_int (Mp_util.Parallel.steal_count ctx.Context.pool));
+    Context.record_metric ctx "period_hits"
+      (float_of_int (Microprobe.Core_sim.period_hits ()));
+    Context.record_metric ctx "cycles_skipped"
+      (float_of_int (Microprobe.Core_sim.cycles_skipped ()));
     (match Microprobe.Machine.measurement_cache ctx.Context.machine with
      | None -> ()
      | Some c ->

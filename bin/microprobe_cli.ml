@@ -7,6 +7,7 @@
      measure     synthesize, deploy and measure a micro-benchmark
      bootstrap   derive latency/throughput/units/EPI for instructions
      stressmark  run a compact max-power search
+     mp-cache    disk measurement-cache housekeeping (gc)
 *)
 
 open Microprobe
@@ -294,6 +295,76 @@ let stressmark_cmd =
   Cmd.v (Cmd.info "stressmark" ~doc:"Run a compact max-power search")
     Term.(const stressmark $ subsample)
 
+(* ----- mp-cache ------------------------------------------------------------------ *)
+
+let mib = 1024.0 *. 1024.0
+
+let cache_gc dir max_mb =
+  let dir =
+    match dir with
+    | "" ->
+      (match Measurement_cache.env_disk () with
+       | Some d -> d.Measurement_cache.dir
+       | None -> "_mp_cache")
+    | d -> d
+  in
+  let max_bytes =
+    match max_mb with
+    | Some mb when mb > 0.0 -> Some (int_of_float (mb *. mib))
+    | Some _ -> None
+    | None -> Measurement_cache.env_max_bytes ()
+  in
+  match max_bytes with
+  | None ->
+    prerr_endline
+      "mp-cache gc: no size bound given (pass --max-mb or set MP_CACHE_MAX_MB)";
+    2
+  | Some b ->
+    if not (Sys.file_exists dir) then begin
+      Printf.printf "%s: no cache directory, nothing to do\n" dir;
+      0
+    end
+    else begin
+      let s = Measurement_cache.gc ~max_bytes:b dir in
+      Printf.printf
+        "%s: %d entries, %.1f MiB -> %.1f MiB (removed %d, bound %.1f MiB)\n"
+        dir s.Measurement_cache.entries
+        (float_of_int s.Measurement_cache.bytes_before /. mib)
+        (float_of_int s.Measurement_cache.bytes_after /. mib)
+        s.Measurement_cache.removed
+        (float_of_int b /. mib);
+      0
+    end
+
+let cache_cmd =
+  let dir_t =
+    Arg.(
+      value & opt string ""
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Cache directory (default: $(b,MP_CACHE_DIR) or $(b,_mp_cache)).")
+  in
+  let max_mb_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-mb" ] ~docv:"MB"
+          ~doc:
+            "Size bound in MiB; oldest entries are pruned until the \
+             directory fits (default: $(b,MP_CACHE_MAX_MB)).")
+  in
+  let gc =
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Prune oldest measurement-cache entries past the size bound \
+            (in-flight writes are never touched)")
+      Term.(const cache_gc $ dir_t $ max_mb_t)
+  in
+  Cmd.group
+    (Cmd.info "mp-cache" ~doc:"Disk measurement-cache housekeeping")
+    [ gc ]
+
 (* ----- main ------------------------------------------------------------------------- *)
 
 let () =
@@ -302,6 +373,6 @@ let () =
   let group =
     Cmd.group info
       [ list_isa_cmd; isa_text_cmd; generate_cmd; measure_cmd; bootstrap_cmd;
-        stressmark_cmd ]
+        stressmark_cmd; cache_cmd ]
   in
   exit (Cmd.eval' group)

@@ -29,6 +29,7 @@ module Synthesizer = Mp_codegen.Synthesizer
 module Emit = Mp_codegen.Emit
 module Dse = Mp_dse
 module Machine = Mp_sim.Machine
+module Core_sim = Mp_sim.Core_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
 module Trace = Mp_potra.Trace

@@ -111,3 +111,42 @@ let prefetches_issued t = t.prefetch_count
 let reset_stats t =
   List.iter (fun (_, r) -> r := 0) t.counts;
   t.prefetch_count <- 0
+
+(* ----- period-skipping support ------------------------------------------- *)
+
+let stats_snapshot t =
+  let n = List.length t.counts in
+  let a = Array.make (n + 1) 0 in
+  List.iteri (fun i (_, r) -> a.(i) <- !r) t.counts;
+  a.(n) <- t.prefetch_count;
+  a
+
+let credit t ~times ~since =
+  List.iteri
+    (fun i (_, r) -> r := !r + (times * (!r - since.(i))))
+    t.counts;
+  t.prefetch_count <-
+    t.prefetch_count
+    + (times * (t.prefetch_count - since.(List.length t.counts)))
+
+let add_fingerprint t buf =
+  List.iter
+    (fun lvl ->
+      Buffer.add_char buf 'L';
+      Array.iter
+        (fun set ->
+          Array.iter
+            (fun line ->
+              Buffer.add_string buf (string_of_int line);
+              Buffer.add_char buf ',')
+            set;
+          Buffer.add_char buf '/')
+        lvl.lines)
+    t.levels;
+  Buffer.add_char buf '#';
+  Buffer.add_string buf (string_of_int t.prefetch_last);
+  Buffer.add_char buf ':';
+  (* only [streak >= 3] is ever consulted, and the counter grows without
+     bound on long sequential walks: saturate it so an endless stream
+     still fingerprints periodically *)
+  Buffer.add_string buf (string_of_int (min t.prefetch_streak 3))

@@ -21,3 +21,20 @@ val prefetches_issued : t -> int
 val reset_stats : t -> unit
 (** Clear counters but keep cache contents (for warmup/measure
     separation). *)
+
+val stats_snapshot : t -> int array
+(** The demand counters (one per level, in {!Mp_uarch.Cache_geometry.all_levels}
+    order) followed by the prefetch count — a baseline for {!credit}. *)
+
+val credit : t -> times:int -> since:int array -> unit
+(** [credit t ~times ~since] adds [times] copies of the stat delta
+    accumulated since the {!stats_snapshot} [since] — how the core
+    simulator's exact period skipping accounts the cache activity of
+    the loop iterations it does not replay. *)
+
+val add_fingerprint : t -> Buffer.t -> unit
+(** Append a byte-exact fingerprint of the cache's {e behavioural}
+    state — every set's MRU-ordered line addresses plus the stream
+    prefetcher's last line and (saturated) stride streak — to [buf].
+    Two caches with equal fingerprints respond identically to every
+    future access sequence; statistics counters are excluded. *)

@@ -148,6 +148,31 @@ type activity = {
 
 (* ----- the simulation --------------------------------------------------- *)
 
+(* Process-wide period-skipping telemetry. Deliberately OUT of the
+   [activity] record: skipped and dense runs must stay bit-identical
+   counter-for-counter, so the only observable difference is wall-clock
+   time and these monotone counters. *)
+let period_hits_ctr = Atomic.make 0
+let cycles_skipped_ctr = Atomic.make 0
+
+let period_hits () = Atomic.get period_hits_ctr
+let cycles_skipped () = Atomic.get cycles_skipped_ctr
+
+let env_period =
+  lazy
+    (match Sys.getenv_opt "MP_PERIOD" with
+     | Some v ->
+       not
+         (List.mem
+            (String.lowercase_ascii (String.trim v))
+            [ "off"; "0"; "false"; "no" ])
+     | None -> true)
+
+(* Boundaries fingerprinted before the detector gives up and the run
+   stays dense. Bounds both the detection overhead on aperiodic inputs
+   and the memory held by boundary snapshots. *)
+let boundary_budget = 64
+
 type pending = {
   mutable di : int;      (* body index *)
   mutable it : int;      (* iteration *)
@@ -182,6 +207,7 @@ type thread_state = {
   mutable q_len : int;
   mutable pc : int;
   mutable iter : int;
+  mutable iter_credit : int;  (* whole iterations credited by period skips *)
   mutable dispatch_seq : int;
   mutable in_flight : int;
   mutable stall_until : int;
@@ -193,6 +219,22 @@ type thread_state = {
   comp_time : int array;
   predictor : int array;      (* 2-bit counters per static instruction *)
   counters : raw_counters;
+  (* Ready-set scheduling state. All of it is indexed by the physical
+     queue slot (0..window-1). An entry is in exactly one place at a
+     time: the ready list (operands available, rescanned for pipes each
+     cycle, in dispatch order), the wakeup calendar (operand arrival
+     cycle known but in the future), or the waiter chains (some
+     producer has not even issued, so its completion time is unknown). *)
+  n_wait : int array;         (* producers not yet issued, per slot *)
+  ready_at : int array;       (* max known producer completion, per slot *)
+  rnext : int array;          (* ready list links; -2 = not in the list *)
+  rprev : int array;
+  mutable rhead : int;
+  mutable rtail : int;
+  whead : int array;          (* per comp-ring slot: first waiter node *)
+  wlink : int array;          (* waiter node (slot * 4 + dep) -> next node *)
+  rcal : int array;           (* wakeup calendar: slot-chain head per cycle *)
+  rcal_next : int array;      (* per slot: next in the same calendar cycle *)
 }
 
 let calendar_size = 16384
@@ -203,7 +245,22 @@ let level_id = function
   | Cache_geometry.L3 -> 2
   | Cache_geometry.MEM -> 3
 
-let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
+(* A boundary snapshot: the measured-counter state at a fingerprinted
+   thread-0 iteration crossing. When a later crossing reproduces the
+   fingerprint, (current - snapshot) is the exact per-period delta of
+   every counter, and the cycle delta is the period length. *)
+type boundary = {
+  b_cycle : int;
+  b_iters : int array;
+  b_raw : raw_counters array;
+  b_op_issues : int array;
+  b_level_loads : int array;
+  b_switch : int;
+  b_transitions : int array;
+  b_cache : int array;
+}
+
+let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
   let nthreads = Array.length progs in
   if nthreads = 0 then invalid_arg "Core_sim.run: no threads";
   let mem_lat =
@@ -211,6 +268,12 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
   in
   let window = uarch.Uarch_def.window in
   let total_iters = warmup + measure in
+  (* Period skipping pays for its fingerprints only when there are
+     enough measured iterations to elide; short windows run dense. *)
+  let period_on =
+    (match period with Some b -> b | None -> Lazy.force env_period)
+    && measure >= 4
+  in
   let cache = Cache_sim.create uarch in
   let latencies =
     (* load-to-use latency per source level id *)
@@ -219,7 +282,13 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
        (Uarch_def.cache uarch Cache_geometry.L3).Cache_geometry.latency_cycles;
        mem_lat |]
   in
-  (* pipe instances *)
+  (* Pipe instances: busy-time RESIDUALS relative to [pipe_now], kept
+     >= 0.0. Relative storage makes every float op here independent of
+     the absolute cycle count: rebasing subtracts an integer (exact for
+     these magnitudes), reservation adds [occ] at small magnitude, and
+     the free test compares against 1.0. An identical residual pattern
+     therefore evolves identically at any point in the run — the
+     property the period detector's exactness argument rests on. *)
   let pipe_free =
     Array.init n_pipe_kinds (fun k ->
         let kind =
@@ -229,6 +298,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
         in
         Array.make (max 1 (Uarch_def.pipe_count uarch kind)) 0.0)
   in
+  let pipe_now = ref 0 in
   let op_issues = Array.make (max 1 (opmap_size opmap + 64)) 0 in
   let level_loads = Array.make 4 0 in
   let switch_events = ref 0 in
@@ -261,6 +331,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
           q_len = 0;
           pc = 0;
           iter = 0;
+          iter_credit = 0;
           dispatch_seq = 0;
           in_flight = 0;
           stall_until = 0;
@@ -271,6 +342,16 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
           comp_time = Array.make (4 * window) 0;
           predictor = Array.make (Array.length prog.body) 2;
           counters = zero_raw ();
+          n_wait = Array.make window 0;
+          ready_at = Array.make window 0;
+          rnext = Array.make window (-2);
+          rprev = Array.make window (-2);
+          rhead = -1;
+          rtail = -1;
+          whead = Array.make (4 * window) (-1);
+          wlink = Array.make (window * 4) (-1);
+          rcal = Array.make calendar_size (-1);
+          rcal_next = Array.make window (-1);
         })
       progs
   in
@@ -281,19 +362,96 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
      runs out before the end of the cycle; reserving from the fractional
      free time (not the cycle boundary) lets occupancies like 1.19
      sustain their exact 1/1.19 throughput. *)
-  let find_free insts nowf =
-    let n = Array.length insts in
-    let rec go i =
-      if i = n then -1 else if insts.(i) < nowf +. 1.0 then i else go (i + 1)
-    in
-    go 0
+  (* Earliest free time per pipe kind: lets the common "every instance
+     busy" case answer without scanning the instance array. The scan
+     still picks the lowest-index free instance, exactly as before. *)
+  let pipe_min = Array.make n_pipe_kinds 0.0 in
+  let recompute_pipe_min k =
+    let insts = pipe_free.(k) in
+    let m = ref insts.(0) in
+    for i = 1 to Array.length insts - 1 do
+      if insts.(i) < !m then m := insts.(i)
+    done;
+    pipe_min.(k) <- !m
+  in
+  let find_free k =
+    if pipe_min.(k) >= 1.0 then -1
+    else begin
+      let insts = pipe_free.(k) in
+      let n = Array.length insts in
+      let rec go i =
+        if i = n then -1 else if insts.(i) < 1.0 then i else go (i + 1)
+      in
+      go 0
+    end
+  in
+  (* advance the pipe residual epoch to [now] (clamping at free) *)
+  let rebase_pipes now =
+    if now > !pipe_now then begin
+      let d = float_of_int (now - !pipe_now) in
+      Array.iter
+        (fun insts ->
+          for i = 0 to Array.length insts - 1 do
+            let r = insts.(i) -. d in
+            insts.(i) <- (if r > 0.0 then r else 0.0)
+          done)
+        pipe_free;
+      for k = 0 to n_pipe_kinds - 1 do
+        let m = pipe_min.(k) -. d in
+        pipe_min.(k) <- (if m > 0.0 then m else 0.0)
+      done;
+      pipe_now := now
+    end
+  in
+  (* Ready-list maintenance. The list is doubly linked through physical
+     queue slots and kept in dispatch (seq) order, so walking head->tail
+     reproduces the dense oldest-first issue scan restricted to entries
+     whose operands are available — the same issue decisions in the same
+     order. *)
+  let ready_insert t s =
+    let seq = t.queue.(s).seq in
+    if t.rtail < 0 then begin
+      t.rhead <- s; t.rtail <- s; t.rprev.(s) <- -1; t.rnext.(s) <- -1
+    end
+    else if t.queue.(t.rtail).seq < seq then begin
+      t.rnext.(t.rtail) <- s; t.rprev.(s) <- t.rtail; t.rnext.(s) <- -1;
+      t.rtail <- s
+    end
+    else begin
+      let p = ref t.rtail in
+      while !p >= 0 && t.queue.(!p).seq > seq do p := t.rprev.(!p) done;
+      if !p < 0 then begin
+        t.rprev.(t.rhead) <- s; t.rnext.(s) <- t.rhead; t.rprev.(s) <- -1;
+        t.rhead <- s
+      end
+      else begin
+        let nx = t.rnext.(!p) in
+        t.rnext.(!p) <- s; t.rprev.(s) <- !p; t.rnext.(s) <- nx;
+        t.rprev.(nx) <- s
+      end
+    end
+  in
+  let ready_remove t s =
+    let p = t.rprev.(s) and n = t.rnext.(s) in
+    if p >= 0 then t.rnext.(p) <- n else t.rhead <- n;
+    if n >= 0 then t.rprev.(n) <- p else t.rtail <- p;
+    t.rnext.(s) <- -2;
+    t.rprev.(s) <- -2
+  in
+  let rcal_park t s at =
+    let idx = at land (calendar_size - 1) in
+    t.rcal_next.(s) <- t.rcal.(idx);
+    t.rcal.(idx) <- s
   in
   (* The loops are endless: the run ends when the slowest thread has
      dispatched its measured iterations; faster threads simply loop
      more. This keeps every thread in steady state for the whole
-     measured window — essential when per-thread programs differ. *)
+     measured window — essential when per-thread programs differ.
+     [iter_credit] counts iterations accounted for by period skipping:
+     they terminate the run like simulated ones, but never advance
+     [iter] itself, whose raw value carries the stream/pattern phases. *)
   let all_done () =
-    Array.for_all (fun t -> t.iter >= total_iters) threads
+    Array.for_all (fun t -> t.iter + t.iter_credit >= total_iters) threads
   in
   let reset_measurement () =
     Array.iter
@@ -308,16 +466,273 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
     Array.fill transitions 0 (Array.length transitions) 0;
     Cache_sim.reset_stats cache
   in
+  (* ---- exact period detection ---------------------------------------- *)
+  let has_mem =
+    Array.exists
+      (fun (p : dprog) ->
+        Array.exists
+          (fun (d : dinstr) -> d.mem <> 0 && Array.length d.stream > 0)
+          p.body)
+      progs
+  in
+  let has_branch =
+    Array.exists
+      (fun (p : dprog) ->
+        Array.exists (fun (d : dinstr) -> Array.length d.pattern > 0) p.body)
+      progs
+  in
+  (* distinct stream/pattern lengths per program: [iter mod m] for each
+     is the full phase information [iter] feeds into future behaviour *)
+  let iter_mods =
+    Array.map
+      (fun (p : dprog) ->
+        let ms = ref [] in
+        Array.iter
+          (fun (d : dinstr) ->
+            let add n = if n > 1 && not (List.mem n !ms) then ms := n :: !ms in
+            add (Array.length d.stream);
+            add (Array.length d.pattern))
+          p.body;
+        Array.of_list (List.sort compare !ms))
+      progs
+  in
+  let fpbuf = Buffer.create 1024 in
+  (* Serialize every piece of machine state that influences future
+     evolution, expressed relative to [now] (pipe residuals, completion
+     countdowns, seq ages) so that two cycles in the same steady-state
+     phase produce the same bytes. The string itself is the hash key:
+     matching means *equality*, not a digest collision. *)
+  let fingerprint now =
+    Buffer.clear fpbuf;
+    let buf = fpbuf in
+    (* dispatch round-robin phase *)
+    Buffer.add_string buf (string_of_int (now mod nthreads));
+    (* pipe residuals are already relative to [now] (the caller rebases
+       first) and maintained magnitude-independently, so their exact
+       bits are legitimate state *)
+    Array.iter
+      (fun insts ->
+        Buffer.add_char buf 'P';
+        Array.iter
+          (fun r ->
+            if r <= 0.0 then Buffer.add_char buf '0'
+            else
+              Buffer.add_string buf (Int64.to_string (Int64.bits_of_float r));
+            Buffer.add_char buf ',')
+          insts)
+      pipe_free;
+    Array.iteri
+      (fun ti t ->
+        Buffer.add_char buf 'T';
+        Buffer.add_string buf (string_of_int t.pc);
+        Buffer.add_char buf ';';
+        Buffer.add_string buf (string_of_int (max 0 (t.stall_until - now)));
+        Buffer.add_char buf ';';
+        Buffer.add_string buf (string_of_int t.last_dispatch_op);
+        Buffer.add_char buf ';';
+        Array.iter
+          (fun m ->
+            Buffer.add_string buf (string_of_int (t.iter mod m));
+            Buffer.add_char buf ',')
+          iter_mods.(ti);
+        Buffer.add_char buf ';';
+        (* in-flight completions as (age, countdown); completed or
+           recycled ring slots are behaviourally retired and omitted *)
+        let ring = Array.length t.comp_seq in
+        for off = 1 to ring do
+          let seqv = t.dispatch_seq - off in
+          if seqv >= 0 then begin
+            let idx = seqv mod ring in
+            if t.comp_seq.(idx) = seqv then begin
+              let ct = t.comp_time.(idx) in
+              if ct = max_int then begin
+                Buffer.add_string buf (string_of_int off);
+                Buffer.add_string buf ":u,"
+              end
+              else if ct > now then begin
+                Buffer.add_string buf (string_of_int off);
+                Buffer.add_char buf ':';
+                Buffer.add_string buf (string_of_int (ct - now));
+                Buffer.add_char buf ','
+              end
+            end
+          end
+        done;
+        Buffer.add_char buf ';';
+        (* register map: writers still in flight as relative age; all
+           retired writers are interchangeable (value ready), but still
+           distinct from "never written" *)
+        Array.iter
+          (fun w ->
+            if w < 0 then Buffer.add_char buf 'N'
+            else begin
+              let idx = w mod ring in
+              if t.comp_seq.(idx) = w && t.comp_time.(idx) > now then begin
+                Buffer.add_string buf (string_of_int (t.dispatch_seq - w));
+                Buffer.add_char buf ','
+              end
+              else Buffer.add_char buf 'R'
+            end)
+          t.reg_last_writer;
+        Buffer.add_char buf ';';
+        (* queue shape oldest-first: static instr, stream/pattern phase,
+           producer ages *)
+        for qi = 0 to t.q_len - 1 do
+          let e = t.queue.((t.q_head + qi) mod window) in
+          if e.live then begin
+            Buffer.add_string buf (string_of_int e.di);
+            Buffer.add_char buf '.';
+            let d = t.prog.body.(e.di) in
+            let slen = Array.length d.stream in
+            if slen > 1 then begin
+              Buffer.add_string buf (string_of_int (e.it mod slen));
+              Buffer.add_char buf 's'
+            end;
+            let plen = Array.length d.pattern in
+            if plen > 1 then begin
+              Buffer.add_string buf (string_of_int (e.it mod plen));
+              Buffer.add_char buf 'p'
+            end;
+            for k = 0 to e.n_deps - 1 do
+              Buffer.add_string buf (string_of_int (t.dispatch_seq - e.deps.(k)));
+              Buffer.add_char buf ','
+            done;
+            Buffer.add_char buf '|'
+          end
+          else Buffer.add_char buf 'x'
+        done;
+        Buffer.add_char buf ';';
+        if has_branch then
+          Array.iter
+            (fun p -> Buffer.add_char buf (Char.chr (Char.code '0' + p)))
+            t.predictor)
+      threads;
+    if has_mem then Cache_sim.add_fingerprint cache fpbuf;
+    Buffer.contents fpbuf
+  in
+  let copy_raw (c : raw_counters) =
+    { instrs = c.instrs; dispatched = c.dispatched; fxu = c.fxu; lsu = c.lsu;
+      vsu = c.vsu; bru = c.bru; st = c.st; l1 = c.l1; l2 = c.l2; l3 = c.l3;
+      memc = c.memc }
+  in
+  let b_table : (string, boundary) Hashtbl.t = Hashtbl.create 64 in
+  let period_done = ref (not period_on) in
+  let last_b_iter = ref (-1) in
+  let skipped = ref 0 in
+  let snapshot now =
+    {
+      b_cycle = now;
+      b_iters = Array.map (fun t -> t.iter) threads;
+      b_raw = Array.map (fun t -> copy_raw t.counters) threads;
+      b_op_issues = Array.copy op_issues;
+      b_level_loads = Array.copy level_loads;
+      b_switch = !switch_events;
+      b_transitions = Array.copy transitions;
+      b_cache = Cache_sim.stats_snapshot cache;
+    }
+  in
+  (* State matched an earlier boundary: every counter delta since that
+     boundary is one period's worth, exactly. Credit the remaining whole
+     periods (leaving at least one full iteration per thread to run
+     densely) and let the tail simulate from the current, unmodified
+     machine state. *)
+  let apply_period (b : boundary) now =
+    period_done := true;
+    let d_cycles = now - b.b_cycle in
+    if d_cycles > 0 then begin
+      let n = ref max_int in
+      Array.iteri
+        (fun j t ->
+          let per = t.iter - b.b_iters.(j) in
+          if per <= 0 then n := 0
+          else begin
+            let rem = total_iters - t.iter - t.iter_credit - 1 in
+            let k = if rem <= 0 then 0 else rem / per in
+            if k < !n then n := k
+          end)
+        threads;
+      let n = !n in
+      if n > 0 then begin
+        Array.iteri
+          (fun j t ->
+            let per = t.iter - b.b_iters.(j) in
+            t.iter_credit <- t.iter_credit + (n * per);
+            let c = t.counters and s = b.b_raw.(j) in
+            c.instrs <- c.instrs + (n * (c.instrs - s.instrs));
+            c.dispatched <- c.dispatched + (n * (c.dispatched - s.dispatched));
+            c.fxu <- c.fxu + (n * (c.fxu - s.fxu));
+            c.lsu <- c.lsu + (n * (c.lsu - s.lsu));
+            c.vsu <- c.vsu + (n * (c.vsu - s.vsu));
+            c.bru <- c.bru + (n * (c.bru - s.bru));
+            c.st <- c.st + (n * (c.st - s.st));
+            c.l1 <- c.l1 + (n * (c.l1 - s.l1));
+            c.l2 <- c.l2 + (n * (c.l2 - s.l2));
+            c.l3 <- c.l3 + (n * (c.l3 - s.l3));
+            c.memc <- c.memc + (n * (c.memc - s.memc)))
+          threads;
+        for i = 0 to Array.length op_issues - 1 do
+          op_issues.(i) <-
+            op_issues.(i) + (n * (op_issues.(i) - b.b_op_issues.(i)))
+        done;
+        for i = 0 to 3 do
+          level_loads.(i) <-
+            level_loads.(i) + (n * (level_loads.(i) - b.b_level_loads.(i)))
+        done;
+        switch_events := !switch_events + (n * (!switch_events - b.b_switch));
+        for i = 0 to Array.length transitions - 1 do
+          transitions.(i) <-
+            transitions.(i) + (n * (transitions.(i) - b.b_transitions.(i)))
+        done;
+        Cache_sim.credit cache ~times:n ~since:b.b_cache;
+        skipped := !skipped + (n * d_cycles);
+        Atomic.incr period_hits_ctr;
+        ignore (Atomic.fetch_and_add cycles_skipped_ctr (n * d_cycles))
+      end
+    end;
+    Hashtbl.reset b_table
+  in
   let mispredict_penalty = 6 in
   while not (all_done ()) do
     let now = !cycle in
-    let nowf = float_of_int now in
+    rebase_pipes now;
+    (* period detection: fingerprint at iteration boundaries of thread 0
+       during the measured window until a repeat (or the budget) *)
+    if !measuring && (not !period_done) && threads.(0).iter > !last_b_iter
+    then begin
+      last_b_iter := threads.(0).iter;
+      let fp = fingerprint now in
+      match Hashtbl.find_opt b_table fp with
+      | Some b -> apply_period b now
+      | None ->
+        if Hashtbl.length b_table >= boundary_budget then begin
+          period_done := true;
+          Hashtbl.reset b_table
+        end
+        else Hashtbl.add b_table fp (snapshot now)
+    end;
     (* retire completions from the calendar *)
     Array.iter
       (fun t ->
         let slot = now land (calendar_size - 1) in
         t.in_flight <- t.in_flight - t.comp_cal.(slot);
         t.comp_cal.(slot) <- 0)
+      threads;
+    (* wake entries whose operand-arrival cycle is now *)
+    Array.iter
+      (fun t ->
+        let idx = now land (calendar_size - 1) in
+        let s = ref t.rcal.(idx) in
+        t.rcal.(idx) <- -1;
+        while !s >= 0 do
+          let nx = t.rcal_next.(!s) in
+          t.rcal_next.(!s) <- -1;
+          if t.ready_at.(!s) > now then
+            (* calendar aliasing guard; unreachable while latencies stay
+               below the calendar span, but cheap to keep honest *)
+            rcal_park t !s t.ready_at.(!s)
+          else ready_insert t !s;
+          s := nx
+        done)
       threads;
     (* dispatch: shared width, round-robin priority *)
     let progressed = ref false in
@@ -330,7 +745,8 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
         && t.stall_until <= now && t.in_flight < window && t.q_len < window
       do
         let body_len = Array.length t.prog.body in
-        let slot = t.queue.((t.q_head + t.q_len) mod window) in
+        let sidx = (t.q_head + t.q_len) mod window in
+        let slot = t.queue.(sidx) in
         slot.di <- t.pc;
         slot.it <- t.iter;
         slot.seq <- t.dispatch_seq;
@@ -358,6 +774,34 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
         t.dispatch_seq <- t.dispatch_seq + 1;
         t.q_len <- t.q_len + 1;
         t.in_flight <- t.in_flight + 1;
+        (* classify each captured producer: not yet issued -> chain a
+           waiter on its comp-ring slot; issued but incomplete -> its
+           completion bounds our wakeup; completed or recycled ->
+           satisfied. An entry with nothing to wait for goes straight
+           to the ready list (it is the youngest seq, so at the tail),
+           visible to this same cycle's issue scan exactly like the
+           dense scan saw it. *)
+        t.n_wait.(sidx) <- 0;
+        t.ready_at.(sidx) <- 0;
+        for k = 0 to slot.n_deps - 1 do
+          let d = slot.deps.(k) in
+          let idx = d mod ring in
+          if t.comp_seq.(idx) = d then begin
+            let ct = t.comp_time.(idx) in
+            if ct = max_int then begin
+              let node = (sidx * 4) + k in
+              t.wlink.(node) <- t.whead.(idx);
+              t.whead.(idx) <- node;
+              t.n_wait.(sidx) <- t.n_wait.(sidx) + 1
+            end
+            else if ct > now && ct > t.ready_at.(sidx) then
+              t.ready_at.(sidx) <- ct
+          end
+        done;
+        if t.n_wait.(sidx) = 0 then begin
+          if t.ready_at.(sidx) <= now then ready_insert t sidx
+          else rcal_park t sidx t.ready_at.(sidx)
+        end;
         progressed := true;
         let op_id = t.prog.body.(t.pc).op_id in
         if !measuring then begin
@@ -376,136 +820,154 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
         if t.pc = body_len then begin
           t.pc <- 0;
           t.iter <- t.iter + 1;
-          if t.iter >= total_iters then continue_ := false
+          if t.iter + t.iter_credit >= total_iters then continue_ := false
         end
       done
     done;
-    (* issue: scan pending entries oldest-first per thread, rotating
-       the thread priority each cycle (SMT issue arbitration) *)
+    (* issue: walk each thread's ready list oldest-first, rotating the
+       thread priority each cycle (SMT issue arbitration). The list
+       holds exactly the live entries whose operands are available, in
+       dispatch order — the same candidates the dense scan found, minus
+       the per-entry dependency rescans. Nothing becomes ready
+       mid-cycle (completions are always at least one cycle out), so
+       the walk sees a stable frontier plus same-cycle dispatches
+       appended at the tail, exactly as the dense scan did. *)
     for tk = 0 to nthreads - 1 do
       let t = threads.((now + tk) mod nthreads) in
       begin
         let c = t.counters in
-        for qi = 0 to t.q_len - 1 do
-          let e = t.queue.((t.q_head + qi) mod window) in
-          if e.live then begin
-            let di = t.prog.body.(e.di) in
-            (* operand readiness: all captured producers completed
-               (a producer whose ring slot was reused is long retired) *)
-            let ready = ref true in
-            let ring = Array.length t.comp_seq in
-            for k = 0 to e.n_deps - 1 do
-              let d = e.deps.(k) in
-              let idx = d mod ring in
-              if t.comp_seq.(idx) = d && t.comp_time.(idx) > now then
-                ready := false
+        let ring = Array.length t.comp_seq in
+        let cursor = ref t.rhead in
+        while !cursor >= 0 do
+          let s = !cursor in
+          let next = t.rnext.(s) in
+          let e = t.queue.(s) in
+          let di = t.prog.body.(e.di) in
+          begin
+            (* pipe availability *)
+            let fixed = di.fixed in
+            let nfixed = Array.length fixed in
+            let ok = ref true in
+            for f = 0 to nfixed - 1 do
+              let kind, _ = fixed.(f) in
+              let sl = find_free kind in
+              if sl < 0 then ok := false else fixed_slots.(f) <- sl
             done;
-            if !ready then begin
-              (* pipe availability *)
-              let fixed = di.fixed in
-              let nfixed = Array.length fixed in
-              let ok = ref true in
+            let alt_choice = ref (-1) in
+            let alt_slot = ref (-1) in
+            if !ok && Array.length di.alt > 0 then begin
+              let found = ref false in
+              Array.iter
+                (fun (kind, _) ->
+                  if not !found then begin
+                    let sl = find_free kind in
+                    if sl >= 0 then begin
+                      found := true;
+                      alt_choice := kind;
+                      alt_slot := sl
+                    end
+                  end)
+                di.alt;
+              if not !found then ok := false
+            end;
+            if !ok then begin
+              (* reserve pipes, count unit events *)
+              let count_pipe kind =
+                if !measuring then
+                  match kind with
+                  | 0 -> c.fxu <- c.fxu + 1
+                  | 1 -> c.lsu <- c.lsu + 1
+                  | 2 -> c.vsu <- c.vsu + 1
+                  | 3 -> c.bru <- c.bru + 1
+                  | 4 -> c.st <- c.st + 1
+                  | _ -> c.fxu <- c.fxu + di.upd_ops
+              in
+              let reserve kind slot occ =
+                let insts = pipe_free.(kind) in
+                (* residuals are clamped >= 0.0 at rebase, so reserving
+                   from the fractional free time is a plain addition *)
+                insts.(slot) <- insts.(slot) +. occ;
+                recompute_pipe_min kind;
+                count_pipe kind
+              in
               for f = 0 to nfixed - 1 do
-                let kind, _ = fixed.(f) in
-                let s = find_free pipe_free.(kind) nowf in
-                if s < 0 then ok := false else fixed_slots.(f) <- s
+                let kind, occ = fixed.(f) in
+                reserve kind fixed_slots.(f) occ
               done;
-              let alt_choice = ref (-1) in
-              let alt_slot = ref (-1) in
-              if !ok && Array.length di.alt > 0 then begin
-                let found = ref false in
-                Array.iter
-                  (fun (kind, _) ->
-                    if not !found then begin
-                      let s = find_free pipe_free.(kind) nowf in
-                      if s >= 0 then begin
-                        found := true;
-                        alt_choice := kind;
-                        alt_slot := s
-                      end
-                    end)
-                  di.alt;
-                if not !found then ok := false
-              end;
-              if !ok then begin
-                (* reserve pipes, count unit events *)
-                let count_pipe kind =
-                  if !measuring then
-                    match kind with
-                    | 0 -> c.fxu <- c.fxu + 1
-                    | 1 -> c.lsu <- c.lsu + 1
-                    | 2 -> c.vsu <- c.vsu + 1
-                    | 3 -> c.bru <- c.bru + 1
-                    | 4 -> c.st <- c.st + 1
-                    | _ -> c.fxu <- c.fxu + di.upd_ops
-                in
-                let reserve kind slot occ =
-                  let insts = pipe_free.(kind) in
-                  insts.(slot) <- Float.max insts.(slot) nowf +. occ;
-                  count_pipe kind
-                in
-                for f = 0 to nfixed - 1 do
-                  let kind, occ = fixed.(f) in
-                  reserve kind fixed_slots.(f) occ
-                done;
-                if !alt_choice >= 0 then begin
-                  let occ =
-                    let rec find i =
-                      let k, o = di.alt.(i) in
-                      if k = !alt_choice then o else find (i + 1)
-                    in
-                    find 0
+              if !alt_choice >= 0 then begin
+                let occ =
+                  let rec find i =
+                    let k, o = di.alt.(i) in
+                    if k = !alt_choice then o else find (i + 1)
                   in
-                  reserve !alt_choice !alt_slot occ
-                end;
-                (* latency *)
-                let lat =
-                  if di.mem = 1 && Array.length di.stream > 0 then begin
-                    let addr = di.stream.(e.it mod Array.length di.stream) in
-                    let src = Cache_sim.access cache ~addr ~store:false in
-                    let lid = level_id src in
-                    if !measuring then begin
-                      (match lid with
-                       | 0 -> c.l1 <- c.l1 + 1
-                       | 1 -> c.l2 <- c.l2 + 1
-                       | 2 -> c.l3 <- c.l3 + 1
-                       | _ -> c.memc <- c.memc + 1);
-                      level_loads.(lid) <- level_loads.(lid) + 1
-                    end;
-                    latencies.(lid)
-                  end
-                  else if di.mem = 2 && Array.length di.stream > 0 then begin
-                    let addr = di.stream.(e.it mod Array.length di.stream) in
-                    ignore (Cache_sim.access cache ~addr ~store:true);
-                    di.latency
-                  end
-                  else di.latency
+                  find 0
                 in
-                (* conditional branch prediction *)
-                if Array.length di.pattern > 0 then begin
-                  let outcome = di.pattern.(e.it mod Array.length di.pattern) in
-                  let p = t.predictor.(e.di) in
-                  let predicted = p >= 2 in
-                  t.predictor.(e.di) <-
-                    (if outcome then min 3 (p + 1) else max 0 (p - 1));
-                  if predicted <> outcome then
-                    t.stall_until <- max t.stall_until (now + mispredict_penalty)
-                end;
-                let completion = now + max 1 lat in
-                let ring = Array.length t.comp_seq in
-                if t.comp_seq.(e.seq mod ring) = e.seq then
-                  t.comp_time.(e.seq mod ring) <- completion;
-                t.comp_cal.(completion land (calendar_size - 1)) <-
-                  t.comp_cal.(completion land (calendar_size - 1)) + 1;
-                if !measuring then begin
-                  c.instrs <- c.instrs + 1;
-                  op_issues.(di.op_id) <- op_issues.(di.op_id) + 1
-                end;
-                progressed := true;
-                e.live <- false
-              end
+                reserve !alt_choice !alt_slot occ
+              end;
+              (* latency *)
+              let lat =
+                if di.mem = 1 && Array.length di.stream > 0 then begin
+                  let addr = di.stream.(e.it mod Array.length di.stream) in
+                  let src = Cache_sim.access cache ~addr ~store:false in
+                  let lid = level_id src in
+                  if !measuring then begin
+                    (match lid with
+                     | 0 -> c.l1 <- c.l1 + 1
+                     | 1 -> c.l2 <- c.l2 + 1
+                     | 2 -> c.l3 <- c.l3 + 1
+                     | _ -> c.memc <- c.memc + 1);
+                    level_loads.(lid) <- level_loads.(lid) + 1
+                  end;
+                  latencies.(lid)
+                end
+                else if di.mem = 2 && Array.length di.stream > 0 then begin
+                  let addr = di.stream.(e.it mod Array.length di.stream) in
+                  ignore (Cache_sim.access cache ~addr ~store:true);
+                  di.latency
+                end
+                else di.latency
+              in
+              (* conditional branch prediction *)
+              if Array.length di.pattern > 0 then begin
+                let outcome = di.pattern.(e.it mod Array.length di.pattern) in
+                let p = t.predictor.(e.di) in
+                let predicted = p >= 2 in
+                t.predictor.(e.di) <-
+                  (if outcome then min 3 (p + 1) else max 0 (p - 1));
+                if predicted <> outcome then
+                  t.stall_until <- max t.stall_until (now + mispredict_penalty)
+              end;
+              let completion = now + max 1 lat in
+              let idx = e.seq mod ring in
+              if t.comp_seq.(idx) = e.seq then begin
+                t.comp_time.(idx) <- completion;
+                (* wake consumers that were waiting on this producer's
+                   issue: its completion time is now known *)
+                let w = ref t.whead.(idx) in
+                t.whead.(idx) <- -1;
+                while !w >= 0 do
+                  let nw = t.wlink.(!w) in
+                  t.wlink.(!w) <- -1;
+                  let ws = !w / 4 in
+                  t.n_wait.(ws) <- t.n_wait.(ws) - 1;
+                  if completion > t.ready_at.(ws) then
+                    t.ready_at.(ws) <- completion;
+                  if t.n_wait.(ws) = 0 then rcal_park t ws t.ready_at.(ws);
+                  w := nw
+                done
+              end;
+              t.comp_cal.(completion land (calendar_size - 1)) <-
+                t.comp_cal.(completion land (calendar_size - 1)) + 1;
+              if !measuring then begin
+                c.instrs <- c.instrs + 1;
+                op_issues.(di.op_id) <- op_issues.(di.op_id) + 1
+              end;
+              progressed := true;
+              ready_remove t s;
+              e.live <- false
             end
-          end
+          end;
+          cursor := next
         done;
         (* compact the head of the ring *)
         while t.q_len > 0 && not t.queue.(t.q_head).live do
@@ -522,41 +984,59 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) progs =
       reset_measurement ()
     end;
     incr cycle;
-    (* Fast-forward across dead cycles (latency-bound phases): nothing
-       dispatched or issued, so the next scheduler-relevant event is a
-       completion retiring, a pipe becoming free or a stall expiring.
-       Skipped cycles have empty calendar slots, so skipping them is
-       exact. *)
-    if (not !progressed) && not (all_done ()) then begin
-      let horizon = ref (!cycle + calendar_size - 2) in
-      Array.iter
-        (fun insts ->
+    (* Fast-forward across dead cycles. Tier A (blocked): every thread
+       is dispatch-blocked and has an empty ready list, so no cycle can
+       do anything until a completion retires, a wakeup fires or a
+       stall expires — pipes are irrelevant because nothing is ready to
+       issue. This fires even on cycles that did progress, which is
+       where latency-bound kernels spend most of their time. Tier B
+       (idle): nothing progressed at all; the next event may also be a
+       pipe instance freeing up. Skipped cycles have empty completion
+       and wakeup slots, and the blocking conditions persist until one
+       of those events, so skipping is exact. *)
+    if not (all_done ()) then begin
+      let blocked =
+        Array.for_all
+          (fun t ->
+            t.rhead < 0
+            && (t.stall_until > !cycle || t.in_flight >= window
+                || t.q_len >= window))
+          threads
+      in
+      if blocked || not !progressed then begin
+        let horizon = ref (!cycle + calendar_size - 2) in
+        if not blocked then
           Array.iter
-            (fun f ->
-              let c = int_of_float (Float.ceil f) in
-              if c >= !cycle && c < !horizon then horizon := c)
-            insts)
-        pipe_free;
-      Array.iter
-        (fun t ->
-          if t.stall_until >= !cycle && t.stall_until < !horizon then
-            horizon := t.stall_until)
-        threads;
-      let inflight_total =
-        Array.fold_left (fun acc t -> acc + t.in_flight) 0 threads
-      in
-      if inflight_total = 0 && !horizon > !cycle + calendar_size - 4 then
-        failwith "Core_sim: deadlock (no in-flight work and no events)";
-      let slot_empty c =
-        let idx = c land (calendar_size - 1) in
-        Array.for_all (fun t -> t.comp_cal.(idx) = 0) threads
-      in
-      while !cycle < !horizon && slot_empty !cycle do
-        incr cycle
-      done
+            (fun insts ->
+              Array.iter
+                (fun r ->
+                  let c = !pipe_now + int_of_float (Float.ceil r) in
+                  if c >= !cycle && c < !horizon then horizon := c)
+                insts)
+            pipe_free;
+        Array.iter
+          (fun t ->
+            if t.stall_until >= !cycle && t.stall_until < !horizon then
+              horizon := t.stall_until)
+          threads;
+        let inflight_total =
+          Array.fold_left (fun acc t -> acc + t.in_flight) 0 threads
+        in
+        if inflight_total = 0 && !horizon > !cycle + calendar_size - 4 then
+          failwith "Core_sim: deadlock (no in-flight work and no events)";
+        let slot_empty c =
+          let idx = c land (calendar_size - 1) in
+          Array.for_all
+            (fun t -> t.comp_cal.(idx) = 0 && t.rcal.(idx) < 0)
+            threads
+        in
+        while !cycle < !horizon && slot_empty !cycle do
+          incr cycle
+        done
+      end
     end
   done;
-  let measured_cycles = max 1 (!cycle - !start_cycle) in
+  let measured_cycles = max 1 (!cycle - !start_cycle + !skipped) in
   let counters_of t =
     let c = t.counters in
     {

@@ -57,9 +57,25 @@ val run :
   ?mem_latency:int ->
   ?warmup:int ->
   ?measure:int ->
+  ?period:bool ->
   dprog array ->
   activity
 (** Run one copy per thread for [warmup] loop iterations (default 1)
     followed by [measure] iterations (default 2) during which counters
     accumulate. [mem_latency] overrides the definition's base main-
-    memory latency (used for chip-level bandwidth contention). *)
+    memory latency (used for chip-level bandwidth contention).
+
+    [period] enables exact steady-state period skipping (default: on
+    unless the [MP_PERIOD] environment variable is set to [off]/[0]/
+    [false]/[no]). When the full microarchitectural state repeats at an
+    iteration boundary inside the measured window, the remaining whole
+    periods are credited by exact counter-delta scaling instead of
+    being simulated; the returned {!activity} is bit-identical to a
+    dense run either way, only wall-clock time differs. *)
+
+val period_hits : unit -> int
+(** Process-wide count of runs in which a steady-state period was
+    detected and skipped. Telemetry only — never part of {!activity}. *)
+
+val cycles_skipped : unit -> int
+(** Process-wide total of simulated cycles elided by period skipping. *)

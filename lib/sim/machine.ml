@@ -85,14 +85,16 @@ let mem_demand (activity : Core_sim.activity) =
   let cycles = float_of_int (max 1 activity.Core_sim.measured_cycles) in
   float_of_int activity.Core_sim.level_loads.(3) /. cycles
 
-let simulate_many ?(warmup = 1) ?(measure = 2) t (config : Uarch_def.config)
-    name (per_thread : Ir.t array) =
+let simulate_many ?(warmup = 1) ?(measure = 2) ?period t
+    (config : Uarch_def.config) name (per_thread : Ir.t array) =
   let rng = run_rng t config name in
   let progs =
     Array.init config.Uarch_def.smt (fun tid ->
         deploy_thread t rng config tid per_thread.(tid))
   in
-  let activity = Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~warmup ~measure progs in
+  let activity =
+    Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~warmup ~measure ?period progs
+  in
   (* shared memory bandwidth: inflate memory latency when the chip's
      aggregate demand exceeds the sustainable rate, and re-simulate *)
   let demand = mem_demand activity *. float_of_int config.Uarch_def.cores in
@@ -104,14 +106,14 @@ let simulate_many ?(warmup = 1) ?(measure = 2) t (config : Uarch_def.config)
         int_of_float (float_of_int t.uarch.Uarch_def.mem_latency *. factor)
       in
       Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~mem_latency:lat ~warmup
-        ~measure progs
+        ~measure ?period progs
     end
     else activity
   in
   (rng, activity)
 
-let simulate ?warmup ?measure t (config : Uarch_def.config) (p : Ir.t) =
-  simulate_many ?warmup ?measure t config p.Ir.name
+let simulate ?warmup ?measure ?period t (config : Uarch_def.config) (p : Ir.t) =
+  simulate_many ?warmup ?measure ?period t config p.Ir.name
     (Array.make config.Uarch_def.smt p)
 
 let measurement_of t config name rng (activity : Core_sim.activity) =
@@ -142,13 +144,16 @@ let cached t ~warmup ~measure config name per_thread compute =
     in
     Measurement_cache.find_or_add cache key compute
 
-let run ?(warmup = 1) ?(measure = 2) t config (p : Ir.t) =
+(* [period] is deliberately absent from the cache key: skipped and
+   dense runs are bit-identical, so their cache entries are
+   interchangeable by construction. *)
+let run ?(warmup = 1) ?(measure = 2) ?period t config (p : Ir.t) =
   pre_intern t p;
   cached t ~warmup ~measure config p.Ir.name [| p |] (fun () ->
-      let rng, activity = simulate ~warmup ~measure t config p in
+      let rng, activity = simulate ~warmup ~measure ?period t config p in
       measurement_of t config p.Ir.name rng activity)
 
-let run_heterogeneous ?(warmup = 1) ?(measure = 2) t
+let run_heterogeneous ?(warmup = 1) ?(measure = 2) ?period t
     (config : Uarch_def.config) programs =
   let n = List.length programs in
   if n <> config.Uarch_def.smt then
@@ -162,7 +167,7 @@ let run_heterogeneous ?(warmup = 1) ?(measure = 2) t
   in
   cached t ~warmup ~measure config name per_thread (fun () ->
       let rng, activity =
-        simulate_many ~warmup ~measure t config name per_thread
+        simulate_many ~warmup ~measure ?period t config name per_thread
       in
       measurement_of t config name rng activity)
 
@@ -174,7 +179,7 @@ let job_cost (config : Uarch_def.config) (ps : Ir.t list) =
   in
   float_of_int (config.Uarch_def.cores * config.Uarch_def.smt * (body + 1))
 
-let run_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
+let run_batch ?(warmup = 1) ?(measure = 2) ?period ?pool t jobs =
   (* deterministic id assignment: intern everything in job order before
      any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
@@ -184,10 +189,10 @@ let run_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
   Mp_util.Parallel.map
     ~cost:(fun (config, p) -> job_cost config [ p ])
     pool
-    (fun (config, p) -> run ~warmup ~measure t config p)
+    (fun (config, p) -> run ~warmup ~measure ?period t config p)
     jobs
 
-let run_heterogeneous_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
+let run_heterogeneous_batch ?(warmup = 1) ?(measure = 2) ?period ?pool t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
@@ -195,7 +200,8 @@ let run_heterogeneous_batch ?(warmup = 1) ?(measure = 2) ?pool t jobs =
   Mp_util.Parallel.map
     ~cost:(fun (config, ps) -> job_cost config ps)
     pool
-    (fun (config, ps) -> run_heterogeneous ~warmup ~measure t config ps)
+    (fun (config, ps) ->
+      run_heterogeneous ~warmup ~measure ?period t config ps)
     jobs
 
 let run_phases ?pool t config phases =

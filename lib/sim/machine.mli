@@ -30,14 +30,18 @@ val measurement_cache : t -> Measurement_cache.t option
     [~cache:false]); expose it to read hit-rate statistics. *)
 
 val run :
-  ?warmup:int -> ?measure:int ->
+  ?warmup:int -> ?measure:int -> ?period:bool ->
   t -> Mp_uarch.Uarch_def.config -> Mp_codegen.Ir.t ->
   Measurement.t
 (** Deploy and measure one micro-benchmark. [warmup]/[measure] are loop
-    iterations (defaults 1 and 2). *)
+    iterations (defaults 1 and 2). [period] forwards to
+    {!Core_sim.run}'s exact steady-state period skipping (default: on
+    unless [MP_PERIOD=off]); results are bit-identical either way, so
+    the knob only affects wall-clock time and is deliberately not part
+    of the measurement-cache key. *)
 
 val run_batch :
-  ?warmup:int -> ?measure:int -> ?pool:Mp_util.Parallel.t ->
+  ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t) list ->
   Measurement.t list
 (** Measure a list of (configuration, program) jobs, fanned across
@@ -51,7 +55,7 @@ val run_batch :
     scheduling detail with no observable effect on results. *)
 
 val run_heterogeneous :
-  ?warmup:int -> ?measure:int ->
+  ?warmup:int -> ?measure:int -> ?period:bool ->
   t -> Mp_uarch.Uarch_def.config -> Mp_codegen.Ir.t list ->
   Measurement.t
 (** Deploy a {e different} micro-benchmark on each hardware thread of a
@@ -60,7 +64,7 @@ val run_heterogeneous :
     deployment the paper's Section 6 leaves to future work. *)
 
 val run_heterogeneous_batch :
-  ?warmup:int -> ?measure:int -> ?pool:Mp_util.Parallel.t ->
+  ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t list) list ->
   Measurement.t list
 (** {!run_heterogeneous} over a whole candidate population as one

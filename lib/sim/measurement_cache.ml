@@ -64,6 +64,93 @@ let prune_stale disk =
         (Sys.readdir disk.dir)
     with _ -> ()
 
+(* ----- housekeeping ------------------------------------------------------ *)
+
+(* A cache directory grows without bound: the current build's entries
+   accumulate across runs and every rebuild starts a fresh namespace.
+   [gc] bounds it by total size, evicting in oldest-mtime order (a
+   cheap LRU proxy: [find] never touches mtime, so "oldest" means
+   "written longest ago", which across builds and long campaigns is the
+   entry least likely to be asked for again). In-flight writes —
+   [.tmp.*] files, which [disk_write] renames into place when complete
+   — are never touched. *)
+
+type gc_stats = {
+  entries : int;
+  removed : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let is_tmp f = String.length f >= 5 && String.sub f 0 5 = ".tmp."
+
+let env_max_bytes () =
+  match Sys.getenv_opt "MP_CACHE_MAX_MB" with
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some mb when mb > 0.0 -> Some (int_of_float (mb *. 1024.0 *. 1024.0))
+     | _ -> None)
+  | None -> None
+
+let gc ?max_bytes dir =
+  let max_bytes =
+    match max_bytes with
+    | Some b -> max 0 b
+    | None -> (match env_max_bytes () with Some b -> b | None -> max_int)
+  in
+  let files =
+    match Sys.readdir dir with exception _ -> [||] | fs -> fs
+  in
+  let entries =
+    Array.to_list files
+    |> List.filter_map (fun f ->
+           if is_tmp f then None
+           else
+             let path = Filename.concat dir f in
+             match Unix.stat path with
+             | exception _ -> None
+             | st when st.Unix.st_kind = Unix.S_REG ->
+               Some (st.Unix.st_mtime, f, path, st.Unix.st_size)
+             | _ -> None)
+  in
+  (* oldest first; name breaks mtime ties so eviction is deterministic *)
+  let entries = List.sort compare entries in
+  let bytes_before =
+    List.fold_left (fun acc (_, _, _, sz) -> acc + sz) 0 entries
+  in
+  let total = ref bytes_before in
+  let removed = ref 0 in
+  List.iter
+    (fun (_, _, path, sz) ->
+      if !total > max_bytes then
+        match Sys.remove path with
+        | () ->
+          total := !total - sz;
+          incr removed
+        | exception _ -> ())
+    entries;
+  {
+    entries = List.length entries;
+    removed = !removed;
+    bytes_before;
+    bytes_after = !total;
+  }
+
+(* Enforce the MP_CACHE_MAX_MB bound automatically — at most once per
+   directory per process, like [prune_stale], so repeated
+   [Machine.create] calls don't rescan the directory. *)
+let gced_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let gc_auto disk =
+  match env_max_bytes () with
+  | None -> ()
+  | Some b ->
+    Mutex.lock pruned_lock;
+    let fresh = not (Hashtbl.mem gced_dirs disk.dir) in
+    if fresh then Hashtbl.add gced_dirs disk.dir ();
+    Mutex.unlock pruned_lock;
+    if fresh then ignore (gc ~max_bytes:b disk.dir)
+
 let ensure_dir dir = try Unix.mkdir dir 0o755 with _ -> ()
 
 let tmp_counter = Atomic.make 0
@@ -118,6 +205,7 @@ type stats = { hits : int; misses : int; disk_hits : int }
 
 let create ?disk () =
   Option.iter prune_stale disk;
+  Option.iter gc_auto disk;
   {
     lock = Mutex.create ();
     table = Hashtbl.create 256;

@@ -53,7 +53,35 @@ val env_disk : unit -> disk option
 val create : ?disk:disk -> unit -> t
 (** [create ()] is purely in-memory; [create ~disk ()] also reads and
     writes [disk.dir] (created on first write; stale-namespace entries
-    are pruned once per process). *)
+    are pruned once per process, and when [MP_CACHE_MAX_MB] is set the
+    directory is {!gc}'d down to that bound once per process). *)
+
+(** {2 Housekeeping}
+
+    The directory otherwise grows without limit: the current build's
+    entries accumulate across runs, and every rebuild opens a fresh
+    namespace. *)
+
+type gc_stats = {
+  entries : int;      (** entry files examined (in-flight temps excluded) *)
+  removed : int;      (** entries deleted by this sweep *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val env_max_bytes : unit -> int option
+(** The size bound the environment selects: [MP_CACHE_MAX_MB] parsed as
+    a positive number of mebibytes ([None] when unset or unparsable). *)
+
+val gc : ?max_bytes:int -> string -> gc_stats
+(** [gc dir] prunes entry files from a cache directory, oldest mtime
+    first (name breaks ties, so eviction order is deterministic), until
+    the total size is at most [max_bytes] (default {!env_max_bytes};
+    a no-op sweep when neither gives a bound). Entries still being
+    written — the [.tmp.*] files {!add} renames into place — are never
+    touched, and a concurrently deleted entry is simply a future cache
+    miss, so running [gc] against a live cache is safe. Best-effort:
+    IO errors skip the file rather than raise. *)
 
 val persistent : t -> bool
 

@@ -249,6 +249,21 @@ let chunks size xs =
   in
   go [] [] 0 xs
 
+(* Auto-tuned chunk size: enough chunks that work stealing can
+   rebalance a skewed tail (~8 per worker), computed by ceiling
+   division so the chunk count never overshoots that target and small
+   inputs degrade to one element per chunk (i.e. plain [map]). The
+   granularity/overhead trade-off: more chunks help the steal scheduler
+   only up to a few per worker, while each extra chunk costs one
+   deque round-trip — 8 sits past the balance knee for the skewed
+   simulation batches this pool runs, and stays cheap because chunks
+   are whole jobs, not cycles. *)
+let auto_chunk ~jobs ~workers =
+  if jobs <= 0 then 1
+  else
+    let target = 8 * max 1 workers in
+    (jobs + target - 1) / target
+
 let map_chunked ?chunk ?cost pool f xs =
   let n = List.length xs in
   if n = 0 then []
@@ -256,7 +271,7 @@ let map_chunked ?chunk ?cost pool f xs =
     let chunk =
       match chunk with
       | Some c -> max 1 c
-      | None -> max 1 (n / (4 * pool.size))
+      | None -> auto_chunk ~jobs:n ~workers:pool.size
     in
     if chunk <= 1 then map ?cost pool f xs
     else

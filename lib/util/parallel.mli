@@ -52,11 +52,20 @@ val map : ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
     input position) so long jobs don't land at the batch tail; it has
     no effect on the result. *)
 
+val auto_chunk : jobs:int -> workers:int -> int
+(** The chunk size {!map_chunked} derives when [?chunk] is omitted:
+    ceiling division of [jobs] targeting ~8 chunks per worker, so the
+    steal scheduler has slack to rebalance skewed tails while queue
+    traffic stays amortised. Always ≥ 1; small inputs get chunk 1
+    (plain {!map}). Exposed for tests and for callers that want to
+    report the effective granularity. *)
+
 val map_chunked :
   ?chunk:int -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
-(** Like {!map} but groups elements into chunks of [chunk] (default:
-    enough chunks for ~4 per worker) to amortise queue traffic when
-    jobs are small. A chunk's cost is the sum of its members'. *)
+(** Like {!map} but groups elements into chunks to amortise queue
+    traffic when jobs are small. [chunk] overrides the {!auto_chunk}
+    default. A chunk's cost is the sum of its members'; result order is
+    input order either way. *)
 
 val in_worker : unit -> bool
 (** True when called from inside a pool worker (nested maps degrade). *)

@@ -21,6 +21,35 @@ let test_map_chunked () =
   Mp_util.Parallel.shutdown pool;
   Alcotest.(check (list int)) "chunked order" (List.map (( + ) 1) xs) r
 
+let test_auto_chunk () =
+  (* ceiling division toward ~8 chunks per worker; always >= 1 *)
+  Alcotest.(check int) "tiny input" 1
+    (Mp_util.Parallel.auto_chunk ~jobs:3 ~workers:4);
+  Alcotest.(check int) "empty input" 1
+    (Mp_util.Parallel.auto_chunk ~jobs:0 ~workers:4);
+  Alcotest.(check int) "exact fit" 1
+    (Mp_util.Parallel.auto_chunk ~jobs:32 ~workers:4);
+  Alcotest.(check int) "one past the target rounds up" 2
+    (Mp_util.Parallel.auto_chunk ~jobs:33 ~workers:4);
+  Alcotest.(check int) "large batch" 4
+    (Mp_util.Parallel.auto_chunk ~jobs:100 ~workers:4);
+  (* the chunk count the size implies never exceeds ~8 per worker *)
+  List.iter
+    (fun (jobs, workers) ->
+      let c = Mp_util.Parallel.auto_chunk ~jobs ~workers in
+      Alcotest.(check bool) "chunk >= 1" true (c >= 1);
+      let n_chunks = (jobs + c - 1) / c in
+      Alcotest.(check bool) "at most 8 chunks per worker" true
+        (n_chunks <= 8 * workers))
+    [ (1, 1); (7, 3); (64, 4); (1000, 8); (12345, 6) ];
+  (* the auto-tuned default still preserves order *)
+  let pool = Mp_util.Parallel.create 3 in
+  let xs = List.init 200 Fun.id in
+  let r = Mp_util.Parallel.map_chunked pool (fun x -> x * 2) xs in
+  Mp_util.Parallel.shutdown pool;
+  Alcotest.(check (list int)) "auto-chunked order"
+    (List.map (fun x -> x * 2) xs) r
+
 let test_map_empty_and_size_one () =
   let pool = Mp_util.Parallel.create 1 in
   Alcotest.(check (list int)) "empty" []
@@ -216,6 +245,7 @@ let () =
       ("pool",
        [ Alcotest.test_case "map order" `Quick test_map_order;
          Alcotest.test_case "map chunked" `Quick test_map_chunked;
+         Alcotest.test_case "auto chunk" `Quick test_auto_chunk;
          Alcotest.test_case "empty and size one" `Quick
            test_map_empty_and_size_one;
          Alcotest.test_case "cost hint preserves order" `Quick

@@ -504,6 +504,213 @@ let test_single_flight () =
   Alcotest.(check int) "one miss (one simulation)" 1 s.Measurement_cache.misses;
   Alcotest.(check int) "five hits" 5 s.Measurement_cache.hits
 
+let test_cache_gc () =
+  let dir = fresh_dir "gc" in
+  (try Unix.mkdir dir 0o755 with _ -> ());
+  let write name bytes mtime =
+    let path = Filename.concat dir name in
+    let oc = open_out_bin path in
+    output_string oc (String.make bytes 'x');
+    close_out oc;
+    Unix.utimes path mtime mtime
+  in
+  let t0 = Unix.gettimeofday () -. 1000.0 in
+  (* four 1000-byte entries, oldest first, plus an in-flight temp *)
+  write "entry-a" 1000 t0;
+  write "entry-b" 1000 (t0 +. 10.0);
+  write "entry-c" 1000 (t0 +. 20.0);
+  write "entry-d" 1000 (t0 +. 30.0);
+  write ".tmp.999.0" 1000 t0;
+  let s = Measurement_cache.gc ~max_bytes:2500 dir in
+  (* two oldest entries go; the temp is invisible to the sweep *)
+  Alcotest.(check int) "entries examined" 4 s.Measurement_cache.entries;
+  Alcotest.(check int) "removed oldest two" 2 s.Measurement_cache.removed;
+  Alcotest.(check int) "bytes before" 4000 s.Measurement_cache.bytes_before;
+  Alcotest.(check int) "bytes after" 2000 s.Measurement_cache.bytes_after;
+  Alcotest.(check bool) "oldest gone" false
+    (Sys.file_exists (Filename.concat dir "entry-a"));
+  Alcotest.(check bool) "second oldest gone" false
+    (Sys.file_exists (Filename.concat dir "entry-b"));
+  Alcotest.(check bool) "newest kept" true
+    (Sys.file_exists (Filename.concat dir "entry-d"));
+  Alcotest.(check bool) "in-flight temp never touched" true
+    (Sys.file_exists (Filename.concat dir ".tmp.999.0"));
+  (* already under the bound: a second sweep removes nothing *)
+  let s2 = Measurement_cache.gc ~max_bytes:2500 dir in
+  Alcotest.(check int) "idempotent" 0 s2.Measurement_cache.removed;
+  (* missing directory is an empty sweep, not an error *)
+  let s3 = Measurement_cache.gc ~max_bytes:1 (dir ^ "-nonexistent") in
+  Alcotest.(check int) "missing dir" 0 s3.Measurement_cache.entries
+
+let test_cache_gc_env () =
+  Unix.putenv "MP_CACHE_MAX_MB" "2";
+  Alcotest.(check (option int)) "MiB to bytes" (Some (2 * 1024 * 1024))
+    (Measurement_cache.env_max_bytes ());
+  Unix.putenv "MP_CACHE_MAX_MB" "0.5";
+  Alcotest.(check (option int)) "fractional" (Some (512 * 1024))
+    (Measurement_cache.env_max_bytes ());
+  Unix.putenv "MP_CACHE_MAX_MB" "junk";
+  Alcotest.(check (option int)) "garbage ignored" None
+    (Measurement_cache.env_max_bytes ());
+  Unix.putenv "MP_CACHE_MAX_MB" "-3";
+  Alcotest.(check (option int)) "negative ignored" None
+    (Measurement_cache.env_max_bytes ());
+  Unix.putenv "MP_CACHE_MAX_MB" ""
+
+(* ----- exact period skipping ------------------------------------------------ *)
+
+(* Dense and period-skipped runs must be bit-identical: same counters,
+   transitions, cache stats, power and trace. Fresh uncached machines on
+   both sides so nothing is served from memo tables. *)
+let period_equiv ?(cores = 1) ?(smt = 1) ?(warmup = 1) ?(measure = 48) name p =
+  let a = arch () in
+  let cfg = config a ~cores ~smt in
+  let dense =
+    Machine.run ~warmup ~measure ~period:false
+      (Machine.create ~cache:false a.Arch.uarch)
+      cfg p
+  in
+  let skip =
+    Machine.run ~warmup ~measure ~period:true
+      (Machine.create ~cache:false a.Arch.uarch)
+      cfg p
+  in
+  Alcotest.(check bool) (name ^ " bit-identical") true (compare dense skip = 0)
+
+let test_period_detects_and_skips () =
+  (* fadd saturates only occupancy-1.0 pipes, whose residual arithmetic
+     is exact, so its steady state repeats bit-for-bit and must be
+     detected. (Kernels saturating fractional-occupancy pipes, e.g.
+     add's 1.3-occupancy LSU alternate, drift in the last ulp and
+     correctly stay dense.) *)
+  let a = arch () in
+  let hits0 = Core_sim.period_hits () in
+  let skipped0 = Core_sim.cycles_skipped () in
+  let m = Machine.create ~cache:false a.Arch.uarch in
+  ignore
+    (Machine.run ~measure:64 ~period:true m (config a ~cores:1 ~smt:1)
+       (mono a "fadd"));
+  Alcotest.(check bool) "periodic kernel detected" true
+    (Core_sim.period_hits () > hits0);
+  Alcotest.(check bool) "cycles were skipped" true
+    (Core_sim.cycles_skipped () > skipped0)
+
+let test_period_equiv_compute () =
+  let a = arch () in
+  period_equiv "add smt1" (mono a "add");
+  period_equiv "mulldo smt1" (mono a "mulldo");
+  period_equiv ~smt:2 "subf smt2" (mono a "subf");
+  period_equiv ~smt:4 "fadd chain smt4" (mono a ~dep:(Builder.Fixed 1) "fadd")
+
+let test_period_equiv_windows () =
+  let a = arch () in
+  let p = mono a "fmadd" in
+  period_equiv ~warmup:3 ~measure:17 "warmup 3 measure 17" p;
+  period_equiv ~warmup:1 ~measure:5 "measure 5" p;
+  period_equiv ~cores:4 ~smt:2 ~measure:32 "4 cores smt2" p
+
+let test_period_equiv_branches () =
+  let a = arch () in
+  let build ~taken_ratio ~pattern_length =
+    let synth = Synthesizer.create ~name:"brper" a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size:128);
+    Synthesizer.add_pass synth
+      (Passes.fill_sequence [ Arch.find_instruction a "add" ]);
+    Synthesizer.add_pass synth
+      (Passes.branch_model ~bc:(Arch.find_instruction a "bc") ~frequency:0.2
+         ~taken_ratio ~pattern_length);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:31 synth
+  in
+  period_equiv "balanced pattern" (build ~taken_ratio:0.5 ~pattern_length:4);
+  period_equiv "biased pattern" (build ~taken_ratio:0.8 ~pattern_length:5);
+  period_equiv ~smt:2 "branches smt2" (build ~taken_ratio:0.5 ~pattern_length:3)
+
+let test_period_equiv_memory () =
+  let a = arch () in
+  period_equiv ~measure:32 "L1 loads" (mono a "lbz");
+  period_equiv ~measure:32 "L1/L2 mix"
+    (mono a
+       ~mem_mix:
+         [ (Mp_uarch.Cache_geometry.L1, 0.5); (Mp_uarch.Cache_geometry.L2, 0.5) ]
+       "lbz");
+  period_equiv ~measure:16 "MEM chase"
+    (mono a ~dep:(Builder.Fixed 1)
+       ~mem_mix:[ (Mp_uarch.Cache_geometry.MEM, 1.0) ]
+       "ld");
+  period_equiv ~smt:2 ~measure:16 "three levels smt2"
+    (mono a
+       ~mem_mix:
+         [ (Mp_uarch.Cache_geometry.L1, 0.4);
+           (Mp_uarch.Cache_geometry.L2, 0.3);
+           (Mp_uarch.Cache_geometry.L3, 0.3) ]
+       "lbz")
+
+let test_period_equiv_heterogeneous () =
+  let a = arch () in
+  let compute = mono a "xvmaddadp" in
+  let memory = mono a "lbz" in
+  let cfg = config a ~cores:2 ~smt:2 in
+  let dense =
+    Machine.run_heterogeneous ~measure:32 ~period:false
+      (Machine.create ~cache:false a.Arch.uarch)
+      cfg [ compute; memory ]
+  in
+  let skip =
+    Machine.run_heterogeneous ~measure:32 ~period:true
+      (Machine.create ~cache:false a.Arch.uarch)
+      cfg [ compute; memory ]
+  in
+  Alcotest.(check bool) "hetero bit-identical" true (compare dense skip = 0)
+
+let test_period_aperiodic_fallback () =
+  (* A stream whose length (127, prime) exceeds the boundary budget:
+     every iteration boundary has a distinct stream phase, so no
+     fingerprint can repeat — the detector must give up and the dense
+     fallback must still match a dense run exactly. *)
+  let a = arch () in
+  let u = a.Arch.uarch in
+  let p = mono a ~size:8 "lbz" in
+  let aper = Array.init 127 (fun i -> i * 7919 * 128) in
+  let run_with period =
+    (* fresh opmap per run: both runs intern the same names in the same
+       order, so activities are comparable field by field *)
+    let opmap = Core_sim.opmap_create () in
+    let dp = Core_sim.deploy ~uarch:u ~opmap ~streams:(fun _ -> aper) p in
+    Core_sim.run ~uarch:u ~opmap ~warmup:1 ~measure:32 ~period [| dp |]
+  in
+  let hits0 = Core_sim.period_hits () in
+  let dense = run_with false in
+  let skip = run_with true in
+  Alcotest.(check int) "no period found" hits0 (Core_sim.period_hits ());
+  Alcotest.(check bool) "fallback bit-identical" true (compare dense skip = 0)
+
+let test_period_training_suite () =
+  (* the acceptance bar: dense and skipped runs agree on every program
+     of the (quick) Table-2 training suite *)
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let fams = Mp_workloads.Training.table2 ~machine ~arch:a ~quick:true () in
+  let progs =
+    List.map
+      (fun (e : Mp_workloads.Training.entry) -> e.Mp_workloads.Training.program)
+      (Mp_workloads.Training.all_entries fams)
+  in
+  Alcotest.(check bool) "suite non-empty" true (List.length progs > 20);
+  let cfg = config a ~cores:8 ~smt:2 in
+  let dense_m = Machine.create ~cache:false a.Arch.uarch in
+  let skip_m = Machine.create ~cache:false a.Arch.uarch in
+  List.iteri
+    (fun i p ->
+      let dense = Machine.run ~measure:12 ~period:false dense_m cfg p in
+      let skip = Machine.run ~measure:12 ~period:true skip_m cfg p in
+      Alcotest.(check bool)
+        (Printf.sprintf "suite entry %d (%s) bit-identical" i
+           p.Mp_codegen.Ir.name)
+        true
+        (compare dense skip = 0))
+    progs
+
 let prop_power_monotone_in_cores =
   let a = arch () in
   let machine = Machine.create a.Arch.uarch in
@@ -559,9 +766,20 @@ let () =
       ("batch",
        [ Alcotest.test_case "hetero batch = serial" `Quick
            test_hetero_batch_matches_serial ]);
+      ("period skipping",
+       [ Alcotest.test_case "detects and skips" `Quick test_period_detects_and_skips;
+         Alcotest.test_case "compute kernels" `Quick test_period_equiv_compute;
+         Alcotest.test_case "warmup/measure windows" `Quick test_period_equiv_windows;
+         Alcotest.test_case "branch patterns" `Quick test_period_equiv_branches;
+         Alcotest.test_case "memory streams" `Quick test_period_equiv_memory;
+         Alcotest.test_case "heterogeneous" `Quick test_period_equiv_heterogeneous;
+         Alcotest.test_case "aperiodic fallback" `Quick test_period_aperiodic_fallback;
+         Alcotest.test_case "training suite" `Slow test_period_training_suite ]);
       ("disk cache",
        [ Alcotest.test_case "round trip" `Quick test_disk_cache_roundtrip;
          Alcotest.test_case "corrupt entries skipped" `Quick
            test_disk_cache_corrupt_skipped;
-         Alcotest.test_case "single flight" `Quick test_single_flight ]);
+         Alcotest.test_case "single flight" `Quick test_single_flight;
+         Alcotest.test_case "gc size bound" `Quick test_cache_gc;
+         Alcotest.test_case "MP_CACHE_MAX_MB" `Quick test_cache_gc_env ]);
     ]
