@@ -7,24 +7,29 @@ open Microprobe
 
 (* Exact period skipping: the same periodic steady-state kernel
    simulated densely and with the period detector on, on fresh
-   cache-less machines so every run actually simulates. The kernel
-   (independent fadd, a dyadic-occupancy pipe) reaches a bit-exact
-   steady state within a couple of iterations, so with measure=64 the
-   skipping run simulates only the head and tail — this is the
-   acceptance benchmark for the detector, and the bit-identity check
-   plus the hits>0 check make CI fail loudly if it regresses into
-   silent dense fallback. *)
-let period_bench (ctx : Context.t) =
-  Context.section "Exact period skipping — dense vs skipping simulation";
+   cache-less machines so every run actually simulates. Two kernels:
+   independent fadd (occupancy 1.0, the simplest steady state) and
+   independent mulld (occupancy 1.43 — non-dyadic, exercising the
+   fixed-point residual arithmetic: its boundary state only repeats
+   once the fractional tick phases realign). The kernel size of 250 is
+   deliberate: 250 mulld issues advance a pipe's residual phase by
+   250*143 = 50 mod 100 ticks per iteration, so the phases alternate
+   between two genuinely fractional states with a 2-iteration period —
+   a state the old float residuals could never fingerprint-match —
+   while still repeating early enough inside measure=64 that the
+   skipping run simulates only a short head and tail. This is the
+   acceptance benchmark for the detector, and the bit-identity checks
+   plus the hits>0 checks make CI fail loudly if either kernel class
+   regresses into silent dense simulation. *)
+let period_kernel (ctx : Context.t) ~mnemonic ~prefix ~measure =
   let arch = ctx.Context.arch in
-  let fadd = Arch.find_instruction arch "fadd" in
-  let synth = Synthesizer.create ~name:"period-fadd" arch in
-  Synthesizer.add_pass synth (Passes.skeleton ~size:256);
-  Synthesizer.add_pass synth (Passes.fill_sequence [ fadd ]);
+  let ins = Arch.find_instruction arch mnemonic in
+  let synth = Synthesizer.create ~name:("period-" ^ mnemonic) arch in
+  Synthesizer.add_pass synth (Passes.skeleton ~size:250);
+  Synthesizer.add_pass synth (Passes.fill_sequence [ ins ]);
   Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
   let p = Synthesizer.synthesize ~seed:7 synth in
   let cfg = Context.config ctx ~cores:8 ~smt:2 in
-  let measure = 64 in
   let reps = if ctx.Context.quick then 5 else 20 in
   let time_reps ~period =
     (* a fresh machine per side: no measurement cache, same seed, so
@@ -44,24 +49,31 @@ let period_bench (ctx : Context.t) =
   let hits = Core_sim.period_hits () - hits0 in
   let skipped = Core_sim.cycles_skipped () - skipped0 in
   if compare dense skip <> 0 then
-    failwith "period bench: skipping run diverges from the dense run";
+    failwith
+      (Printf.sprintf
+         "period bench: %s skipping run diverges from the dense run" mnemonic);
   if hits = 0 then
     failwith
-      "period bench: no period detected on a periodic kernel — the \
-       detector has regressed into silent dense fallback";
+      (Printf.sprintf
+         "period bench: no period detected on periodic kernel %s — the \
+          detector has regressed into silent dense simulation" mnemonic);
   let speedup = t_dense /. Float.max t_skip 1e-9 in
-  Context.record_metric ctx "period_bench_measure" (float_of_int measure);
-  Context.record_metric ctx "period_bench_dense_seconds" t_dense;
-  Context.record_metric ctx "period_bench_skip_seconds" t_skip;
-  Context.record_metric ctx "period_bench_speedup" speedup;
-  Context.record_metric ctx "period_bench_hits" (float_of_int hits);
-  Context.record_metric ctx "period_bench_cycles_skipped"
-    (float_of_int skipped);
+  Context.record_metric ctx (prefix ^ "_measure") (float_of_int measure);
+  Context.record_metric ctx (prefix ^ "_dense_seconds") t_dense;
+  Context.record_metric ctx (prefix ^ "_skip_seconds") t_skip;
+  Context.record_metric ctx (prefix ^ "_speedup") speedup;
+  Context.record_metric ctx (prefix ^ "_hits") (float_of_int hits);
+  Context.record_metric ctx (prefix ^ "_cycles_skipped") (float_of_int skipped);
   Context.log
-    "fadd @8c-smt2, measure=%d, %d reps: dense %.2fs, skipping %.2fs ->\n\
+    "%s @8c-smt2, measure=%d, %d reps: dense %.2fs, skipping %.2fs ->\n\
      %.1fx speedup; %d periods detected, %d cycles skipped;\n\
      results bit-identical"
-    measure reps t_dense t_skip speedup hits skipped
+    mnemonic measure reps t_dense t_skip speedup hits skipped
+
+let period_bench (ctx : Context.t) =
+  Context.section "Exact period skipping — dense vs skipping simulation";
+  period_kernel ctx ~mnemonic:"fadd" ~prefix:"period_bench" ~measure:64;
+  period_kernel ctx ~mnemonic:"mulld" ~prefix:"period_nondyadic" ~measure:64
 
 let run (ctx : Context.t) =
   period_bench ctx;

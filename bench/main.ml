@@ -108,8 +108,18 @@ let () =
        or quick run records nothing else *)
     Context.record_metric ctx "pool_size"
       (float_of_int (Mp_util.Parallel.size ctx.Context.pool));
+    (* requested vs effective: an explicit MP_POOL_SIZE pin is honoured
+       verbatim, anything else is capped at the detected core count —
+       recording both makes an oversubscribed or capped pool visible in
+       the artifact *)
+    Context.record_metric ctx "pool_size_requested"
+      (float_of_int (Mp_util.Parallel.requested_size ()));
+    Context.record_metric ctx "pool_size_effective"
+      (float_of_int (Mp_util.Parallel.default_size ()));
     Context.record_metric ctx "detected_cores"
-      (float_of_int (Domain.recommended_domain_count ()));
+      (float_of_int (Mp_util.Parallel.detected_cores ()));
+    Context.record_metric ctx "occ_denominator"
+      (float_of_int ctx.Context.arch.Microprobe.Arch.uarch.Mp_uarch.Uarch_def.occ_den);
     Context.record_metric ctx "pool_steals"
       (float_of_int (Mp_util.Parallel.steal_count ctx.Context.pool));
     Context.record_metric ctx "period_hits"

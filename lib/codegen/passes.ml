@@ -175,3 +175,29 @@ let rename n =
   { name = Printf.sprintf "rename(%s)" n; apply = (fun b -> b.name <- n) }
 
 let custom ~name apply = { name; apply }
+
+(* ----- seed-independence classification --------------------------------- *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Classify by recorded pass name — the [Ir.provenance] vocabulary.
+   A pass is seed-independent when it draws nothing from any rng at
+   build or deployment time: its whole effect is a pure function of its
+   parameters, fully captured by the emitted IR. [memory_model] is
+   seed-consuming even though its per-slot level assignment is baked
+   into the IR, because the distribution it records triggers
+   machine-rng address-stream synthesis at every deployment. Unknown
+   (user [custom]) passes are conservatively seed-consuming. *)
+let seed_independent name =
+  name = "fill_sequence" || name = "fill_interleaved"
+  || has_prefix "skeleton(" name
+  || has_prefix "rename(" name
+  || has_prefix "init_registers(0x" name
+  || has_prefix "init_immediates(0x" name
+  || (has_prefix "dependency(" name && not (has_sub ".." name))

@@ -44,3 +44,15 @@ val dependency : Builder.dep_mode -> t
 val rename : string -> t
 
 val custom : name:string -> (Builder.t -> unit) -> t
+
+val seed_independent : string -> bool
+(** Whether a recorded pass name (the {!Ir.t.provenance} vocabulary)
+    denotes a pass that consumes no randomness at build or deployment
+    time. True for [skeleton], [fill_sequence], [fill_interleaved],
+    [rename], constant [init_registers]/[init_immediates], and fixed or
+    disabled [dependency]; false for the sampling fills, [memory_model]
+    (its distribution triggers machine-rng address-stream synthesis at
+    deployment), [branch_model], random-range [dependency], random
+    value-init policies, and any unknown ([custom]) pass. The
+    measurement layer uses this to share cache entries across machine
+    seeds for programs built only from seed-independent passes. *)

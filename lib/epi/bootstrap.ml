@@ -40,9 +40,12 @@ let resolve_config ~arch config =
   | Some c -> c
   | None -> Mp_uarch.Uarch_def.config ~cores:8 ~smt:1 arch.Arch.uarch
 
-(* three measured iterations: shrinks the warmup-drain bias on the
-   dependent-chain latency estimate *)
-let measure_iterations = 3
+(* A long measured window shrinks the warmup-drain bias on the
+   dependent-chain latency estimate. Twice the harness default (16
+   iterations): period skipping elides the repeats, so the extra
+   iterations cost almost nothing for these single-instruction
+   kernels. *)
+let measure_iterations = 2 * Machine.default_measure
 
 (* Derive the properties from the two measurements — shared between the
    serial path ({!instruction_props}) and the batched {!run}, so both

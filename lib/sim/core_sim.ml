@@ -58,8 +58,8 @@ let pipe_index = function
 
 type dinstr = {
   op_id : int;
-  fixed : (int * float) array;  (* (pipe kind, occupancy) *)
-  alt : (int * float) array;
+  fixed : (int * int) array;    (* (pipe kind, occupancy in uarch ticks) *)
+  alt : (int * int) array;
   latency : int;                (* base latency; memory ops: per access *)
   dests : int array;            (* dense register ids *)
   srcs : int array;
@@ -90,7 +90,13 @@ let deploy ~uarch ~opmap ~streams (p : Ir.t) =
   let of_instr (i : Ir.instr) =
     let op = i.Ir.op in
     let res = uarch.Uarch_def.resources op in
-    let conv u = (pipe_index u.Uarch_def.pipe, u.Uarch_def.occupancy) in
+    (* occupancies become exact integer ticks over the uarch common
+       denominator; [occ_ticks] raises if the definition's [occ_den]
+       does not cover some occupancy, so a broken definition fails at
+       deploy rather than silently losing precision *)
+    let conv u =
+      (pipe_index u.Uarch_def.pipe, Uarch_def.occ_ticks uarch u.Uarch_def.occupancy)
+    in
     let mem =
       match op.Mp_isa.Instruction.mem with
       | Mp_isa.Instruction.No_mem -> 0
@@ -117,7 +123,7 @@ let deploy ~uarch ~opmap ~streams (p : Ir.t) =
   let bdnz =
     {
       op_id = intern opmap "bdnz";
-      fixed = [| (pipe_index Pipe.Bru, 1.0) |];
+      fixed = [| (pipe_index Pipe.Bru, uarch.Uarch_def.occ_den) |];
       alt = [||];
       latency = 1;
       dests = [||];
@@ -167,11 +173,6 @@ let env_period =
             (String.lowercase_ascii (String.trim v))
             [ "off"; "0"; "false"; "no" ])
      | None -> true)
-
-(* Boundaries fingerprinted before the detector gives up and the run
-   stays dense. Bounds both the detection overhead on aperiodic inputs
-   and the memory held by boundary snapshots. *)
-let boundary_budget = 64
 
 type pending = {
   mutable di : int;      (* body index *)
@@ -282,13 +283,20 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
        (Uarch_def.cache uarch Cache_geometry.L3).Cache_geometry.latency_cycles;
        mem_lat |]
   in
-  (* Pipe instances: busy-time RESIDUALS relative to [pipe_now], kept
-     >= 0.0. Relative storage makes every float op here independent of
-     the absolute cycle count: rebasing subtracts an integer (exact for
-     these magnitudes), reservation adds [occ] at small magnitude, and
-     the free test compares against 1.0. An identical residual pattern
-     therefore evolves identically at any point in the run — the
-     property the period detector's exactness argument rests on. *)
+  (* One cycle is [tick] simulator ticks: the uarch common denominator
+     of every occupancy, so each occupancy is a whole number of ticks
+     and all busy-time bookkeeping below is exact integer
+     arithmetic. *)
+  let tick = uarch.Uarch_def.occ_den in
+  (* Pipe instances: busy-time RESIDUALS in ticks relative to
+     [pipe_now], kept >= 0. Relative storage plus integer arithmetic
+     makes the residual pattern independent of the absolute cycle
+     count: rebasing subtracts whole cycles' worth of ticks,
+     reservation adds the occupancy's ticks, the free test compares
+     against one cycle. An identical residual pattern therefore evolves
+     identically at any point in the run — for *every* occupancy, which
+     is what makes the period detector's state fingerprint exactly
+     repeating for every kernel. *)
   let pipe_free =
     Array.init n_pipe_kinds (fun k ->
         let kind =
@@ -296,7 +304,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
           | 0 -> Pipe.Fxu | 1 -> Pipe.Lsu | 2 -> Pipe.Vsu | 3 -> Pipe.Bru
           | 4 -> Pipe.Store_port | _ -> Pipe.Update_port
         in
-        Array.make (max 1 (Uarch_def.pipe_count uarch kind)) 0.0)
+        Array.make (max 1 (Uarch_def.pipe_count uarch kind)) 0)
   in
   let pipe_now = ref 0 in
   let op_issues = Array.make (max 1 (opmap_size opmap + 64)) 0 in
@@ -359,13 +367,13 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
   let start_cycle = ref 0 in
   let cycle = ref 0 in
   (* A pipe instance can accept an op at cycle [now] when its busy time
-     runs out before the end of the cycle; reserving from the fractional
-     free time (not the cycle boundary) lets occupancies like 1.19
-     sustain their exact 1/1.19 throughput. *)
+     runs out before the end of the cycle; reserving from the
+     sub-cycle free tick (not the cycle boundary) lets occupancies like
+     119/100 sustain their exact 100/119 throughput. *)
   (* Earliest free time per pipe kind: lets the common "every instance
      busy" case answer without scanning the instance array. The scan
      still picks the lowest-index free instance, exactly as before. *)
-  let pipe_min = Array.make n_pipe_kinds 0.0 in
+  let pipe_min = Array.make n_pipe_kinds 0 in
   let recompute_pipe_min k =
     let insts = pipe_free.(k) in
     let m = ref insts.(0) in
@@ -375,12 +383,12 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
     pipe_min.(k) <- !m
   in
   let find_free k =
-    if pipe_min.(k) >= 1.0 then -1
+    if pipe_min.(k) >= tick then -1
     else begin
       let insts = pipe_free.(k) in
       let n = Array.length insts in
       let rec go i =
-        if i = n then -1 else if insts.(i) < 1.0 then i else go (i + 1)
+        if i = n then -1 else if insts.(i) < tick then i else go (i + 1)
       in
       go 0
     end
@@ -388,17 +396,17 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
   (* advance the pipe residual epoch to [now] (clamping at free) *)
   let rebase_pipes now =
     if now > !pipe_now then begin
-      let d = float_of_int (now - !pipe_now) in
+      let d = (now - !pipe_now) * tick in
       Array.iter
         (fun insts ->
           for i = 0 to Array.length insts - 1 do
-            let r = insts.(i) -. d in
-            insts.(i) <- (if r > 0.0 then r else 0.0)
+            let r = insts.(i) - d in
+            insts.(i) <- (if r > 0 then r else 0)
           done)
         pipe_free;
       for k = 0 to n_pipe_kinds - 1 do
-        let m = pipe_min.(k) -. d in
-        pipe_min.(k) <- (if m > 0.0 then m else 0.0)
+        let m = pipe_min.(k) - d in
+        pipe_min.(k) <- (if m > 0 then m else 0)
       done;
       pipe_now := now
     end
@@ -507,17 +515,14 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
     let buf = fpbuf in
     (* dispatch round-robin phase *)
     Buffer.add_string buf (string_of_int (now mod nthreads));
-    (* pipe residuals are already relative to [now] (the caller rebases
-       first) and maintained magnitude-independently, so their exact
-       bits are legitimate state *)
+    (* pipe residuals are integer ticks relative to [now] (the caller
+       rebases first), so they are exact state by construction *)
     Array.iter
       (fun insts ->
         Buffer.add_char buf 'P';
         Array.iter
           (fun r ->
-            if r <= 0.0 then Buffer.add_char buf '0'
-            else
-              Buffer.add_string buf (Int64.to_string (Int64.bits_of_float r));
+            Buffer.add_string buf (string_of_int r);
             Buffer.add_char buf ',')
           insts)
       pipe_free;
@@ -696,19 +701,19 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
     let now = !cycle in
     rebase_pipes now;
     (* period detection: fingerprint at iteration boundaries of thread 0
-       during the measured window until a repeat (or the budget) *)
+       during the measured window until a repeat. State is integer
+       everywhere, so every bounded kernel's steady state repeats
+       bit-for-bit eventually; a kernel only stays dense when its period
+       exceeds the measured window (e.g. address streams longer than the
+       window), in which case the boundary count — and the snapshots
+       held here — is bounded by the window itself. *)
     if !measuring && (not !period_done) && threads.(0).iter > !last_b_iter
     then begin
       last_b_iter := threads.(0).iter;
       let fp = fingerprint now in
       match Hashtbl.find_opt b_table fp with
       | Some b -> apply_period b now
-      | None ->
-        if Hashtbl.length b_table >= boundary_budget then begin
-          period_done := true;
-          Hashtbl.reset b_table
-        end
-        else Hashtbl.add b_table fp (snapshot now)
+      | None -> Hashtbl.add b_table fp (snapshot now)
     end;
     (* retire completions from the calendar *)
     Array.iter
@@ -884,9 +889,9 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
               in
               let reserve kind slot occ =
                 let insts = pipe_free.(kind) in
-                (* residuals are clamped >= 0.0 at rebase, so reserving
-                   from the fractional free time is a plain addition *)
-                insts.(slot) <- insts.(slot) +. occ;
+                (* residuals are clamped >= 0 at rebase, so reserving
+                   from the sub-cycle free tick is a plain addition *)
+                insts.(slot) <- insts.(slot) + occ;
                 recompute_pipe_min kind;
                 count_pipe kind
               in
@@ -1010,7 +1015,12 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
             (fun insts ->
               Array.iter
                 (fun r ->
-                  let c = !pipe_now + int_of_float (Float.ceil r) in
+                  (* an instance is free as soon as its residual drops
+                     below one full cycle ([find_free] tests < tick), so
+                     it frees after floor(r/tick) more cycles — ceiling
+                     here would overshoot fractional residuals by one
+                     cycle and skip cycles where issue was possible *)
+                  let c = !pipe_now + (r / tick) in
                   if c >= !cycle && c < !horizon then horizon := c)
                 insts)
             pipe_free;

@@ -40,9 +40,31 @@ let pre_intern t (p : Ir.t) =
     p.Ir.body;
   ignore (Core_sim.intern t.opmap "bdnz")
 
-let run_rng t (config : Uarch_def.config) name =
+(* Default measured window, in loop iterations per thread. Exact
+   fixed-point pipe arithmetic makes every bounded kernel's steady
+   state exactly periodic, so the period detector elides almost all of
+   a long window — raising this is nearly free for periodic kernels
+   and buys tighter steady-state averages everywhere. One knob: every
+   harness path inherits it. *)
+let default_measure = 8
+
+(* A measurement depends on the machine seed through exactly two
+   channels: address-stream synthesis at deploy time (memory programs)
+   and the sensor-noise rng. Programs whose generating passes are all
+   seed-independent (see [Passes.seed_independent]) — and which
+   therefore carry no memory model — draw their noise from a canonical
+   rng instead, so their measurements are bit-identical across machines
+   with different seeds and the cache key can drop the seed: warm disk
+   caches are shared across seeds. *)
+let seed_independent_program (p : Ir.t) =
+  p.Ir.memory_distribution = None
+  && Ir.memory_instructions p = []
+  && List.for_all Passes.seed_independent p.Ir.provenance
+
+let run_rng t (config : Uarch_def.config) ~seeded name =
+  let seed = if seeded then t.seed else 0 in
   Mp_util.Rng.create
-    (Hashtbl.hash (t.seed, name, config.Uarch_def.cores, config.Uarch_def.smt))
+    (Hashtbl.hash (seed, name, config.Uarch_def.cores, config.Uarch_def.smt))
 
 (* Build per-thread address streams honouring the SMT partition. *)
 let deploy_thread t rng (config : Uarch_def.config) tid (p : Ir.t) =
@@ -85,9 +107,10 @@ let mem_demand (activity : Core_sim.activity) =
   let cycles = float_of_int (max 1 activity.Core_sim.measured_cycles) in
   float_of_int activity.Core_sim.level_loads.(3) /. cycles
 
-let simulate_many ?(warmup = 1) ?(measure = 2) ?period t
+let simulate_many ?(warmup = 1) ?(measure = default_measure) ?period t
     (config : Uarch_def.config) name (per_thread : Ir.t array) =
-  let rng = run_rng t config name in
+  let seeded = not (Array.for_all seed_independent_program per_thread) in
+  let rng = run_rng t config ~seeded name in
   let progs =
     Array.init config.Uarch_def.smt (fun tid ->
         deploy_thread t rng config tid per_thread.(tid))
@@ -138,8 +161,15 @@ let cached t ~warmup ~measure config name per_thread compute =
   match t.cache with
   | None -> compute ()
   | Some cache ->
+    (* seed-independent jobs drop the seed from the key — their bytes
+       are the same on any machine, so warm disk entries are shared
+       across seeds *)
+    let seed =
+      if Array.for_all seed_independent_program per_thread then None
+      else Some t.seed
+    in
     let key =
-      Measurement_cache.key ~uarch:t.uarch_fp ~seed:t.seed ~config ~warmup
+      Measurement_cache.key ~uarch:t.uarch_fp ?seed ~config ~warmup
         ~measure ~name per_thread
     in
     Measurement_cache.find_or_add cache key compute
@@ -147,13 +177,13 @@ let cached t ~warmup ~measure config name per_thread compute =
 (* [period] is deliberately absent from the cache key: skipped and
    dense runs are bit-identical, so their cache entries are
    interchangeable by construction. *)
-let run ?(warmup = 1) ?(measure = 2) ?period t config (p : Ir.t) =
+let run ?(warmup = 1) ?(measure = default_measure) ?period t config (p : Ir.t) =
   pre_intern t p;
   cached t ~warmup ~measure config p.Ir.name [| p |] (fun () ->
       let rng, activity = simulate ~warmup ~measure ?period t config p in
       measurement_of t config p.Ir.name rng activity)
 
-let run_heterogeneous ?(warmup = 1) ?(measure = 2) ?period t
+let run_heterogeneous ?(warmup = 1) ?(measure = default_measure) ?period t
     (config : Uarch_def.config) programs =
   let n = List.length programs in
   if n <> config.Uarch_def.smt then
@@ -179,7 +209,7 @@ let job_cost (config : Uarch_def.config) (ps : Ir.t list) =
   in
   float_of_int (config.Uarch_def.cores * config.Uarch_def.smt * (body + 1))
 
-let run_batch ?(warmup = 1) ?(measure = 2) ?period ?pool t jobs =
+let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool t jobs =
   (* deterministic id assignment: intern everything in job order before
      any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
@@ -192,7 +222,8 @@ let run_batch ?(warmup = 1) ?(measure = 2) ?period ?pool t jobs =
     (fun (config, p) -> run ~warmup ~measure ?period t config p)
     jobs
 
-let run_heterogeneous_batch ?(warmup = 1) ?(measure = 2) ?period ?pool t jobs =
+let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
+    ?pool t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
@@ -275,7 +306,7 @@ let baseline_reading t =
   Float.max 0.0 (p *. rel)
 
 let idle_reading t config =
-  let rng = run_rng t config "idle" in
+  let rng = run_rng t config ~seeded:true "idle" in
   let p = Power_sim.idle_power ~table:t.table ~config in
   let rel = Mp_util.Rng.gaussian rng ~mu:1.0 ~sigma:t.table.Energy_table.noise_rel in
   Float.max 0.0 (p *. rel)

@@ -21,7 +21,21 @@ val create : ?seed:int -> ?cache:bool -> Mp_uarch.Uarch_def.t -> t
     disk unless the [MP_CACHE=off] environment variable disables it
     ([MP_CACHE_DIR] names the directory, default [_mp_cache]), so
     repeated harness invocations of the same build skip
-    already-simulated points — see {!Measurement_cache.env_disk}. *)
+    already-simulated points — see {!Measurement_cache.env_disk}.
+
+    Programs whose generating passes are all seed-independent (no pass
+    drew from an rng and no memory model; see
+    {!Mp_codegen.Passes.seed_independent}) measure bit-identically on
+    machines with any [seed]: their noise rng is canonical and their
+    cache entries drop the seed from the key, so warm disk caches are
+    shared across seeds. *)
+
+val default_measure : int
+(** The default measured window in loop iterations per thread (8) —
+    the one constant every [?measure] default below inherits. Long
+    windows are nearly free for periodic kernels: exact fixed-point
+    pipe arithmetic makes every bounded kernel's steady state exactly
+    periodic, and the period detector elides the repeats. *)
 
 val uarch : t -> Mp_uarch.Uarch_def.t
 
@@ -34,7 +48,7 @@ val run :
   t -> Mp_uarch.Uarch_def.config -> Mp_codegen.Ir.t ->
   Measurement.t
 (** Deploy and measure one micro-benchmark. [warmup]/[measure] are loop
-    iterations (defaults 1 and 2). [period] forwards to
+    iterations (defaults 1 and {!default_measure}). [period] forwards to
     {!Core_sim.run}'s exact steady-state period skipping (default: on
     unless [MP_PERIOD=off]); results are bit-identical either way, so
     the knob only affects wall-clock time and is deliberately not part

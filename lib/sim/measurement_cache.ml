@@ -3,11 +3,14 @@ open Mp_codegen
 
 (* ----- disk persistence -------------------------------------------------- *)
 
-(* Bump when the on-disk entry layout changes. Simulator-behaviour
-   changes are handled automatically: the namespace digests the running
-   executable, so entries written by a different build are invisible
-   (and pruned) rather than silently reused. *)
-let schema_version = 1
+(* Bump when the on-disk entry layout or the key derivation changes.
+   Simulator-behaviour changes are handled automatically: the namespace
+   digests the running executable, so entries written by a different
+   build are invisible (and pruned) rather than silently reused.
+   v2: occupancies became exact rationals (fixed-point simulator
+   arithmetic) and seed-independent measurements drop the seed from the
+   key. *)
+let schema_version = 2
 
 type disk = { dir : string; namespace : string }
 
@@ -332,16 +335,19 @@ let uarch_fingerprint (u : Uarch_def.t) =
         u.Uarch_def.mem_bw_lines_per_cycle,
         u.Uarch_def.freq_ghz,
         u.Uarch_def.unit_area_mm2,
-        u.Uarch_def.pmcs ) )
+        u.Uarch_def.pmcs,
+        u.Uarch_def.occ_den ) )
   in
   Digest.to_hex (Digest.string (Marshal.to_string data []))
 
-let key ?(uarch = "") ~seed ~(config : Uarch_def.config) ~warmup ~measure ~name
+let key ?(uarch = "") ?seed ~(config : Uarch_def.config) ~warmup ~measure ~name
     per_thread =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf uarch;
   Buffer.add_char buf ';';
-  add_int buf seed;
+  (* [None]: the measurement is seed-independent — same bytes on any
+     machine — so the key is shared across seeds *)
+  (match seed with Some s -> add_int buf s | None -> Buffer.add_string buf "-;");
   add_int buf config.Uarch_def.cores;
   add_int buf config.Uarch_def.smt;
   add_int buf warmup;

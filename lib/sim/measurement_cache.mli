@@ -111,7 +111,7 @@ val uarch_fingerprint : Mp_uarch.Uarch_def.t -> string
 
 val key :
   ?uarch:string ->
-  seed:int ->
+  ?seed:int ->
   config:Mp_uarch.Uarch_def.config ->
   warmup:int ->
   measure:int ->
@@ -122,7 +122,10 @@ val key :
     programs (a single element for homogeneous deployment — replication
     over SMT threads is captured by [config]); [uarch] is a
     {!uarch_fingerprint} (default empty for callers with a fixed
-    uarch). *)
+    uarch). Omit [seed] for seed-independent measurements (no
+    seed-consuming generation pass, no memory streams): their bytes are
+    the same on every machine, so the shared key lets warm disk caches
+    serve all seeds. *)
 
 val find : t -> string -> Measurement.t option
 (** Memory first, then disk (promoting a disk entry into memory).

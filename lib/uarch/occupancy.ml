@@ -1,0 +1,47 @@
+(* Exact rational pipe occupancies. The simulator keeps pipe busy time
+   as integer ticks over a per-uarch common denominator, so every
+   occupancy a definition hands out must be an exact rational — floats
+   like 1.19 would reintroduce the ulp drift this module exists to
+   eliminate. Values are kept normalised (gcd 1, positive denominator)
+   so structural equality is value equality. *)
+
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if num < 0 || den <= 0 then invalid_arg "Occupancy.make";
+  let g = max 1 (gcd num den) in
+  { num = num / g; den = den / g }
+
+let of_int n = make n 1
+
+let one = { num = 1; den = 1 }
+
+let num t = t.num
+
+let den t = t.den
+
+let is_zero t = t.num = 0
+
+let to_float t = float_of_int t.num /. float_of_int t.den
+
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+
+(* fold helper for computing a definition-wide common denominator *)
+let lcm_den acc t = lcm acc t.den
+
+let ticks t ~den =
+  if den <= 0 || den mod t.den <> 0 then
+    invalid_arg "Occupancy.ticks: denominator is not a common multiple";
+  t.num * (den / t.den)
+
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
+
+let to_string t =
+  if t.den = 1 then string_of_int t.num
+  else Printf.sprintf "%d/%d" t.num t.den
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

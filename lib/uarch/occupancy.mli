@@ -1,0 +1,48 @@
+(** Exact rational pipe occupancies (cycles per instruction instance).
+
+    Micro-architecture definitions express pipe throughputs as exact
+    rationals — 1.19 cycles/op is [make 119 100] — so the simulator can
+    do all busy-time bookkeeping in integer ticks over one common
+    denominator and steady-state machine state repeats bit-for-bit for
+    every kernel. Values are normalised on construction; structural
+    equality is value equality. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the rational [num/den], normalised. Raises
+    [Invalid_argument] when [num < 0] or [den <= 0]. *)
+
+val of_int : int -> t
+
+val one : t
+
+val num : t -> int
+
+val den : t -> int
+(** Always positive; 1 for whole-cycle occupancies. *)
+
+val is_zero : t -> bool
+
+val to_float : t -> float
+(** For reporting and float-domain queries ({!Uarch_def.peak_ipc});
+    never used in simulator state. *)
+
+val lcm : int -> int -> int
+
+val lcm_den : int -> t -> int
+(** [lcm_den acc t] is [lcm acc (den t)] — fold over every occupancy a
+    definition can return to get the uarch common denominator. *)
+
+val ticks : t -> den:int -> int
+(** The occupancy as integer ticks at resolution [den] ticks per cycle.
+    Exact by construction: raises [Invalid_argument] unless [den] is a
+    positive multiple of [den t]. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

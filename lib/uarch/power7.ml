@@ -6,20 +6,24 @@ let isa_table : (string, Isa_def.t) Hashtbl.t = Hashtbl.create 4
 
 let usage pipe occupancy = { Uarch_def.pipe; occupancy }
 
+(* occupancies are exact rationals: [occ 119 100] is 1.19 cycles/op *)
+let occ = Occupancy.make
+let occ1 = Occupancy.one
+
 (* Per-mnemonic overrides for instructions whose pipe behaviour departs
    from their class default (e.g. xstsqrtdp is a cheap *test* op that
    does not occupy the long-latency sqrt pipe). *)
 let overrides : (string * Uarch_def.resources) list =
   [
     ("xstsqrtdp",
-     { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 3 });
-    ("dcbt", { fixed = [ usage Pipe.Lsu 1.0 ]; alt = []; latency = 1 });
+     { fixed = [ usage Pipe.Vsu occ1 ]; alt = []; latency = 3 });
+    ("dcbt", { fixed = [ usage Pipe.Lsu occ1 ]; alt = []; latency = 1 });
     (* record forms: the CR write delays forwarding of the result *)
     ("andi.",
      { fixed = [];
-       alt = [ usage Pipe.Fxu 1.0; usage Pipe.Lsu 1.3 ];
+       alt = [ usage Pipe.Fxu occ1; usage Pipe.Lsu (occ 13 10) ];
        latency = 4 });
-    ("addic.", { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 4 });
+    ("addic.", { fixed = [ usage Pipe.Fxu occ1 ]; alt = []; latency = 4 });
   ]
 
 let mem_resources (i : Instruction.t) =
@@ -27,8 +31,8 @@ let mem_resources (i : Instruction.t) =
   match i.mem with
   | Instruction.Load ->
     let fixed =
-      usage Pipe.Lsu 1.19
-      :: (if needs_fixup then [ usage Pipe.Update_port 1.0 ] else [])
+      usage Pipe.Lsu (occ 119 100)
+      :: (if needs_fixup then [ usage Pipe.Update_port occ1 ] else [])
     in
     (* Latency is the L1-hit value; the simulator substitutes the
        actual data-source level's latency per access. *)
@@ -37,10 +41,10 @@ let mem_resources (i : Instruction.t) =
   | Instruction.Store ->
     let wide = i.data_class <> Instruction.Gpr in
     let fixed =
-      [ usage Pipe.Lsu 1.0;
-        usage Pipe.Store_port (if wide then 2.08 else 1.0) ]
-      @ (if wide then [ usage Pipe.Vsu 0.5 ] else [])
-      @ (if needs_fixup then [ usage Pipe.Update_port 1.0 ] else [])
+      [ usage Pipe.Lsu occ1;
+        usage Pipe.Store_port (if wide then occ 52 25 else occ1) ]
+      @ (if wide then [ usage Pipe.Vsu (occ 1 2) ] else [])
+      @ (if needs_fixup then [ usage Pipe.Update_port occ1 ] else [])
     in
     { Uarch_def.fixed; alt = []; latency = 1 }
   | Instruction.No_mem ->
@@ -52,26 +56,26 @@ let class_resources (i : Instruction.t) =
     (* Executable by the FXU or, with a small penalty, the LSU's simple
        ALU — giving the ~3.5 combined IPC of the paper's Table 3. *)
     { Uarch_def.fixed = [];
-      alt = [ usage Pipe.Fxu 1.0; usage Pipe.Lsu 1.3 ];
+      alt = [ usage Pipe.Fxu occ1; usage Pipe.Lsu (occ 13 10) ];
       latency = 1 }
   | Instruction.Complex_int ->
-    { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 2 }
+    { fixed = [ usage Pipe.Fxu occ1 ]; alt = []; latency = 2 }
   | Instruction.Mul_int ->
-    { fixed = [ usage Pipe.Fxu 1.43 ]; alt = []; latency = 5 }
+    { fixed = [ usage Pipe.Fxu (occ 143 100) ]; alt = []; latency = 5 }
   | Instruction.Div_int ->
-    { fixed = [ usage Pipe.Fxu 13.0 ]; alt = []; latency = 26 }
+    { fixed = [ usage Pipe.Fxu (occ 13 1) ]; alt = []; latency = 26 }
   | Instruction.Fp_arith | Instruction.Vec_arith | Instruction.Vec_logic ->
-    { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 6 }
+    { fixed = [ usage Pipe.Vsu occ1 ]; alt = []; latency = 6 }
   | Instruction.Fp_fma | Instruction.Vec_fma ->
-    { fixed = [ usage Pipe.Vsu 1.0 ]; alt = []; latency = 6 }
+    { fixed = [ usage Pipe.Vsu occ1 ]; alt = []; latency = 6 }
   | Instruction.Fp_heavy ->
-    { fixed = [ usage Pipe.Vsu 17.0 ]; alt = []; latency = 30 }
+    { fixed = [ usage Pipe.Vsu (occ 17 1) ]; alt = []; latency = 30 }
   | Instruction.Dec_arith ->
-    { fixed = [ usage Pipe.Vsu 2.0 ]; alt = []; latency = 13 }
+    { fixed = [ usage Pipe.Vsu (occ 2 1) ]; alt = []; latency = 13 }
   | Instruction.Cmp_op ->
-    { fixed = [ usage Pipe.Fxu 1.0 ]; alt = []; latency = 1 }
+    { fixed = [ usage Pipe.Fxu occ1 ]; alt = []; latency = 1 }
   | Instruction.Branch_op ->
-    { fixed = [ usage Pipe.Bru 1.0 ]; alt = []; latency = 1 }
+    { fixed = [ usage Pipe.Bru occ1 ]; alt = []; latency = 1 }
   | Instruction.Nop_op -> { fixed = []; alt = []; latency = 1 }
   | Instruction.Mem_op -> mem_resources i
 
@@ -110,6 +114,12 @@ let define () =
       unit_area_mm2 =
         [ (Pipe.FXU, 9.5); (Pipe.LSU, 14.0); (Pipe.VSU, 18.5); (Pipe.BRU, 3.0) ];
       pmcs = Pmc.all;
+      (* LCM of every occupancy denominator the table can yield over the
+         loaded ISA (100 for this definition: 119/100, 13/10, 143/100,
+         52/25, 1/2 and whole cycles) — fixes the simulator's ticks-per-
+         cycle resolution at machine build time. *)
+      occ_den =
+        Uarch_def.occ_den_of_instructions resources (Isa_def.instructions isa);
       resources;
     }
   in

@@ -1,4 +1,4 @@
-type usage = { pipe : Pipe.t; occupancy : float }
+type usage = { pipe : Pipe.t; occupancy : Occupancy.t }
 
 type resources = { fixed : usage list; alt : usage list; latency : int }
 
@@ -18,8 +18,23 @@ type t = {
   freq_ghz : float;
   unit_area_mm2 : (Pipe.unit_kind * float) list;
   pmcs : Pmc.id list;
+  occ_den : int;
   resources : Mp_isa.Instruction.t -> resources;
 }
+
+let occ_ticks t occ = Occupancy.ticks occ ~den:t.occ_den
+
+let occ_den_of_instructions resources instructions =
+  List.fold_left
+    (fun acc i ->
+      let r = resources i in
+      let acc =
+        List.fold_left
+          (fun acc u -> Occupancy.lcm_den acc u.occupancy)
+          acc r.fixed
+      in
+      List.fold_left (fun acc u -> Occupancy.lcm_den acc u.occupancy) acc r.alt)
+    1 instructions
 
 let pipe_count t p =
   match List.assoc_opt p t.pipes with None -> 0 | Some n -> n
@@ -45,8 +60,8 @@ let peak_ipc t ins =
   let r = t.resources ins in
   let rate u =
     let n = pipe_count t u.pipe in
-    if n = 0 || u.occupancy <= 0.0 then infinity
-    else float_of_int n /. u.occupancy
+    if n = 0 || Occupancy.is_zero u.occupancy then infinity
+    else float_of_int n /. Occupancy.to_float u.occupancy
   in
   let fixed_rate =
     List.fold_left (fun acc u -> Float.min acc (rate u)) infinity r.fixed

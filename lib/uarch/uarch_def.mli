@@ -6,9 +6,11 @@
     stress (with per-pipe occupancy and latency), floorplan areas, and
     the PMC catalogue. *)
 
-type usage = { pipe : Pipe.t; occupancy : float }
+type usage = { pipe : Pipe.t; occupancy : Occupancy.t }
 (** One pipe requirement: the pipe is busy for [occupancy] cycles per
-    instance (i.e. sustainable throughput is [pipes / occupancy]). *)
+    instance (i.e. sustainable throughput is [pipes / occupancy]). The
+    occupancy is an exact rational so simulator busy-time bookkeeping
+    can run in integer ticks (see {!field-occ_den}). *)
 
 type resources = {
   fixed : usage list;   (** all of these are needed *)
@@ -34,8 +36,26 @@ type t = {
   freq_ghz : float;
   unit_area_mm2 : (Pipe.unit_kind * float) list; (** floorplan areas *)
   pmcs : Pmc.id list;
+  occ_den : int;
+      (** Common denominator of every occupancy {!field-resources} can
+          return (the LCM over the loaded ISA, computed at definition
+          build time). One cycle is [occ_den] simulator ticks, so every
+          occupancy converts to a whole number of ticks — the basis of
+          the simulator's exact fixed-point pipe arithmetic. *)
   resources : Mp_isa.Instruction.t -> resources;
 }
+
+val occ_ticks : t -> Occupancy.t -> int
+(** An occupancy as integer ticks at the definition's [occ_den]
+    resolution. Raises [Invalid_argument] if the occupancy's
+    denominator does not divide [occ_den] (a definition bug). *)
+
+val occ_den_of_instructions :
+  (Mp_isa.Instruction.t -> resources) -> Mp_isa.Instruction.t list -> int
+(** The LCM of every occupancy denominator the resource table yields
+    over the given instructions — what a definition should store in
+    [occ_den]. The implicit loop-closing branch has occupancy 1 and
+    never raises it. *)
 
 val pipe_count : t -> Pipe.t -> int
 

@@ -284,13 +284,28 @@ let map_chunked ?chunk ?cost pool f xs =
         (map ?cost:chunk_cost pool (fun c -> seq_map f c) (chunks chunk xs))
   end
 
-let default_size () =
+let detected_cores () = Domain.recommended_domain_count ()
+
+let env_size () =
   match Sys.getenv_opt "MP_POOL_SIZE" with
   | Some s ->
     (match int_of_string_opt (String.trim s) with
-     | Some n when n > 0 -> n
-     | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+     | Some n when n > 0 -> Some n
+     | _ -> None)
+  | None -> None
+
+let requested_size () =
+  match env_size () with Some n -> n | None -> detected_cores ()
+
+(* An explicit MP_POOL_SIZE is honoured verbatim (deliberate pinning,
+   e.g. oversubscription experiments); any other request is capped at
+   the detected core count so a stale default can never put more
+   workers than cores on a small box — the pathology behind a 4-worker
+   pool "achieving" a 0.3x speedup on one core. *)
+let default_size () =
+  match env_size () with
+  | Some n -> n
+  | None -> min (requested_size ()) (detected_cores ())
 
 let global_pool = ref None
 let global_lock = Mutex.create ()

@@ -329,6 +329,21 @@ let test_pass_names () =
   Alcotest.(check int) "three passes" 3 (List.length names);
   Alcotest.(check string) "first is skeleton" "skeleton(8)" (List.hd names)
 
+let test_seed_independent_classification () =
+  let t = Passes.seed_independent in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " independent") true (t name))
+    [ "skeleton(64)"; "fill_sequence"; "fill_interleaved"; "rename(x)";
+      "dependency(none)"; "dependency(4)"; "init_registers(0xdead)";
+      "init_immediates(0x0)" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " seed-consuming") false (t name))
+    [ "fill_weighted"; "fill_uniform"; "memory_model"; "branch_model";
+      "dependency(1..8)"; "init_registers(random)";
+      "init_immediates(random)"; "my_custom_pass" ]
+
 let test_reg_to_string () =
   Alcotest.(check string) "gpr" "r5" (Reg.to_string (Reg.Gpr 5));
   Alcotest.(check string) "fpr" "f31" (Reg.to_string (Reg.Fpr 31));
@@ -436,6 +451,8 @@ let () =
       ("extensibility",
        [ Alcotest.test_case "custom pass" `Quick test_custom_pass;
          Alcotest.test_case "pass names" `Quick test_pass_names;
+         Alcotest.test_case "seed independence" `Quick
+           test_seed_independent_classification;
          Alcotest.test_case "reg to_string" `Quick test_reg_to_string;
          Alcotest.test_case "chain wraps loop" `Quick test_dependency_wraps_loop ]);
       ("properties",

@@ -163,11 +163,22 @@ let test_nested_map_degrades () =
 
 let test_default_size_env () =
   Unix.putenv "MP_POOL_SIZE" "3";
+  (* an explicit pin is honoured verbatim, even past the core count *)
   Alcotest.(check int) "env override" 3 (Mp_util.Parallel.default_size ());
+  Alcotest.(check int) "requested follows env" 3
+    (Mp_util.Parallel.requested_size ());
   Unix.putenv "MP_POOL_SIZE" "not-a-number";
   Alcotest.(check bool) "garbage ignored" true
     (Mp_util.Parallel.default_size () >= 1);
-  Unix.putenv "MP_POOL_SIZE" ""
+  Unix.putenv "MP_POOL_SIZE" "";
+  (* without a pin the effective size never exceeds the detected core
+     count — a default pool must not oversubscribe a small machine *)
+  let cores = Mp_util.Parallel.detected_cores () in
+  Alcotest.(check bool) "cores detected" true (cores >= 1);
+  Alcotest.(check int) "requested = cores" cores
+    (Mp_util.Parallel.requested_size ());
+  Alcotest.(check bool) "capped at cores" true
+    (Mp_util.Parallel.default_size () <= cores)
 
 (* ----- run_batch determinism ------------------------------------------------ *)
 

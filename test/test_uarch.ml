@@ -147,6 +147,45 @@ let test_every_instruction_mapped () =
           (Uarch_def.units_stressed u i <> []))
     (Mp_isa.Isa_def.instructions (Power7.isa u))
 
+(* ----- fixed-point occupancy arithmetic ------------------------------------ *)
+
+let test_occ_den_exact () =
+  (* the tick denominator must make every occupancy of every ISA
+     instruction an exact whole number of ticks — fixed and alternate
+     usages alike. This is the invariant the simulator's integer pipe
+     residuals rest on. *)
+  let u = uarch () in
+  Alcotest.(check int) "POWER7 denominator" 100 u.Uarch_def.occ_den;
+  List.iter
+    (fun (i : Mp_isa.Instruction.t) ->
+      let r = u.Uarch_def.resources i in
+      List.iter
+        (fun (usage : Uarch_def.usage) ->
+          let occ = usage.Uarch_def.occupancy in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s den divides" i.Mp_isa.Instruction.mnemonic)
+            true
+            (u.Uarch_def.occ_den mod Occupancy.den occ = 0);
+          (* ticks/occ_den = num/den exactly, by cross-multiplication *)
+          let ticks = Uarch_def.occ_ticks u occ in
+          Alcotest.(check int)
+            (Printf.sprintf "%s exact ticks" i.Mp_isa.Instruction.mnemonic)
+            (Occupancy.num occ * u.Uarch_def.occ_den)
+            (ticks * Occupancy.den occ))
+        (r.Uarch_def.fixed @ r.Uarch_def.alt))
+    (Mp_isa.Isa_def.instructions (Power7.isa u))
+
+let prop_occupancy_ticks_exact =
+  (* for any rational occupancy, converting to ticks over any common
+     multiple of its denominator loses no precision *)
+  QCheck.Test.make ~name:"occupancy tick conversion is exact" ~count:500
+    QCheck.(triple (int_range 0 500) (int_range 1 64) (int_range 1 8))
+    (fun (num, den, k) ->
+      let occ = Occupancy.make num den in
+      let d = k * Occupancy.lcm_den 100 occ in
+      let ticks = Occupancy.ticks occ ~den:d in
+      ticks * Occupancy.den occ = Occupancy.num occ * d)
+
 let () =
   Alcotest.run "mp_uarch"
     [
@@ -165,6 +204,8 @@ let () =
          Alcotest.test_case "latencies" `Quick test_level_latency_monotone;
          Alcotest.test_case "pipe counts" `Quick test_pipe_counts;
          Alcotest.test_case "parent units" `Quick test_parent_units;
-         Alcotest.test_case "all mapped" `Quick test_every_instruction_mapped ]);
+         Alcotest.test_case "all mapped" `Quick test_every_instruction_mapped;
+         Alcotest.test_case "occupancy denominator" `Quick test_occ_den_exact;
+         QCheck_alcotest.to_alcotest prop_occupancy_ticks_exact ]);
       ("pmc", [ Alcotest.test_case "mapping" `Quick test_pmc_mapping ]);
     ]
