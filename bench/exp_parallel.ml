@@ -134,15 +134,31 @@ let run (ctx : Context.t) =
   Context.record_metric ctx "parbench_memo_speedup" memo_speedup;
   (* disk hits on the "cold" pass mean a previous harness invocation of
      this same build already simulated these points *)
-  (match Machine.measurement_cache memo_machine with
-   | None -> ()
-   | Some c ->
-     let s = Measurement_cache.stats c in
-     Context.record_metric ctx "parbench_disk_hits"
-       (float_of_int s.Measurement_cache.disk_hits);
-     if s.Measurement_cache.disk_hits > 0 then
-       Context.log "%d of the cold-pass lookups were served from the disk cache"
-         s.Measurement_cache.disk_hits);
+  let disk_hits =
+    match Machine.measurement_cache memo_machine with
+    | None -> 0
+    | Some c ->
+      let s = Measurement_cache.stats c in
+      Context.record_metric ctx "parbench_disk_hits"
+        (float_of_int s.Measurement_cache.disk_hits);
+      if s.Measurement_cache.disk_hits > 0 then
+        Context.log "%d of the cold-pass lookups were served from the disk cache"
+          s.Measurement_cache.disk_hits;
+      s.Measurement_cache.disk_hits
+  in
+  (* The warm pass does no simulation — only key derivation and table
+     lookups — so it must be decisively faster than the cold pass. A
+     floor of 1.5x catches a key path regressing into per-lookup
+     serialisation. When the cold pass itself was served from a warm
+     disk cache (a previous run of this build), both sides skip
+     simulation and only a regression below parity is meaningful. *)
+  let floor = if disk_hits > 0 then 1.0 else 1.5 in
+  if memo_speedup < floor then
+    failwith
+      (Printf.sprintf
+         "parbench: warm memoized batch only %.2fx faster than cold \
+          (floor %.1fx) — the cache lookup path has regressed"
+         memo_speedup floor);
   Context.log
     "memoized rerun: cold %.2fs, warm %.3fs -> %.0fx; cached results\n\
      bit-identical to serial"

@@ -160,6 +160,7 @@ let ga (ctx : Context.t) =
       (Context.bootstrap_props ctx)
   in
   let size = if ctx.Context.quick then 512 else 1024 in
+  let dups0 = Machine.batch_dup_collapsed () + Dse.Driver.dup_collapsed () in
   let r =
     Context.timed "GA stressmark search" (fun () ->
         Stressmark.ga_search ~machine ~arch ~size ~pool:ctx.Context.pool
@@ -167,6 +168,17 @@ let ga (ctx : Context.t) =
           ~generations:(if ctx.Context.quick then 6 else 12)
           ~candidates:picks ~length:6 ())
   in
+  let dups =
+    Machine.batch_dup_collapsed () + Dse.Driver.dup_collapsed () - dups0
+  in
+  (* a GA over 3 candidates regenerates previously seen 6-grams every
+     generation; if no duplicate was ever collapsed, the dedup path is
+     dead and revisits are paying for full evaluations again *)
+  if dups = 0 then
+    failwith
+      "ga bench: no duplicate candidates collapsed across the search — \
+       batch dedup has regressed";
+  Context.record_metric ctx "ga_dup_collapsed" (float_of_int dups);
   let lookups = r.Stressmark.ga_cache_hits + r.Stressmark.ga_cache_misses in
   let hit_rate =
     if lookups = 0 then 0.0
@@ -180,9 +192,10 @@ let ga (ctx : Context.t) =
   Context.log
     "Measurement cache over the search: %d hits / %d lookups (%.1f%% hit\n\
      rate) — only %d distinct simulations ran; revisited sequences were\n\
-     served from the cache."
+     served from the cache, and %d duplicate candidates were collapsed\n\
+     before ever reaching it."
     r.Stressmark.ga_cache_hits lookups (hit_rate *. 100.0)
-    r.Stressmark.ga_cache_misses
+    r.Stressmark.ga_cache_misses dups
 
 let heterogeneous (ctx : Context.t) =
   Context.section

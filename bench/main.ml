@@ -57,6 +57,24 @@ let write_bench_json ~path ~quick ~total (ctx : Context.t) timings =
   close_out oc;
   Printf.printf "Wrote %s\n" path
 
+(* Streamed progress: one JSON object per line, appended as each
+   experiment finishes, so a long (or killed) run leaves a readable
+   partial record next to the final aggregate. *)
+let partial_path = "BENCH_sim.json.partial"
+
+let stream_partial ~quick name seconds =
+  try
+    let oc =
+      open_out_gen [ Open_append; Open_creat ] 0o644 partial_path
+    in
+    Printf.fprintf oc
+      "{ \"mode\": %S, \"experiment\": %S, \"seconds\": %s }\n"
+      (if quick then "quick" else "full")
+      name
+      (if Float.is_nan seconds then "null" else Printf.sprintf "%.6f" seconds);
+    close_out oc
+  with _ -> ()
+
 let usage () =
   print_endline "usage: main.exe [--quick] [experiment ...]";
   print_endline "experiments:";
@@ -93,13 +111,16 @@ let () =
        CMP/SMT Processor Systems via Automated Micro-Benchmarks', MICRO 2012\n"
       (if quick then "quick" else "full");
     let ctx = Context.create ~quick in
+    (try Sys.remove partial_path with _ -> ());
     let t0 = Unix.gettimeofday () in
     let timings =
       List.map
         (fun (name, _, f) ->
           let e0 = Unix.gettimeofday () in
           f ctx;
-          (name, Unix.gettimeofday () -. e0))
+          let dt = Unix.gettimeofday () -. e0 in
+          stream_partial ~quick name dt;
+          (name, dt))
         to_run
     in
     let total = Unix.gettimeofday () -. t0 in
@@ -126,6 +147,17 @@ let () =
       (float_of_int (Microprobe.Core_sim.period_hits ()));
     Context.record_metric ctx "cycles_skipped"
       (float_of_int (Microprobe.Core_sim.cycles_skipped ()));
+    (* cumulative time deriving cache keys: with structural hashing
+       this should stay in the noise; MP_KEY=marshal makes it visible *)
+    Context.record_metric ctx "key_digest_seconds"
+      (Microprobe.Measurement_cache.key_seconds ());
+    (* duplicate points collapsed before simulation, at both layers:
+       Machine.run_batch within-batch dedup and Driver.eval_list keyed
+       dedup *)
+    Context.record_metric ctx "batch_dup_collapsed"
+      (float_of_int
+         (Microprobe.Machine.batch_dup_collapsed ()
+         + Microprobe.Dse.Driver.dup_collapsed ()));
     (match Microprobe.Machine.measurement_cache ctx.Context.machine with
      | None -> ()
      | Some c ->

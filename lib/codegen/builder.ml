@@ -213,17 +213,24 @@ let finalize t =
           imm = w.w_imm; mem_target = w.w_mem; taken_pattern = w.w_pattern })
       wired
   in
+  let reg_init = List.rev !reg_init in
   let program =
     {
       Ir.name = t.name;
       body;
-      reg_init = List.rev !reg_init;
+      reg_init;
       imm_policy =
         (match t.imm_policy with
          | Random_values -> "random"
          | Constant v -> Printf.sprintf "const:%Ld" v);
       memory_distribution = t.mem_distribution;
       provenance = List.rev t.provenance;
+      (* hashed here, once, so cache keys downstream are a cheap fold
+         over precomputed fields rather than a per-lookup serialisation
+         of the whole program *)
+      struct_hash =
+        Ir.compute_struct_hash ~name:t.name ~body ~reg_init
+          ~memory_distribution:t.mem_distribution;
     }
   in
   match Ir.validate program with

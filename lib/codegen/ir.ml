@@ -19,9 +19,95 @@ type t = {
   imm_policy : string;
   memory_distribution : (level * float) list option;
   provenance : string list;
+  struct_hash : int64;
 }
 
 let size t = Array.length t.body
+
+(* ----- structural content hash ------------------------------------------- *)
+
+(* Small dense ids for the hash folds: a register is its file rank and
+   index, a hierarchy level its position. Both are total and injective,
+   so the fold never conflates distinct operands. *)
+let reg_id r =
+  match (r : Reg.t) with
+  | Reg.Gpr i -> i
+  | Reg.Fpr i -> 0x100 + i
+  | Reg.Vsr i -> 0x200 + i
+  | Reg.Cr_field i -> 0x300 + i
+  | Reg.Ctr -> 0x400
+
+let level_id = function
+  | Mp_uarch.Cache_geometry.L1 -> 1
+  | Mp_uarch.Cache_geometry.L2 -> 2
+  | Mp_uarch.Cache_geometry.L3 -> 3
+  | Mp_uarch.Cache_geometry.MEM -> 4
+
+let fold_regs h rs =
+  List.fold_left
+    (fun h r -> Mp_util.Fnv.int h (reg_id r))
+    (Mp_util.Fnv.int h (List.length rs))
+    rs
+
+let fold_instr h (i : instr) =
+  let open Mp_util.Fnv in
+  let h = string h i.op.Mp_isa.Instruction.mnemonic in
+  let h = fold_regs h i.dests in
+  let h = fold_regs h i.srcs in
+  let h =
+    match i.imm with None -> byte h 0 | Some v -> int64 (byte h 1) v
+  in
+  let h =
+    match i.mem_target with
+    | None -> byte h 0
+    | Some l -> byte h (0x10 + level_id l)
+  in
+  match i.taken_pattern with
+  | None -> byte h 0
+  | Some pat ->
+    Array.fold_left bool (int (byte h 1) (Array.length pat)) pat
+
+(* Everything a measurement can depend on through the program itself:
+   the name (per-run RNGs are seeded from it), the instruction stream
+   with operands, immediates, memory targets and branch patterns, the
+   register initialisation, and the memory distribution (it drives
+   address-stream synthesis at deployment). [imm_policy] and
+   [provenance] are deliberately excluded — they are metadata about how
+   the program was built, already reflected in the fields above
+   (provenance additionally decides seed-independence, which the cache
+   key accounts for separately). *)
+let compute_struct_hash ~name ~body ~reg_init ~memory_distribution =
+  let open Mp_util.Fnv in
+  let h = string seed name in
+  let h = int h (Array.length body) in
+  let h = Array.fold_left fold_instr h body in
+  let h = int h (List.length reg_init) in
+  let h =
+    List.fold_left
+      (fun h (r, v) -> int64 (int h (reg_id r)) v)
+      h reg_init
+  in
+  let h =
+    match memory_distribution with
+    | None -> byte h 0
+    | Some dist ->
+      List.fold_left
+        (fun h (l, w) -> int64 (byte h (level_id l)) (Int64.bits_of_float w))
+        (int (byte h 1) (List.length dist))
+        dist
+  in
+  finish h
+
+let rehash t =
+  { t with
+    struct_hash =
+      compute_struct_hash ~name:t.name ~body:t.body ~reg_init:t.reg_init
+        ~memory_distribution:t.memory_distribution }
+
+let struct_hash t = t.struct_hash
+
+let has_memory t =
+  Array.exists (fun i -> Mp_isa.Instruction.is_memory i.op) t.body
 
 let instruction_mix t =
   let table = Hashtbl.create 32 in

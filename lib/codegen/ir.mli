@@ -28,10 +28,39 @@ type t = {
   imm_policy : string;          (** provenance of immediate initialisation *)
   memory_distribution : (level * float) list option;
   provenance : string list;     (** names of the passes applied, in order *)
+  struct_hash : int64;
+      (** structural content hash, precomputed at {!Builder.finalize}
+          time — see {!compute_struct_hash} *)
 }
 
 val size : t -> int
 (** Payload instructions in the loop body. *)
+
+val compute_struct_hash :
+  name:string ->
+  body:instr array ->
+  reg_init:(Reg.t * int64) list ->
+  memory_distribution:(level * float) list option ->
+  int64
+(** 64-bit FNV/splitmix content hash of everything a measurement can
+    depend on through the program: name, instruction stream (opcodes,
+    operands, immediates, memory targets, branch patterns), register
+    initialisation and memory distribution. [imm_policy] and
+    [provenance] are excluded (build metadata, already reflected in the
+    hashed fields). Deterministic across processes, so it is safe in
+    persistent cache keys; the measurement cache folds this precomputed
+    field instead of re-serialising the program on every lookup. *)
+
+val rehash : t -> t
+(** Recompute [struct_hash] from the current field values — required
+    after hand-editing a finalized program (e.g. [{ p with body }] in
+    tests); {!Builder.finalize} output is already hashed. *)
+
+val struct_hash : t -> int64
+
+val has_memory : t -> bool
+(** Whether any body instruction is a memory operation — allocation-free
+    (unlike [memory_instructions <> []]). *)
 
 val instruction_mix : t -> (string * int) list
 (** Mnemonic histogram, descending count. *)

@@ -29,7 +29,14 @@ let top n evals =
   let sorted = List.sort compare_desc evals in
   List.filteri (fun i _ -> i < n) sorted
 
-let eval_list ?eval_batch ~eval points =
+(* Duplicate points collapsed by [eval_list ~key] across all calls in
+   this process — the driver-level complement of
+   [Mp_sim.Machine.batch_dup_collapsed]. *)
+let dups = Atomic.make 0
+
+let dup_collapsed () = Atomic.get dups
+
+let eval_all ?eval_batch ~eval points =
   match eval_batch with
   | None ->
     List.rev (List.rev_map (fun p -> { point = p; score = eval p }) points)
@@ -38,3 +45,37 @@ let eval_list ?eval_batch ~eval points =
     if List.length scores <> List.length points then
       invalid_arg "Driver.eval_list: eval_batch returned a different length";
     List.map2 (fun p s -> { point = p; score = s }) points scores
+
+let eval_list ?key ?eval_batch ~eval points =
+  match key with
+  | None -> eval_all ?eval_batch ~eval points
+  | Some key ->
+    (* Evaluation is a pure function of the point's key, so score each
+       distinct key once — in first-occurrence order, exactly the
+       sequence a pre-deduplicated caller would submit — and scatter
+       the scores back positionally. *)
+    let slot_of = Hashtbl.create 64 in
+    let uniques = ref [] in
+    let n_unique = ref 0 in
+    let slots =
+      List.map
+        (fun p ->
+          let k = key p in
+          match Hashtbl.find_opt slot_of k with
+          | Some slot ->
+            Atomic.incr dups;
+            slot
+          | None ->
+            let slot = !n_unique in
+            Hashtbl.add slot_of k slot;
+            incr n_unique;
+            uniques := p :: !uniques;
+            slot)
+        points
+    in
+    let evaluated =
+      Array.of_list (eval_all ?eval_batch ~eval (List.rev !uniques))
+    in
+    List.map2
+      (fun p slot -> { point = p; score = evaluated.(slot).score })
+      points slots

@@ -30,6 +30,7 @@ val top : int -> 'p evaluation list -> 'p evaluation list
 (** The [n] highest-scoring evaluations, best first, NaN last. *)
 
 val eval_list :
+  ?key:('p -> string) ->
   ?eval_batch:('p list -> float list) ->
   eval:('p -> float) ->
   'p list ->
@@ -37,4 +38,15 @@ val eval_list :
 (** Score points in order. With [eval_batch], the whole list is scored
     in one call (which must return one score per point, in order —
     raises [Invalid_argument] otherwise); without it, [eval] is applied
-    left-to-right. *)
+    left-to-right.
+
+    With [key], points whose keys collide are scored once and the score
+    is scattered back to every duplicate position — sound whenever
+    evaluation is a pure function of the key (true for the measurement
+    engine: keys are measurement-cache keys and measurements are
+    deterministic). The returned evaluations keep each position's own
+    [point] value; only the score is shared. *)
+
+val dup_collapsed : unit -> int
+(** Process-wide count of positions collapsed onto an earlier duplicate
+    by [eval_list ~key]. Monotonic; take deltas for per-run figures. *)

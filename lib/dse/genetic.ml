@@ -4,11 +4,16 @@ type 'p operators = {
   crossover : Mp_util.Rng.t -> 'p -> 'p -> 'p;
 }
 
-let search ~rng ~ops ~eval ?eval_batch ?(population = 24) ?(generations = 12)
-    ?(elite = 4) ?(mutation_rate = 0.3) ?(seeds = []) () =
+let search ~rng ~ops ~eval ?eval_batch ?point_key ?(population = 24)
+    ?(generations = 12) ?(elite = 4) ?(mutation_rate = 0.3) ?(seeds = []) () =
   if population < 2 then invalid_arg "Genetic.search: population";
   if elite >= population then invalid_arg "Genetic.search: elite";
-  let eval_all points = Driver.eval_list ?eval_batch ~eval points in
+  (* [point_key] dedup lives entirely on the evaluation side: candidate
+     generation consumes [rng] before any scoring happens, so collapsing
+     duplicate evaluations cannot perturb the search trajectory *)
+  let eval_all points =
+    Driver.eval_list ?key:point_key ?eval_batch ~eval points
+  in
   (* single-pass accumulator: evaluation list (reversed), count and the
      running best — no O(n) re-scan at the end *)
   let all_rev = ref [] in

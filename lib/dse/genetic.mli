@@ -13,6 +13,7 @@ val search :
   ops:'p operators ->
   eval:('p -> float) ->
   ?eval_batch:('p list -> float list) ->
+  ?point_key:('p -> string) ->
   ?population:int ->
   ?generations:int ->
   ?elite:int ->
@@ -27,5 +28,8 @@ val search :
     [ops.init]. Deterministic given [rng]: candidate generation
     consumes the RNG before any scoring, so supplying [eval_batch]
     (the initial population and each generation's offspring are then
-    scored as single batches — see {!Driver.eval_list}) cannot change
-    the search trajectory. NaN fitness sorts strictly last. *)
+    scored as single batches — see {!Driver.eval_list}) or [point_key]
+    (duplicate candidates within a batch are scored once and the score
+    scattered back — sound when fitness is a pure function of the key)
+    cannot change the search trajectory or the result. NaN fitness
+    sorts strictly last. *)

@@ -58,7 +58,7 @@ let default_measure = 8
    caches are shared across seeds. *)
 let seed_independent_program (p : Ir.t) =
   p.Ir.memory_distribution = None
-  && Ir.memory_instructions p = []
+  && (not (Ir.has_memory p))
   && List.for_all Passes.seed_independent p.Ir.provenance
 
 let run_rng t (config : Uarch_def.config) ~seeded name =
@@ -209,31 +209,102 @@ let job_cost (config : Uarch_def.config) (ps : Ir.t list) =
   in
   float_of_int (config.Uarch_def.cores * config.Uarch_def.smt * (body + 1))
 
-let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool t jobs =
-  (* deterministic id assignment: intern everything in job order before
-     any worker touches the opmap *)
+(* ----- duplicate collapsing ---------------------------------------------- *)
+
+(* Search drivers routinely submit the same point several times within
+   one batch (GA elites, re-generated crossovers, symmetric sweeps).
+   Measurements are deterministic given the cache key, so evaluating
+   each distinct key once and scattering the result back preserves
+   bit-identity while skipping the redundant simulations — and, unlike
+   the measurement cache's single-flight, never parks a worker waiting
+   on a twin job. *)
+
+let batch_dups = Atomic.make 0
+
+let batch_dup_collapsed () = Atomic.get batch_dups
+
+(* grouping key: same derivation as [cached] (period excluded — skipped
+   and dense runs are interchangeable), always the structural fold
+   since the string never leaves this process *)
+let batch_key t ~warmup ~measure config name per_thread =
+  let seed =
+    if Array.for_all seed_independent_program per_thread then None
+    else Some t.seed
+  in
+  Measurement_cache.key_structural ~uarch:t.uarch_fp ?seed ~config ~warmup
+    ~measure ~name per_thread
+
+(* Evaluate each distinct key once (first occurrence order, so worker
+   scheduling and opcode interning see the same sequence a deduped
+   caller would submit) and scatter results back positionally. *)
+let dedup_map job_key exec jobs =
+  let slot_of = Hashtbl.create 64 in
+  let uniques = ref [] in
+  let n_unique = ref 0 in
+  let slots =
+    List.map
+      (fun job ->
+        let k = job_key job in
+        match Hashtbl.find_opt slot_of k with
+        | Some slot ->
+          Atomic.incr batch_dups;
+          slot
+        | None ->
+          let slot = !n_unique in
+          Hashtbl.add slot_of k slot;
+          incr n_unique;
+          uniques := job :: !uniques;
+          slot)
+      jobs
+  in
+  let results = Array.of_list (exec (List.rev !uniques)) in
+  List.map (fun slot -> results.(slot)) slots
+
+let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool
+    ?(dedup = true) t jobs =
+  (* deterministic id assignment: intern everything in job order —
+     duplicates included — before any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
-  Mp_util.Parallel.map
-    ~cost:(fun (config, p) -> job_cost config [ p ])
-    pool
-    (fun (config, p) -> run ~warmup ~measure ?period t config p)
-    jobs
+  let exec jobs =
+    Mp_util.Parallel.map
+      ~cost:(fun (config, p) -> job_cost config [ p ])
+      pool
+      (fun (config, p) -> run ~warmup ~measure ?period t config p)
+      jobs
+  in
+  if dedup then
+    dedup_map
+      (fun (config, (p : Ir.t)) ->
+        batch_key t ~warmup ~measure config p.Ir.name [| p |])
+      exec jobs
+  else exec jobs
 
 let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
-    ?pool t jobs =
+    ?pool ?(dedup = true) t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
-  Mp_util.Parallel.map
-    ~cost:(fun (config, ps) -> job_cost config ps)
-    pool
-    (fun (config, ps) ->
-      run_heterogeneous ~warmup ~measure ?period t config ps)
-    jobs
+  let exec jobs =
+    Mp_util.Parallel.map
+      ~cost:(fun (config, ps) -> job_cost config ps)
+      pool
+      (fun (config, ps) ->
+        run_heterogeneous ~warmup ~measure ?period t config ps)
+      jobs
+  in
+  if dedup then
+    dedup_map
+      (fun (config, ps) ->
+        let name =
+          String.concat "|" (List.map (fun (p : Ir.t) -> p.Ir.name) ps)
+        in
+        batch_key t ~warmup ~measure config name (Array.of_list ps))
+      exec jobs
+  else exec jobs
 
 let run_phases ?pool t config phases =
   match phases with

@@ -56,6 +56,7 @@ val run :
 
 val run_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
+  ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t) list ->
   Measurement.t list
 (** Measure a list of (configuration, program) jobs, fanned across
@@ -66,7 +67,14 @@ val run_batch :
     job order before the fan-out, so no float is summed in a different
     order. Jobs carry a cost hint (threads × loop size) so the
     work-stealing pool starts the heaviest simulations first — a
-    scheduling detail with no observable effect on results. *)
+    scheduling detail with no observable effect on results.
+
+    [dedup] (default [true]) collapses jobs that share a measurement
+    key within the batch: each distinct point is simulated once and the
+    result is scattered back to every duplicate position. Measurements
+    are deterministic given the key, so collapsing is observationally
+    invisible apart from wall-clock time; {!batch_dup_collapsed} counts
+    the positions served by a twin. *)
 
 val run_heterogeneous :
   ?warmup:int -> ?measure:int -> ?period:bool ->
@@ -79,13 +87,19 @@ val run_heterogeneous :
 
 val run_heterogeneous_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
+  ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t list) list ->
   Measurement.t list
 (** {!run_heterogeneous} over a whole candidate population as one
-    fan-out across [pool], under the same determinism contract as
-    {!run_batch}: results in job order, bit-identical to the serial
-    loop (all per-thread programs are pre-interned in job order before
-    any worker runs). *)
+    fan-out across [pool], under the same determinism contract (and
+    the same [dedup] duplicate collapsing) as {!run_batch}: results in
+    job order, bit-identical to the serial loop (all per-thread
+    programs are pre-interned in job order before any worker runs). *)
+
+val batch_dup_collapsed : unit -> int
+(** Process-wide count of batch positions served by collapsing onto a
+    duplicate within the same batch (see [dedup] on {!run_batch}).
+    Monotonic; callers wanting a per-phase figure take a delta. *)
 
 val run_phases :
   ?pool:Mp_util.Parallel.t ->

@@ -9,8 +9,10 @@ open Mp_codegen
    build are invisible (and pruned) rather than silently reused.
    v2: occupancies became exact rationals (fixed-point simulator
    arithmetic) and seed-independent measurements drop the seed from the
-   key. *)
-let schema_version = 2
+   key.
+   v3: keys are structural-hash folds (not Marshal+MD5 digests) and
+   entries live in two-hex-digit shard subdirectories. *)
+let schema_version = 3
 
 type disk = { dir : string; namespace : string }
 
@@ -42,30 +44,70 @@ let env_disk () =
   if cache_enabled () then Some { dir = env_dir (); namespace = namespace () }
   else None
 
-let entry_path disk key =
-  Filename.concat disk.dir (disk.namespace ^ "-" ^ key)
+(* Entries shard into subdirectories named by the first two hex digits
+   of the key, so a very large cache never accumulates one enormous
+   flat directory (readdir/gc stay fast). The flat layout earlier
+   versions wrote is still read — and migrated into its shard — by
+   [disk_read]. *)
+let shard_of key = if String.length key >= 2 then String.sub key 0 2 else "00"
+
+let entry_name disk key = disk.namespace ^ "-" ^ key
+
+let shard_dir disk key = Filename.concat disk.dir (shard_of key)
+
+let entry_path disk key = Filename.concat (shard_dir disk key) (entry_name disk key)
+
+(* where the pre-shard flat layout would have put this entry *)
+let legacy_path disk key = Filename.concat disk.dir (entry_name disk key)
+
+let is_dir path = match Sys.is_directory path with d -> d | exception _ -> false
+
+(* a shard subdirectory is exactly two hex digits *)
+let is_shard_name f =
+  String.length f = 2
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       f
 
 (* Drop entries left behind by other builds — at most once per
    directory per process, best-effort. *)
 let pruned_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
 let pruned_lock = Mutex.create ()
 
+let prune_dir_files dir namespace =
+  match Sys.readdir dir with
+  | exception _ -> ()
+  | fs ->
+    Array.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        if not (is_dir path) then begin
+          let keep =
+            String.length f > String.length namespace
+            && String.sub f 0 (String.length namespace) = namespace
+          in
+          if not keep then try Sys.remove path with _ -> ()
+        end)
+      fs
+
 let prune_stale disk =
   Mutex.lock pruned_lock;
   let fresh = not (Hashtbl.mem pruned_dirs disk.dir) in
   if fresh then Hashtbl.add pruned_dirs disk.dir ();
   Mutex.unlock pruned_lock;
-  if fresh then
-    try
+  if fresh then begin
+    (* flat legacy entries in the root, then every shard *)
+    prune_dir_files disk.dir disk.namespace;
+    match Sys.readdir disk.dir with
+    | exception _ -> ()
+    | fs ->
       Array.iter
         (fun f ->
-          let keep =
-            String.length f > String.length disk.namespace
-            && String.sub f 0 (String.length disk.namespace) = disk.namespace
-          in
-          if not keep then try Sys.remove (Filename.concat disk.dir f) with _ -> ())
-        (Sys.readdir disk.dir)
-    with _ -> ()
+          let sub = Filename.concat disk.dir f in
+          if is_shard_name f && is_dir sub then
+            prune_dir_files sub disk.namespace)
+        fs
+  end
 
 (* ----- housekeeping ------------------------------------------------------ *)
 
@@ -104,17 +146,31 @@ let gc ?max_bytes dir =
   let files =
     match Sys.readdir dir with exception _ -> [||] | fs -> fs
   in
+  (* entry files in [d], named relative to the cache root for the
+     deterministic tie-break *)
+  let scan d rel =
+    match Sys.readdir d with
+    | exception _ -> []
+    | fs ->
+      Array.to_list fs
+      |> List.filter_map (fun f ->
+             if is_tmp f then None
+             else
+               let path = Filename.concat d f in
+               let rel = if rel = "" then f else Filename.concat rel f in
+               match Unix.stat path with
+               | exception _ -> None
+               | st when st.Unix.st_kind = Unix.S_REG ->
+                 Some (st.Unix.st_mtime, rel, path, st.Unix.st_size)
+               | _ -> None)
+  in
   let entries =
-    Array.to_list files
-    |> List.filter_map (fun f ->
-           if is_tmp f then None
-           else
-             let path = Filename.concat dir f in
-             match Unix.stat path with
-             | exception _ -> None
-             | st when st.Unix.st_kind = Unix.S_REG ->
-               Some (st.Unix.st_mtime, f, path, st.Unix.st_size)
-             | _ -> None)
+    scan dir ""
+    @ (Array.to_list files
+      |> List.concat_map (fun f ->
+             if is_shard_name f && is_dir (Filename.concat dir f) then
+               scan (Filename.concat dir f) f
+             else []))
   in
   (* oldest first; name breaks mtime ties so eviction is deterministic *)
   let entries = List.sort compare entries in
@@ -159,12 +215,16 @@ let ensure_dir dir = try Unix.mkdir dir 0o755 with _ -> ()
 let tmp_counter = Atomic.make 0
 
 (* write-to-temp + rename: readers never observe a partial entry, and
-   concurrent writers of the same key are both writing identical bytes *)
+   concurrent writers of the same key are both writing identical bytes.
+   The temp lives in the shard directory so the rename stays atomic
+   within one directory. *)
 let disk_write disk key (m : Measurement.t) =
   try
     ensure_dir disk.dir;
+    let shard = shard_dir disk key in
+    ensure_dir shard;
     let tmp =
-      Filename.concat disk.dir
+      Filename.concat shard
         (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
            (Atomic.fetch_and_add tmp_counter 1))
     in
@@ -176,8 +236,8 @@ let disk_write disk key (m : Measurement.t) =
 
 (* any failure — missing file, truncation, corruption, wrong version —
    is a miss, never an error *)
-let disk_read disk key : Measurement.t option =
-  match open_in_bin (entry_path disk key) with
+let read_entry key path : Measurement.t option =
+  match open_in_bin path with
   | exception _ -> None
   | ic ->
     let r =
@@ -190,6 +250,22 @@ let disk_read disk key : Measurement.t option =
     in
     close_in_noerr ic;
     r
+
+let disk_read disk key : Measurement.t option =
+  match read_entry key (entry_path disk key) with
+  | Some m -> Some m
+  | None ->
+    (* flat legacy layout: serve the entry and migrate it into its
+       shard, best-effort (a racing migrator renames identical bytes,
+       so either rename winning is fine) *)
+    (match read_entry key (legacy_path disk key) with
+     | None -> None
+     | Some m ->
+       (try
+          ensure_dir (shard_dir disk key);
+          Sys.rename (legacy_path disk key) (entry_path disk key)
+        with _ -> ());
+       Some m)
 
 (* ----- the cache --------------------------------------------------------- *)
 
@@ -340,8 +416,12 @@ let uarch_fingerprint (u : Uarch_def.t) =
   in
   Digest.to_hex (Digest.string (Marshal.to_string data []))
 
-let key ?(uarch = "") ?seed ~(config : Uarch_def.config) ~warmup ~measure ~name
-    per_thread =
+(* The original key derivation: serialise everything into a buffer and
+   MD5 it. Kept as the reference implementation — [MP_KEY=marshal]
+   switches back to it, and the tests assert that the structural path
+   below induces the same hit/miss equivalence classes. *)
+let key_marshal ?(uarch = "") ?seed ~(config : Uarch_def.config) ~warmup
+    ~measure ~name per_thread =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf uarch;
   Buffer.add_char buf ';';
@@ -356,6 +436,54 @@ let key ?(uarch = "") ?seed ~(config : Uarch_def.config) ~warmup ~measure ~name
   Buffer.add_char buf '\x00';
   Array.iter (add_program buf) per_thread;
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* O(1) per program: fold the precomputed structural hashes instead of
+   re-serialising every instruction on every lookup. The per-program
+   name is hashed inside [struct_hash]; [name] here is the run label,
+   which [Machine.run] seeds per-thread RNGs from, so it stays in the
+   key. *)
+let key_structural ?(uarch = "") ?seed ~(config : Uarch_def.config) ~warmup
+    ~measure ~name per_thread =
+  let module F = Mp_util.Fnv in
+  let h = F.string F.seed uarch in
+  let h =
+    match seed with None -> F.byte h 0 | Some s -> F.int (F.byte h 1) s
+  in
+  let h = F.int h config.Uarch_def.cores in
+  let h = F.int h config.Uarch_def.smt in
+  let h = F.int h warmup in
+  let h = F.int h measure in
+  let h = F.string h name in
+  let h = F.int h (Array.length per_thread) in
+  let h =
+    Array.fold_left (fun h p -> F.int64 h (Ir.struct_hash p)) h per_thread
+  in
+  F.to_hex (F.finish h)
+
+(* MP_KEY=marshal re-enables the serialising derivation (debug escape
+   hatch for bisecting cache anomalies); anything else — including
+   unset — uses the structural fold. *)
+let use_marshal_key =
+  lazy
+    (match Sys.getenv_opt "MP_KEY" with
+     | Some v -> String.lowercase_ascii (String.trim v) = "marshal"
+     | None -> false)
+
+(* cumulative wall time spent deriving keys, for the bench harness *)
+let key_ns = Atomic.make 0
+
+let key_seconds () = float_of_int (Atomic.get key_ns) *. 1e-9
+
+let key ?uarch ?seed ~config ~warmup ~measure ~name per_thread =
+  let t0 = Unix.gettimeofday () in
+  let k =
+    if Lazy.force use_marshal_key then
+      key_marshal ?uarch ?seed ~config ~warmup ~measure ~name per_thread
+    else key_structural ?uarch ?seed ~config ~warmup ~measure ~name per_thread
+  in
+  let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  ignore (Atomic.fetch_and_add key_ns (max 0 dt));
+  k
 
 (* ----- lookup ----------------------------------------------------------- *)
 

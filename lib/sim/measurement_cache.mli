@@ -23,12 +23,17 @@
     [disk.dir], one file per entry ([namespace ^ "-" ^ key], written to
     a temp file and renamed so readers never see partial entries), and
     consults the directory on in-memory misses — repeated harness
-    invocations skip every point a previous run already simulated. The
-    namespace stamps the schema version {e and a digest of the running
-    executable}: entries written by a different build are ignored (and
-    pruned on first use), because a rebuilt simulator may map the same
-    key to a different measurement. Corrupt, truncated or
-    wrong-version files are treated as misses, never errors.
+    invocations skip every point a previous run already simulated.
+    Entries shard into subdirectories named by the first two hex digits
+    of the key ([disk.dir/ab/<namespace>-<key>]) so huge caches never
+    accumulate one enormous flat directory; entries written by earlier
+    versions into the flat root are still read, and migrated into their
+    shard on first access. The namespace stamps the schema version
+    {e and a digest of the running executable}: entries written by a
+    different build are ignored (and pruned on first use), because a
+    rebuilt simulator may map the same key to a different measurement.
+    Corrupt, truncated or wrong-version files are treated as misses,
+    never errors.
 
     All operations are domain-safe: the table is guarded by a mutex so
     a {!Machine.run_batch} fan-out can share one cache. *)
@@ -125,7 +130,45 @@ val key :
     uarch). Omit [seed] for seed-independent measurements (no
     seed-consuming generation pass, no memory streams): their bytes are
     the same on every machine, so the shared key lets warm disk caches
-    serve all seeds. *)
+    serve all seeds.
+
+    By default this is {!key_structural} — an O(1)-per-program fold of
+    the precomputed {!Mp_codegen.Ir.struct_hash} fields. Setting
+    [MP_KEY=marshal] in the environment switches to {!key_marshal}, the
+    original serialise-and-MD5 derivation, as a debug escape hatch; the
+    two induce identical hit/miss equivalence classes but produce
+    different key strings (so a disk cache written under one derivation
+    is cold under the other). *)
+
+val key_structural :
+  ?uarch:string ->
+  ?seed:int ->
+  config:Mp_uarch.Uarch_def.config ->
+  warmup:int ->
+  measure:int ->
+  name:string ->
+  Mp_codegen.Ir.t array ->
+  string
+(** The fast derivation: FNV/splitmix fold over the job parameters and
+    each program's precomputed structural hash. 16 hex characters. *)
+
+val key_marshal :
+  ?uarch:string ->
+  ?seed:int ->
+  config:Mp_uarch.Uarch_def.config ->
+  warmup:int ->
+  measure:int ->
+  name:string ->
+  Mp_codegen.Ir.t array ->
+  string
+(** The reference derivation: serialise every program field into a
+    buffer and MD5 it. 32 hex characters. Exposed for the equivalence
+    tests and the [MP_KEY=marshal] escape hatch. *)
+
+val key_seconds : unit -> float
+(** Cumulative wall-clock seconds this process has spent inside {!key}
+    (either derivation), for the bench harness's
+    [key_digest_seconds] metric. *)
 
 val find : t -> string -> Measurement.t option
 (** Memory first, then disk (promoting a disk entry into memory).

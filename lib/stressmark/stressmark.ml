@@ -196,21 +196,36 @@ let cache_stats machine =
   | None -> { Mp_sim.Measurement_cache.hits = 0; misses = 0; disk_hits = 0 }
 
 let ga_search ~machine ~arch ?(size = 1024) ?(smt = 4) ?(seed = 7)
-    ?(population = 16) ?(generations = 8) ?pool ~candidates ~length () =
+    ?(population = 16) ?(generations = 8) ?(dedup = true) ?pool ~candidates
+    ~length () =
   if candidates = [] then invalid_arg "Stressmark.ga_search: no candidates";
   if length < 1 then invalid_arg "Stressmark.ga_search: length";
   let config = Uarch_def.config ~cores:8 ~smt arch.Arch.uarch in
+  let genome_key s = String.concat "." (mnemonics s) in
   (* the program name is a pure function of the sequence, so any
-     sequence the GA revisits hits the measurement cache *)
+     sequence the GA revisits hits the measurement cache — and, with
+     [dedup], a genome→program memo skips re-running the synthesis
+     passes for elites and re-generated clones entirely *)
+  let build s =
+    program_of_sequence ~arch ~size ~name:("ga-" ^ genome_key s) s
+  in
+  let memo = Hashtbl.create 64 in
   let program_of s =
-    program_of_sequence ~arch ~size
-      ~name:("ga-" ^ String.concat "." (mnemonics s))
-      s
+    if not dedup then build s
+    else begin
+      let k = genome_key s in
+      match Hashtbl.find_opt memo k with
+      | Some p -> p
+      | None ->
+        let p = build s in
+        Hashtbl.add memo k p;
+        p
+    end
   in
   let run_one s = Mp_sim.Machine.run machine config (program_of s) in
   let eval s = (run_one s).Mp_sim.Measurement.power in
   let eval_batch ss =
-    Mp_sim.Machine.run_batch ?pool machine
+    Mp_sim.Machine.run_batch ?pool ~dedup machine
       (List.map (fun s -> (config, program_of s)) ss)
     |> List.map (fun m -> m.Mp_sim.Measurement.power)
   in
@@ -235,14 +250,16 @@ let ga_search ~machine ~arch ?(size = 1024) ?(smt = 4) ?(seed = 7)
           if length < 2 then a
           else
             let cut = 1 + Mp_util.Rng.int rng (length - 1) in
-            List.mapi (fun i x -> if i < cut then x else List.nth b i) a);
+            let b = Array.of_list b in
+            List.mapi (fun i x -> if i < cut then x else b.(i)) a);
     }
   in
   let before = cache_stats machine in
   let rng = Mp_util.Rng.create seed in
+  let point_key = if dedup then Some genome_key else None in
   let r =
-    Mp_dse.Genetic.search ~rng ~ops ~eval ~eval_batch ~population ~generations
-      ()
+    Mp_dse.Genetic.search ~rng ~ops ~eval ~eval_batch ?point_key ~population
+      ~generations ()
   in
   let after = cache_stats machine in
   let best_m = run_one r.Mp_dse.Driver.best.Mp_dse.Driver.point in

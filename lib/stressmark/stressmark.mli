@@ -134,6 +134,7 @@ val ga_search :
   ?seed:int ->
   ?population:int ->
   ?generations:int ->
+  ?dedup:bool ->
   ?pool:Mp_util.Parallel.t ->
   candidates:Mp_isa.Instruction.t list ->
   length:int ->
@@ -143,4 +144,15 @@ val ga_search :
     candidate instructions. Each generation is scored as one
     {!Mp_sim.Machine.run_batch}; stressmark names are content-derived,
     so sequences the GA revisits are served from the measurement cache
-    — [ga_cache_hits]/[ga_cache_misses] report the split. *)
+    — [ga_cache_hits]/[ga_cache_misses] report the split.
+
+    [dedup] (default [true]) additionally memoizes genome→program
+    synthesis (elites and re-generated clones skip codegen) and
+    collapses duplicate genomes within each generation's batch before
+    any simulation ({!Mp_dse.Genetic.search}'s [point_key] plus
+    {!Mp_sim.Machine.run_batch}'s [dedup]). The search trajectory and
+    the summary are bit-identical with it on or off — fitness is a
+    pure function of the genome — so the flag exists for the tests
+    that prove exactly that. Note that dedup changes which lookups the
+    measurement cache sees, so [ga_cache_hits] is lower with it on
+    (collapsed positions never reach the cache). *)

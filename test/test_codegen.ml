@@ -416,6 +416,45 @@ let prop_all_isa_instructions_synthesisable =
       let p = Synthesizer.synthesize ~seed:idx synth in
       Ir.validate p = Ok () && Ir.size p = 8)
 
+let prop_one_instruction_changes_hash =
+  (* the structural hash distinguishes single-instruction edits: two
+     programs built from sequences differing in exactly one slot never
+     share a struct hash, while rebuilding the same sequence with the
+     same seed reproduces it *)
+  let a = arch () in
+  let instrs =
+    Array.of_list
+      (Arch.select a (fun i ->
+           (not (Instruction.is_branch i))
+           && (not i.Instruction.prefetch)
+           && not (Instruction.is_memory i)))
+  in
+  let build seq seed =
+    let synth = Synthesizer.create a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size:(List.length seq));
+    Synthesizer.add_pass synth (Passes.fill_sequence seq);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed synth
+  in
+  QCheck.Test.make ~name:"one-instruction edits change the struct hash"
+    ~count:100
+    QCheck.(
+      quad
+        (int_range 0 (Array.length instrs - 1))
+        (int_range 0 (Array.length instrs - 1))
+        (int_range 0 15) small_int)
+    (fun (i1, i2, pos, seed) ->
+      QCheck.assume (i1 <> i2);
+      let base = List.init 16 (fun _ -> instrs.(i1)) in
+      let edited =
+        List.mapi (fun k x -> if k = pos then instrs.(i2) else x) base
+      in
+      let p1 = build base seed in
+      let p1' = build base seed in
+      let p2 = build edited seed in
+      Int64.equal (Ir.struct_hash p1) (Ir.struct_hash p1')
+      && not (Int64.equal (Ir.struct_hash p1) (Ir.struct_hash p2)))
+
 let () =
   Alcotest.run "mp_codegen"
     [
@@ -457,5 +496,6 @@ let () =
          Alcotest.test_case "chain wraps loop" `Quick test_dependency_wraps_loop ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_all_isa_instructions_synthesisable;
-         QCheck_alcotest.to_alcotest prop_random_profiles_valid ]);
+         QCheck_alcotest.to_alcotest prop_random_profiles_valid;
+         QCheck_alcotest.to_alcotest prop_one_instruction_changes_hash ]);
     ]

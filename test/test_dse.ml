@@ -122,6 +122,73 @@ let test_genetic_seeds () =
   in
   Alcotest.(check int) "seed retained" 1000 r.Driver.best.Driver.point
 
+let test_eval_list_dedup () =
+  (* duplicate keys are scored once, in first-occurrence order, and
+     the scores scatter back to every position *)
+  let calls = ref 0 in
+  let seen = ref [] in
+  let eval x =
+    incr calls;
+    seen := x :: !seen;
+    float_of_int (x * x)
+  in
+  let points = [ 3; 1; 3; 2; 1; 3 ] in
+  let d0 = Driver.dup_collapsed () in
+  let evals = Driver.eval_list ~key:string_of_int ~eval points in
+  Alcotest.(check int) "unique evals only" 3 !calls;
+  Alcotest.(check (list int)) "first-occurrence order" [ 3; 1; 2 ]
+    (List.rev !seen);
+  Alcotest.(check int) "dup counter delta" 3 (Driver.dup_collapsed () - d0);
+  Alcotest.(check (list int)) "positions keep their own points" points
+    (List.map (fun e -> e.Driver.point) evals);
+  let plain = Driver.eval_list ~eval:(fun x -> float_of_int (x * x)) points in
+  Alcotest.(check bool) "scores identical to the undeduped run" true
+    (List.for_all2
+       (fun a b -> a.Driver.score = b.Driver.score)
+       evals plain)
+
+let test_eval_list_dedup_batch () =
+  (* with eval_batch, only the deduplicated points reach the batch *)
+  let batches = ref [] in
+  let eval_batch ps =
+    batches := ps :: !batches;
+    List.map float_of_int ps
+  in
+  let evals =
+    Driver.eval_list ~key:string_of_int ~eval_batch ~eval:float_of_int
+      [ 5; 5; 7; 5 ]
+  in
+  Alcotest.(check (list (list int))) "one deduplicated batch" [ [ 5; 7 ] ]
+    !batches;
+  Alcotest.(check (list int)) "scattered scores" [ 5; 5; 7; 5 ]
+    (List.map (fun e -> int_of_float e.Driver.score) evals)
+
+let test_genetic_point_key_invariant () =
+  (* keyed dedup sits entirely on the evaluation side of the GA, so the
+     search trajectory — every point, every score, the count — is
+     bit-identical with it on or off *)
+  let ops =
+    { Genetic.init = (fun g -> Mp_util.Rng.int g 8);
+      mutate = (fun g _ -> Mp_util.Rng.int g 8);
+      crossover = (fun _ a b -> (a + b) / 2) }
+  in
+  let run key =
+    let rng = Mp_util.Rng.create 11 in
+    Genetic.search ~rng ~ops ?point_key:key ~eval:parabola ~population:8
+      ~generations:4 ()
+  in
+  let a = run None in
+  let b = run (Some string_of_int) in
+  Alcotest.(check int) "same best point" a.Driver.best.Driver.point
+    b.Driver.best.Driver.point;
+  Alcotest.(check int) "same evaluation count" a.Driver.evaluations
+    b.Driver.evaluations;
+  Alcotest.(check bool) "same full trajectory" true
+    (List.for_all2
+       (fun x y ->
+         x.Driver.point = y.Driver.point && x.Driver.score = y.Driver.score)
+       a.Driver.all b.Driver.all)
+
 let test_driver_helpers () =
   let evals =
     [ { Driver.point = "a"; score = 1.0 };
@@ -172,6 +239,11 @@ let () =
          Alcotest.test_case "genetic determinism" `Quick test_genetic_determinism;
          Alcotest.test_case "genetic validation" `Quick test_genetic_validation;
          Alcotest.test_case "genetic seeds" `Quick test_genetic_seeds;
+         Alcotest.test_case "eval_list dedup" `Quick test_eval_list_dedup;
+         Alcotest.test_case "eval_list dedup batch" `Quick
+           test_eval_list_dedup_batch;
+         Alcotest.test_case "point_key invariance" `Quick
+           test_genetic_point_key_invariant;
          Alcotest.test_case "helpers" `Quick test_driver_helpers ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_exhaustive_maximum;

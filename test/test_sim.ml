@@ -486,14 +486,21 @@ let test_disk_cache_corrupt_skipped () =
       let c = config a ~cores:1 ~smt:1 in
       let m1 = Machine.create a.Arch.uarch in
       let r1 = Machine.run m1 c p in
-      (* vandalise every entry on disk *)
+      (* vandalise every entry on disk, walking the shard subdirectories *)
       let dir = Sys.getenv "MP_CACHE_DIR" in
-      Array.iter
-        (fun f ->
-          let oc = open_out_bin (Filename.concat dir f) in
-          output_string oc "not a marshalled measurement";
-          close_out oc)
-        (Sys.readdir dir);
+      let rec vandalise d =
+        Array.iter
+          (fun f ->
+            let path = Filename.concat d f in
+            if Sys.is_directory path then vandalise path
+            else begin
+              let oc = open_out_bin path in
+              output_string oc "not a marshalled measurement";
+              close_out oc
+            end)
+          (Sys.readdir d)
+      in
+      vandalise dir;
       (* corrupt entries are skipped without error and recomputed *)
       let m2 = Machine.create a.Arch.uarch in
       let r2 = Machine.run m2 c p in
@@ -541,6 +548,7 @@ let test_single_flight () =
 let test_cache_gc () =
   let dir = fresh_dir "gc" in
   (try Unix.mkdir dir 0o755 with _ -> ());
+  (try Unix.mkdir (Filename.concat dir "ab") 0o755 with _ -> ());
   let write name bytes mtime =
     let path = Filename.concat dir name in
     let oc = open_out_bin path in
@@ -549,22 +557,27 @@ let test_cache_gc () =
     Unix.utimes path mtime mtime
   in
   let t0 = Unix.gettimeofday () -. 1000.0 in
-  (* four 1000-byte entries, oldest first, plus an in-flight temp *)
+  (* five 1000-byte entries, oldest first — one inside a shard
+     subdirectory, which the sweep must walk — plus an in-flight temp *)
   write "entry-a" 1000 t0;
   write "entry-b" 1000 (t0 +. 10.0);
+  write (Filename.concat "ab" "entry-e") 1000 (t0 +. 15.0);
   write "entry-c" 1000 (t0 +. 20.0);
   write "entry-d" 1000 (t0 +. 30.0);
   write ".tmp.999.0" 1000 t0;
   let s = Measurement_cache.gc ~max_bytes:2500 dir in
-  (* two oldest entries go; the temp is invisible to the sweep *)
-  Alcotest.(check int) "entries examined" 4 s.Measurement_cache.entries;
-  Alcotest.(check int) "removed oldest two" 2 s.Measurement_cache.removed;
-  Alcotest.(check int) "bytes before" 4000 s.Measurement_cache.bytes_before;
+  (* three oldest entries go — flat root and shard alike; the temp is
+     invisible to the sweep *)
+  Alcotest.(check int) "entries examined" 5 s.Measurement_cache.entries;
+  Alcotest.(check int) "removed oldest three" 3 s.Measurement_cache.removed;
+  Alcotest.(check int) "bytes before" 5000 s.Measurement_cache.bytes_before;
   Alcotest.(check int) "bytes after" 2000 s.Measurement_cache.bytes_after;
   Alcotest.(check bool) "oldest gone" false
     (Sys.file_exists (Filename.concat dir "entry-a"));
   Alcotest.(check bool) "second oldest gone" false
     (Sys.file_exists (Filename.concat dir "entry-b"));
+  Alcotest.(check bool) "sharded entry evicted too" false
+    (Sys.file_exists (Filename.concat dir (Filename.concat "ab" "entry-e")));
   Alcotest.(check bool) "newest kept" true
     (Sys.file_exists (Filename.concat dir "entry-d"));
   Alcotest.(check bool) "in-flight temp never touched" true
@@ -590,6 +603,219 @@ let test_cache_gc_env () =
   Alcotest.(check (option int)) "negative ignored" None
     (Measurement_cache.env_max_bytes ());
   Unix.putenv "MP_CACHE_MAX_MB" ""
+
+(* ----- structural keys and batch dedup -------------------------------------- *)
+
+(* A deliberately diverse program set — distinct opcodes, sizes,
+   dependency modes, memory mixes and branch patterns, with structural
+   duplicates built independently — to exercise the key derivations. *)
+let diverse_programs a =
+  let brancher () =
+    let synth = Synthesizer.create ~name:"kv-branch" a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size:64);
+    Synthesizer.add_pass synth
+      (Passes.fill_sequence [ Arch.find_instruction a "add" ]);
+    Synthesizer.add_pass synth
+      (Passes.branch_model ~bc:(Arch.find_instruction a "bc") ~frequency:0.2
+         ~taken_ratio:0.5 ~pattern_length:4);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:31 synth
+  in
+  [
+    mono a "add";
+    mono a "add";                   (* independently built duplicate *)
+    mono a ~size:64 "add";
+    mono a "mulld";
+    mono a ~dep:(Builder.Fixed 1) "mulld";
+    mono a "fadd";
+    mono a "xvmaddadp";
+    mono a "lbz";
+    mono a
+      ~mem_mix:
+        [ (Mp_uarch.Cache_geometry.L1, 0.5); (Mp_uarch.Cache_geometry.L2, 0.5) ]
+      "lbz";
+    brancher ();
+    brancher ();                    (* duplicate with a branch pattern *)
+  ]
+
+let test_key_equivalence_classes () =
+  (* the structural-fold keys must induce exactly the hit/miss
+     equivalence classes of the marshal-digest keys over a diverse job
+     population: programs × configs × seed presence × windows *)
+  let a = arch () in
+  let fp = Measurement_cache.uarch_fingerprint a.Arch.uarch in
+  let jobs =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun (cores, smt) ->
+            List.map
+              (fun (seed, warmup, measure) -> (p, cores, smt, seed, warmup, measure))
+              [ (Some 1, 1, 8); (Some 2, 1, 8); (None, 1, 8); (Some 1, 2, 16) ])
+          [ (1, 1); (4, 2) ])
+      (diverse_programs a)
+  in
+  let keys =
+    List.map
+      (fun ((p : Ir.t), cores, smt, seed, warmup, measure) ->
+        let c = config a ~cores ~smt in
+        ( Measurement_cache.key_structural ~uarch:fp ?seed ~config:c ~warmup
+            ~measure ~name:p.Ir.name [| p |],
+          Measurement_cache.key_marshal ~uarch:fp ?seed ~config:c ~warmup
+            ~measure ~name:p.Ir.name [| p |] ))
+      jobs
+  in
+  let keys = Array.of_list keys in
+  let n = Array.length keys in
+  let mismatches = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let s_eq = fst keys.(i) = fst keys.(j) in
+      let m_eq = snd keys.(i) = snd keys.(j) in
+      if s_eq <> m_eq then incr mismatches
+    done
+  done;
+  Alcotest.(check int) "identical equivalence classes" 0 !mismatches;
+  (* and the classes are non-trivial: the independently built
+     duplicates actually collide *)
+  let dup_pairs =
+    Array.to_list keys
+    |> List.filter (fun (s, _) -> s = fst keys.(0))
+    |> List.length
+  in
+  Alcotest.(check bool) "duplicates share a key" true (dup_pairs >= 2)
+
+let test_struct_hash_precomputed () =
+  (* the hash carried on a finalized program is exactly the recomputed
+     one, and editing the body without rehashing is detectable *)
+  let a = arch () in
+  List.iter
+    (fun (p : Ir.t) ->
+      Alcotest.(check bool) (p.Ir.name ^ " hash consistent") true
+        (Ir.struct_hash p = Ir.struct_hash (Ir.rehash p)))
+    (diverse_programs a)
+
+let test_batch_dedup_scatter () =
+  (* duplicates inside one batch: results must be bit-identical to the
+     undeduplicated run, in original order, with the collapse counted *)
+  let a = arch () in
+  let p1 = mono a "mulld" in
+  let p2 = mono a "fadd" in
+  let p3 = mono a "lbz" in
+  let c1 = config a ~cores:2 ~smt:1 in
+  let c2 = config a ~cores:4 ~smt:2 in
+  (* (c1,p1) three times and (c2,p2) twice -> 3 collapsed positions;
+     (c2,p1) is a distinct point despite sharing the program *)
+  let jobs =
+    [ (c1, p1); (c2, p2); (c1, p1); (c1, p3); (c2, p2); (c1, p1); (c2, p1) ]
+  in
+  let plain =
+    Machine.run_batch ~dedup:false (Machine.create ~cache:false a.Arch.uarch)
+      jobs
+  in
+  let d0 = Machine.batch_dup_collapsed () in
+  let deduped =
+    Machine.run_batch (Machine.create ~cache:false a.Arch.uarch) jobs
+  in
+  Alcotest.(check int) "three positions collapsed" 3
+    (Machine.batch_dup_collapsed () - d0);
+  List.iteri
+    (fun i (p, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "position %d bit-identical" i)
+        true (compare p d = 0))
+    (List.combine plain deduped)
+
+let test_hetero_batch_dedup_scatter () =
+  let a = arch () in
+  let p1 = mono a "mulld" in
+  let p2 = mono a "lbz" in
+  let c = config a ~cores:2 ~smt:2 in
+  let jobs =
+    [ (c, [ p1; p2 ]); (c, [ p2; p1 ]); (c, [ p1; p2 ]); (c, [ p1; p1 ]) ]
+  in
+  let plain =
+    Machine.run_heterogeneous_batch ~dedup:false
+      (Machine.create ~cache:false a.Arch.uarch)
+      jobs
+  in
+  let d0 = Machine.batch_dup_collapsed () in
+  let deduped =
+    Machine.run_heterogeneous_batch
+      (Machine.create ~cache:false a.Arch.uarch)
+      jobs
+  in
+  (* only the exact per-thread assignment repeat collapses; the swapped
+     assignment is a different point *)
+  Alcotest.(check int) "one position collapsed" 1
+    (Machine.batch_dup_collapsed () - d0);
+  List.iteri
+    (fun i (p, d) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hetero position %d bit-identical" i)
+        true (compare p d = 0))
+    (List.combine plain deduped)
+
+let test_disk_cache_shard_layout_and_migration () =
+  with_cache_dir (fresh_dir "shard") (fun () ->
+      let a = arch () in
+      let p = mono a "mulld" in
+      let c = config a ~cores:1 ~smt:1 in
+      let m1 = Machine.create a.Arch.uarch in
+      let r1 = Machine.run m1 c p in
+      let dir = Sys.getenv "MP_CACHE_DIR" in
+      let is_hex2 f =
+        String.length f = 2
+        && String.for_all
+             (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+             f
+      in
+      (* every entry lives in a two-hex-digit shard subdirectory whose
+         name prefixes the key (the suffix of the entry file name) *)
+      let entries = ref [] in
+      Array.iter
+        (fun f ->
+          let path = Filename.concat dir f in
+          if Sys.is_directory path then begin
+            Alcotest.(check bool) ("shard dir name " ^ f) true (is_hex2 f);
+            Array.iter
+              (fun e ->
+                (* entry name is <namespace>-<key>; the key (either
+                   derivation's) is the hex run after the last dash *)
+                let i = String.rindex e '-' in
+                let key = String.sub e (i + 1) (String.length e - i - 1) in
+                Alcotest.(check string) "entry in its key's shard" f
+                  (String.sub key 0 2);
+                entries := (f, e) :: !entries)
+              (Sys.readdir path)
+          end
+          else Alcotest.fail ("flat entry in a sharded cache root: " ^ f))
+        (Sys.readdir dir);
+      Alcotest.(check bool) "at least one entry written" true
+        (!entries <> []);
+      (* legacy flat layout: move every entry into the root, as an
+         earlier version would have written it *)
+      List.iter
+        (fun (shard, e) ->
+          Sys.rename
+            (Filename.concat (Filename.concat dir shard) e)
+            (Filename.concat dir e))
+        !entries;
+      let m2 = Machine.create a.Arch.uarch in
+      let r2 = Machine.run m2 c p in
+      Alcotest.(check bool) "legacy entry served bit-identical" true
+        (compare r1 r2 = 0);
+      let s = cache_stats m2 in
+      Alcotest.(check int) "served from disk" 1 s.Measurement_cache.disk_hits;
+      Alcotest.(check int) "no simulation ran" 0 s.Measurement_cache.misses;
+      (* and the read migrated the flat entry back into its shard *)
+      List.iter
+        (fun (shard, e) ->
+          Alcotest.(check bool) ("flat copy gone: " ^ e) false
+            (Sys.file_exists (Filename.concat dir e));
+          Alcotest.(check bool) ("migrated into " ^ shard) true
+            (Sys.file_exists (Filename.concat (Filename.concat dir shard) e)))
+        !entries)
 
 (* ----- exact period skipping ------------------------------------------------ *)
 
@@ -854,5 +1080,17 @@ let () =
            test_disk_cache_corrupt_skipped;
          Alcotest.test_case "single flight" `Quick test_single_flight;
          Alcotest.test_case "gc size bound" `Quick test_cache_gc;
-         Alcotest.test_case "MP_CACHE_MAX_MB" `Quick test_cache_gc_env ]);
+         Alcotest.test_case "MP_CACHE_MAX_MB" `Quick test_cache_gc_env;
+         Alcotest.test_case "shard layout + legacy migration" `Quick
+           test_disk_cache_shard_layout_and_migration ]);
+      ("structural keys",
+       [ Alcotest.test_case "equivalence classes" `Quick
+           test_key_equivalence_classes;
+         Alcotest.test_case "precomputed hash consistent" `Quick
+           test_struct_hash_precomputed ]);
+      ("batch dedup",
+       [ Alcotest.test_case "scatter bit-identical" `Quick
+           test_batch_dedup_scatter;
+         Alcotest.test_case "hetero scatter bit-identical" `Quick
+           test_hetero_batch_dedup_scatter ]);
     ]

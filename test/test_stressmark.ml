@@ -151,6 +151,42 @@ let test_heterogeneous_search () =
         (List.length e.Mp_stressmark.Stressmark.assignment))
     evals
 
+let test_ga_dedup_bit_identical () =
+  (* fitness is a pure function of the genome, so collapsing duplicate
+     candidates must not change the search: same seed with dedup on
+     and off yields the same best, trajectory length and power *)
+  let a = arch () in
+  let f = Arch.find_instruction a in
+  (* 2 candidates x length 2 = 4 distinct genomes < population 6, so
+     every generation is guaranteed to contain duplicates *)
+  let candidates = [ f "add"; f "fadd" ] in
+  let run dedup =
+    Mp_stressmark.Stressmark.ga_search ~machine:(machine a) ~arch:a ~size:64
+      ~smt:1 ~seed:13 ~population:6 ~generations:2 ~dedup ~candidates
+      ~length:2 ()
+  in
+  let d0 =
+    Mp_sim.Machine.batch_dup_collapsed () + Mp_dse.Driver.dup_collapsed ()
+  in
+  let on = run true in
+  let d_on =
+    Mp_sim.Machine.batch_dup_collapsed () + Mp_dse.Driver.dup_collapsed () - d0
+  in
+  let off = run false in
+  Alcotest.(check bool) "duplicates collapsed with dedup on" true (d_on > 0);
+  Alcotest.(check (list string)) "same best sequence"
+    off.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.sequence
+    on.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.sequence;
+  Alcotest.(check (float 1e-9)) "same best power"
+    off.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.power
+    on.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.power;
+  Alcotest.(check int) "same best smt"
+    off.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.smt
+    on.Mp_stressmark.Stressmark.ga_best.Mp_stressmark.Stressmark.smt;
+  Alcotest.(check int) "same evaluation count"
+    off.Mp_stressmark.Stressmark.ga_evaluations
+    on.Mp_stressmark.Stressmark.ga_evaluations
+
 let () =
   Alcotest.run "mp_stressmark"
     [
@@ -163,5 +199,7 @@ let () =
          Alcotest.test_case "order spread" `Quick test_order_spread_positive;
          Alcotest.test_case "same mix, different power" `Quick
            test_same_mix_same_ipc_different_power;
-         Alcotest.test_case "heterogeneous search" `Quick test_heterogeneous_search ]);
+         Alcotest.test_case "heterogeneous search" `Quick test_heterogeneous_search;
+         Alcotest.test_case "ga dedup bit-identical" `Quick
+           test_ga_dedup_bit_identical ]);
     ]
