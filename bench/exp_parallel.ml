@@ -1,7 +1,9 @@
 (* Parallel-engine benchmark: the same measurement batch run serially
    (pool of one, no cache) and across the domain pool, with a
    bit-identical result check — the engine's determinism contract is
-   asserted on every harness run, not only in the test suite. *)
+   asserted on every harness run, not only in the test suite. Also
+   home to the steady-state replay benchmark ({!replay_bench}) and the
+   worker scaling curve written to BENCH_scaling.json. *)
 
 open Microprobe
 
@@ -32,9 +34,10 @@ let period_kernel (ctx : Context.t) ~mnemonic ~prefix ~measure =
   let cfg = Context.config ctx ~cores:8 ~smt:2 in
   let reps = if ctx.Context.quick then 5 else 20 in
   let time_reps ~period =
-    (* a fresh machine per side: no measurement cache, same seed, so
-       the two sides are directly comparable and bit-identical *)
-    let machine = Machine.create ~cache:false arch.Arch.uarch in
+    (* a fresh machine per side: no measurement cache and no replay
+       table, same seed, so the two sides are directly comparable,
+       bit-identical, and every rep actually simulates *)
+    let machine = Machine.create ~cache:false ~replay:false arch.Arch.uarch in
     let t0 = Unix.gettimeofday () in
     let last = ref None in
     for _ = 1 to reps do
@@ -75,56 +78,206 @@ let period_bench (ctx : Context.t) =
   period_kernel ctx ~mnemonic:"fadd" ~prefix:"period_bench" ~measure:64;
   period_kernel ctx ~mnemonic:"mulld" ~prefix:"period_nondyadic" ~measure:64
 
+(* The shared job list: a slice of the Table-2 training suite fanned
+   across heterogeneous configurations, so the batch has the skewed
+   cost profile (1c-smt1 vs 8c-smt4 is ~30x) the steal scheduler and
+   the cost-hinted width estimate are designed around. *)
+let bench_jobs (ctx : Context.t) ~skip configs =
+  let programs = Context.family_programs ~skip ctx in
+  ( List.length programs,
+    List.concat_map
+      (fun c -> List.map (fun p -> (c, p)) programs)
+      configs )
+
+(* One timed lap of the batch on a given (machine, pool). *)
+let lap machine pool jobs =
+  let t0 = Unix.gettimeofday () in
+  let r = Machine.run_batch ~pool machine jobs in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ----- scaling curve ----------------------------------------------------- *)
+
+(* The same replay-off, cache-off batch across pools of 1, 2, 4 and 8
+   workers; every lap is checked bit-identical against the 1-worker
+   reference and the curve is written to BENCH_scaling.json so CI can
+   archive how the engine scales on its runner. Workers beyond the
+   detected core count are deliberately included — the curve should
+   show the oversubscription plateau, not hide it. *)
+let scaling_workers = [ 1; 2; 4; 8 ]
+
+let write_scaling_json ~quick ~jobs entries =
+  let path = "BENCH_scaling.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"mode\": %S,\n" (if quick then "quick" else "full");
+  out "  \"detected_cores\": %d,\n" (Mp_util.Parallel.detected_cores ());
+  out "  \"pool_size_effective\": %d,\n" (Mp_util.Parallel.default_size ());
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"entries\": [\n";
+  List.iteri
+    (fun i (workers, seconds, speedup) ->
+      out "    { \"workers\": %d, \"seconds\": %.6f, \"speedup\": %.6f }%s\n"
+        workers seconds speedup
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Context.log "wrote %s" path
+
+let scaling_curve (ctx : Context.t) =
+  Context.section "Worker scaling curve — one batch, pools of 1/2/4/8";
+  let arch = ctx.Context.arch in
+  let n_programs, jobs =
+    bench_jobs ctx
+      ~skip:(if ctx.Context.quick then 4 else 2)
+      [ Context.config ctx ~cores:1 ~smt:2; Context.config ctx ~cores:4 ~smt:2 ]
+  in
+  Context.log "%d jobs (%d programs x 2 configurations), %d detected cores"
+    (List.length jobs) n_programs
+    (Mp_util.Parallel.detected_cores ());
+  (* one machine for every pool size: cache and replay off, so each lap
+     re-simulates the whole batch and the curve times pure engine work *)
+  let machine = Machine.create ~cache:false ~replay:false arch.Arch.uarch in
+  let entries =
+    List.map
+      (fun w ->
+        let pool = Mp_util.Parallel.create w in
+        (* prime lap: warms this pool's domains (and, on the first
+           iteration, the process) outside the timed window *)
+        let reference, _ = lap machine pool jobs in
+        let r, dt = lap machine pool jobs in
+        Mp_util.Parallel.shutdown pool;
+        if compare reference r <> 0 then
+          failwith
+            (Printf.sprintf
+               "scaling curve: results at %d workers diverge between laps" w);
+        (w, r, dt))
+      scaling_workers
+  in
+  (match entries with
+   | (_, reference, _) :: rest ->
+     List.iter
+       (fun (w, r, _) ->
+         if compare reference r <> 0 then
+           failwith
+             (Printf.sprintf
+                "scaling curve: results at %d workers diverge from the \
+                 1-worker reference" w))
+       rest
+   | [] -> ());
+  let t1 =
+    match entries with (_, _, t) :: _ -> t | [] -> Float.nan
+  in
+  let curve =
+    List.map (fun (w, _, t) -> (w, t, t1 /. Float.max t 1e-9)) entries
+  in
+  List.iter
+    (fun (w, t, s) ->
+      Context.record_metric ctx
+        (Printf.sprintf "scaling_w%d_seconds" w) t;
+      Context.record_metric ctx
+        (Printf.sprintf "scaling_w%d_speedup" w) s;
+      Context.log "%d worker%s: %.2fs (%.2fx vs 1 worker)" w
+        (if w = 1 then "" else "s") t s)
+    curve;
+  write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs) curve
+
+(* ----- parbench ---------------------------------------------------------- *)
+
 let run (ctx : Context.t) =
   period_bench ctx;
   Context.section "Parallel engine — pooled run_batch vs serial";
   let arch = ctx.Context.arch in
-  let programs = Context.family_programs ~skip:2 ctx in
-  let configs =
-    [ Context.config ctx ~cores:1 ~smt:1;
-      Context.config ctx ~cores:4 ~smt:2;
-      Context.config ctx ~cores:8 ~smt:4 ]
+  let pool = ctx.Context.pool in
+  let n_programs, jobs =
+    bench_jobs ctx ~skip:2
+      [ Context.config ctx ~cores:1 ~smt:1;
+        Context.config ctx ~cores:4 ~smt:2;
+        Context.config ctx ~cores:8 ~smt:4 ]
   in
-  let jobs =
-    List.concat_map (fun c -> List.map (fun p -> (c, p)) programs) configs
+  Context.log "%d jobs (%d programs x 3 configurations), pool of %d domains"
+    (List.length jobs) n_programs (Mp_util.Parallel.size pool);
+  (* Like-for-like: both sides get a fresh machine with the measurement
+     cache and the replay table off (every lap simulates), and both
+     sides run a prime lap before the timed laps, so neither side pays
+     first-touch costs inside its timed window. Full mode times two
+     laps per side and keeps the minimum. *)
+  let timed_laps = if ctx.Context.quick then 1 else 2 in
+  let side pool =
+    let machine = Machine.create ~cache:false ~replay:false arch.Arch.uarch in
+    let r, _ = lap machine pool jobs in
+    let best = ref Float.infinity in
+    for _ = 1 to timed_laps do
+      let r', dt = lap machine pool jobs in
+      if compare r r' <> 0 then
+        failwith "parbench: a machine's laps diverge from each other";
+      best := Float.min !best dt
+    done;
+    (r, !best)
   in
-  Context.log "%d jobs (%d programs x %d configurations), pool of %d domains"
-    (List.length jobs) (List.length programs) (List.length configs)
-    (Mp_util.Parallel.size ctx.Context.pool);
-  (* fresh machines with the cache off so both sides simulate every job *)
-  let serial_machine = Machine.create ~cache:false arch.Arch.uarch in
   let serial_pool = Mp_util.Parallel.create 1 in
-  let t0 = Unix.gettimeofday () in
-  let serial = Machine.run_batch ~pool:serial_pool serial_machine jobs in
-  let t_serial = Unix.gettimeofday () -. t0 in
+  let serial, t_serial = side serial_pool in
   Mp_util.Parallel.shutdown serial_pool;
-  let par_machine = Machine.create ~cache:false arch.Arch.uarch in
-  let steals0 = Mp_util.Parallel.steal_count ctx.Context.pool in
-  let t0 = Unix.gettimeofday () in
-  let par = Machine.run_batch ~pool:ctx.Context.pool par_machine jobs in
-  let t_par = Unix.gettimeofday () -. t0 in
-  let steals = Mp_util.Parallel.steal_count ctx.Context.pool - steals0 in
+  let steals0 = Mp_util.Parallel.steal_count pool in
+  let par0 = Mp_util.Parallel.parallel_batches pool in
+  let par, t_par = side pool in
+  let steals = Mp_util.Parallel.steal_count pool - steals0 in
+  let fanned_out = Mp_util.Parallel.parallel_batches pool > par0 in
   let identical = List.for_all2 (fun a b -> compare a b = 0) serial par in
   if not identical then
     failwith "parbench: pooled results diverge from the serial run";
-  let speedup = t_serial /. t_par in
+  let speedup = t_serial /. Float.max t_par 1e-9 in
   Context.record_metric ctx "parbench_jobs" (float_of_int (List.length jobs));
   Context.record_metric ctx "parbench_serial_seconds" t_serial;
   Context.record_metric ctx "parbench_parallel_seconds" t_par;
   Context.record_metric ctx "parbench_speedup" speedup;
   Context.record_metric ctx "parbench_steals" (float_of_int steals);
+  Context.record_metric ctx "parbench_pool_mode" (if fanned_out then 1. else 0.);
   Context.log
-    "serial %.2fs, pooled %.2fs -> %.2fx speedup (%d jobs stolen across\n\
-     workers); results bit-identical"
-    t_serial t_par speedup steals;
+    "serial %.2fs, pooled %.2fs -> %.2fx speedup (%s, %d jobs stolen\n\
+     across workers); results bit-identical"
+    t_serial t_par speedup
+    (if fanned_out then "fanned out" else "adaptive serial fallback")
+    steals;
+  (* The CI invariant from the adaptive fan-out work: a batch the pool
+     chose to fan out must not lose to serial — below 1.0x the fan-out
+     predicate or the scheduler has regressed. When the pool declined
+     to fan out (size-1 pool, or a batch below the width threshold)
+     both sides ran the same code and only timer noise separates them,
+     so the floor is slightly below parity. An explicit MP_POOL_SIZE
+     past the core count is the documented escape hatch for
+     benchmarking the oversubscribed case — there a sub-1x result is
+     the finding, not a regression, so the gate stands down. *)
+  let oversubscribed =
+    Mp_util.Parallel.size pool > Mp_util.Parallel.detected_cores ()
+  in
+  if oversubscribed then
+    Context.log
+      "pool of %d on %d detected cores (explicit oversubscription) — \
+       speedup gate skipped"
+      (Mp_util.Parallel.size pool)
+      (Mp_util.Parallel.detected_cores ())
+  else begin
+    let floor = if fanned_out then 1.0 else 0.9 in
+    if speedup < floor then
+      failwith
+        (Printf.sprintf
+           "parbench: pooled batch only %.2fx vs serial (floor %.1fx, %s)"
+           speedup floor
+           (if fanned_out then "fanned out" else "serial fallback"))
+  end;
   (* memoization: the same batch again on a caching machine — the warm
-     pass must also match the serial reference bit for bit *)
-  let memo_machine = Machine.create arch.Arch.uarch in
+     pass must also match the serial reference bit for bit. Replay is
+     off so the cold pass genuinely simulates and the phase times the
+     measurement-cache path in isolation. *)
+  let memo_machine = Machine.create ~replay:false arch.Arch.uarch in
   let t0 = Unix.gettimeofday () in
-  ignore (Machine.run_batch ~pool:ctx.Context.pool memo_machine jobs);
+  ignore (Machine.run_batch ~pool memo_machine jobs);
   let t_cold = Unix.gettimeofday () -. t0 in
   let t0 = Unix.gettimeofday () in
-  let warm = Machine.run_batch ~pool:ctx.Context.pool memo_machine jobs in
+  let warm = Machine.run_batch ~pool memo_machine jobs in
   let t_warm = Unix.gettimeofday () -. t0 in
   if not (List.for_all2 (fun a b -> compare a b = 0) serial warm) then
     failwith "parbench: cached results diverge from the serial run";
@@ -152,14 +305,121 @@ let run (ctx : Context.t) =
      serialisation. When the cold pass itself was served from a warm
      disk cache (a previous run of this build), both sides skip
      simulation and only a regression below parity is meaningful. *)
-  let floor = if disk_hits > 0 then 1.0 else 1.5 in
-  if memo_speedup < floor then
+  let memo_floor = if disk_hits > 0 then 1.0 else 1.5 in
+  if memo_speedup < memo_floor then
     failwith
       (Printf.sprintf
          "parbench: warm memoized batch only %.2fx faster than cold \
           (floor %.1fx) — the cache lookup path has regressed"
-         memo_speedup floor);
+         memo_speedup memo_floor);
   Context.log
     "memoized rerun: cold %.2fs, warm %.3fs -> %.0fx; cached results\n\
      bit-identical to serial"
-    t_cold t_warm memo_speedup
+    t_cold t_warm memo_speedup;
+  scaling_curve ctx
+
+(* ----- steady-state replay ----------------------------------------------- *)
+
+(* Repeated-measurement amortisation: the workload every DSE loop,
+   bootstrap round and GA generation produces — the same structural
+   programs measured again and again — run on a replay-enabled machine
+   against a replay-off control. Both machines have the measurement
+   cache off, so the off side re-simulates every lap while the on side
+   simulates once and replays from the captured steady-state records
+   afterwards. A final lap widens the measurement window to twice the
+   default, exercising the closed-form window extrapolation (the
+   bootstrap measures at that window, so this is the production case,
+   not a synthetic one). Results are compared bit for bit on every
+   lap; zero replay hits or a speedup below the floor fail the run —
+   and CI with it. *)
+let replay_bench (ctx : Context.t) =
+  Context.section "Steady-state replay — repeated measurements vs dense";
+  if not (Replay.enabled ()) then begin
+    Context.log "MP_REPLAY=off — replay benchmark skipped";
+    Context.record_metric ctx "replay_bench_speedup" Float.nan
+  end else begin
+    let arch = ctx.Context.arch in
+    let pool = ctx.Context.pool in
+    let n_programs, jobs =
+      bench_jobs ctx ~skip:2
+        [ Context.config ctx ~cores:1 ~smt:1;
+          Context.config ctx ~cores:4 ~smt:2 ]
+    in
+    let reps = if ctx.Context.quick then 4 else 6 in
+    Context.log "%d jobs (%d programs x 2 configurations), %d repetitions"
+      (List.length jobs) n_programs reps;
+    let off_machine =
+      Machine.create ~cache:false ~replay:false arch.Arch.uarch
+    in
+    let on_machine = Machine.create ~cache:false arch.Arch.uarch in
+    let hits0 = Replay.hits () in
+    let misses0 = Replay.misses () in
+    let t_off = ref 0.0 and t_on = ref 0.0 in
+    let reference = ref None in
+    (* interleaved off/on laps, so allocator and cache warmth drift
+       over the run is shared evenly between the two sides *)
+    for _ = 1 to reps do
+      let off, dt_off = lap off_machine pool jobs in
+      t_off := !t_off +. dt_off;
+      let on, dt_on = lap on_machine pool jobs in
+      t_on := !t_on +. dt_on;
+      (match !reference with
+       | None -> reference := Some off
+       | Some r ->
+         if compare r off <> 0 then
+           failwith "replay bench: dense laps diverge from each other");
+      if compare off on <> 0 then
+        failwith
+          "replay bench: replayed results diverge from dense simulation"
+    done;
+    (* the widened-window lap: measure = 16 is twice the default 8 and
+       is the Epi.Bootstrap window, so the on side must serve it by
+       period extrapolation from records captured at the default *)
+    let wide machine =
+      let t0 = Unix.gettimeofday () in
+      let r =
+        List.map (fun (c, p) -> Machine.run ~measure:16 machine c p) jobs
+      in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let wide_off, dt_off = wide off_machine in
+    t_off := !t_off +. dt_off;
+    let wide_on, dt_on = wide on_machine in
+    t_on := !t_on +. dt_on;
+    if compare wide_off wide_on <> 0 then
+      failwith
+        "replay bench: widened-window replay diverges from dense simulation";
+    let hits = Replay.hits () - hits0 in
+    let misses = Replay.misses () - misses0 in
+    if hits = 0 then
+      failwith
+        "replay bench: zero replay hits on a repeated-measurement workload \
+         — the replay table has regressed into silent dense simulation";
+    let speedup = !t_off /. Float.max !t_on 1e-9 in
+    Context.record_metric ctx "replay_bench_jobs"
+      (float_of_int (List.length jobs));
+    Context.record_metric ctx "replay_bench_reps" (float_of_int reps);
+    Context.record_metric ctx "replay_bench_off_seconds" !t_off;
+    Context.record_metric ctx "replay_bench_on_seconds" !t_on;
+    Context.record_metric ctx "replay_bench_speedup" speedup;
+    Context.record_metric ctx "replay_bench_hits" (float_of_int hits);
+    Context.record_metric ctx "replay_bench_misses" (float_of_int misses);
+    Context.log
+      "replay off %.2fs, replay on %.2fs -> %.2fx speedup; %d replay hits,\n\
+       %d misses; all %d laps plus the widened window bit-identical"
+      !t_off !t_on speedup hits misses (reps + 1);
+    (* the acceptance target is >= 2x on this workload; the CI floor
+       sits at 1.5x so timer noise on a loaded runner doesn't flake the
+       gate while a real regression (replay silently disabled, a key
+       component accidentally including the window) still fails *)
+    if speedup < 1.5 then
+      failwith
+        (Printf.sprintf
+           "replay bench: only %.2fx vs dense re-simulation (floor 1.5x) — \
+            steady-state replay has regressed"
+           speedup);
+    if speedup < 2.0 then
+      Context.log
+        "note: below the 2.0x acceptance target (runner noise?) — floor 1.5x \
+         held"
+  end

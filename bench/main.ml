@@ -22,6 +22,7 @@ let experiments : (string * string * (Context.t -> unit)) list =
     ("hetero", "Heterogeneous per-thread stressmarks", Exp_stressmark.heterogeneous);
     ("ga", "GA stressmark search (batched, memoized)", Exp_stressmark.ga);
     ("parbench", "Parallel engine speedup vs serial", Exp_parallel.run);
+    ("replay", "Steady-state replay vs dense re-simulation", Exp_parallel.replay_bench);
     ("ablation", "Design-choice ablations", Exp_ablation.run);
     ("bechamel", "Kernel timings", Bechamel_suite.run);
   ]
@@ -147,6 +148,24 @@ let () =
       (float_of_int (Microprobe.Core_sim.period_hits ()));
     Context.record_metric ctx "cycles_skipped"
       (float_of_int (Microprobe.Core_sim.cycles_skipped ()));
+    (* steady-state replay: measurements served from captured period
+       records instead of dense simulation (MP_REPLAY=off zeroes both) *)
+    Context.record_metric ctx "replay_hits"
+      (float_of_int (Microprobe.Replay.hits ()));
+    Context.record_metric ctx "replay_misses"
+      (float_of_int (Microprobe.Replay.misses ()));
+    (let h = Microprobe.Replay.hits () and m = Microprobe.Replay.misses () in
+     Context.record_metric ctx "replay_hit_rate"
+       (if h + m = 0 then Float.nan
+        else float_of_int h /. float_of_int (h + m)));
+    (* adaptive fan-out telemetry: how often the shared pool chose to
+       parallelise a batch vs run it sequentially in the caller *)
+    Context.record_metric ctx "pool_parallel_batches"
+      (float_of_int (Mp_util.Parallel.parallel_batches ctx.Context.pool));
+    Context.record_metric ctx "pool_serial_fallbacks"
+      (float_of_int (Mp_util.Parallel.serial_fallbacks ctx.Context.pool));
+    Context.record_metric ctx "pool_min_jobs_per_core"
+      (Mp_util.Parallel.env_min_jobs_per_core ());
     (* cumulative time deriving cache keys: with structural hashing
        this should stay in the noise; MP_KEY=marshal makes it visible *)
     Context.record_metric ctx "key_digest_seconds"

@@ -231,6 +231,9 @@ let finalize t =
       struct_hash =
         Ir.compute_struct_hash ~name:t.name ~body ~reg_init
           ~memory_distribution:t.mem_distribution;
+      body_hash =
+        Ir.compute_body_hash ~body ~reg_init
+          ~memory_distribution:t.mem_distribution;
     }
   in
   match Ir.validate program with

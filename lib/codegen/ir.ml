@@ -20,6 +20,7 @@ type t = {
   memory_distribution : (level * float) list option;
   provenance : string list;
   struct_hash : int64;
+  body_hash : int64;
 }
 
 let size t = Array.length t.body
@@ -76,9 +77,8 @@ let fold_instr h (i : instr) =
    the program was built, already reflected in the fields above
    (provenance additionally decides seed-independence, which the cache
    key accounts for separately). *)
-let compute_struct_hash ~name ~body ~reg_init ~memory_distribution =
+let fold_content h ~body ~reg_init ~memory_distribution =
   let open Mp_util.Fnv in
-  let h = string seed name in
   let h = int h (Array.length body) in
   let h = Array.fold_left fold_instr h body in
   let h = int h (List.length reg_init) in
@@ -87,24 +87,40 @@ let compute_struct_hash ~name ~body ~reg_init ~memory_distribution =
       (fun h (r, v) -> int64 (int h (reg_id r)) v)
       h reg_init
   in
-  let h =
-    match memory_distribution with
-    | None -> byte h 0
-    | Some dist ->
-      List.fold_left
-        (fun h (l, w) -> int64 (byte h (level_id l)) (Int64.bits_of_float w))
-        (int (byte h 1) (List.length dist))
-        dist
-  in
-  finish h
+  match memory_distribution with
+  | None -> byte h 0
+  | Some dist ->
+    List.fold_left
+      (fun h (l, w) -> int64 (byte h (level_id l)) (Int64.bits_of_float w))
+      (int (byte h 1) (List.length dist))
+      dist
+
+let compute_struct_hash ~name ~body ~reg_init ~memory_distribution =
+  let open Mp_util.Fnv in
+  finish
+    (fold_content (string seed name) ~body ~reg_init ~memory_distribution)
+
+(* Same content fold minus the name: two programs that differ only in
+   their label collapse to the same body hash. The name matters to a
+   measurement only through the per-run RNG, and only for programs
+   that consume randomness (memory streams); name-insensitive layers —
+   the steady-state replay table in particular — key on this hash and
+   account for the RNG channel separately. *)
+let compute_body_hash ~body ~reg_init ~memory_distribution =
+  Mp_util.Fnv.(finish (fold_content seed ~body ~reg_init ~memory_distribution))
 
 let rehash t =
   { t with
     struct_hash =
       compute_struct_hash ~name:t.name ~body:t.body ~reg_init:t.reg_init
+        ~memory_distribution:t.memory_distribution;
+    body_hash =
+      compute_body_hash ~body:t.body ~reg_init:t.reg_init
         ~memory_distribution:t.memory_distribution }
 
 let struct_hash t = t.struct_hash
+
+let body_hash t = t.body_hash
 
 let has_memory t =
   Array.exists (fun i -> Mp_isa.Instruction.is_memory i.op) t.body

@@ -31,6 +31,9 @@ type t = {
   struct_hash : int64;
       (** structural content hash, precomputed at {!Builder.finalize}
           time — see {!compute_struct_hash} *)
+  body_hash : int64;
+      (** like [struct_hash] but excluding the name — see
+          {!compute_body_hash} *)
 }
 
 val size : t -> int
@@ -51,12 +54,28 @@ val compute_struct_hash :
     persistent cache keys; the measurement cache folds this precomputed
     field instead of re-serialising the program on every lookup. *)
 
+val compute_body_hash :
+  body:instr array ->
+  reg_init:(Reg.t * int64) list ->
+  memory_distribution:(level * float) list option ->
+  int64
+(** The same content fold as {!compute_struct_hash} {e without} the
+    name: programs differing only in their label share it. The name
+    reaches a measurement only through the per-run RNG (address-stream
+    randomisation for memory programs, sensor noise), so
+    name-insensitive layers — the steady-state {!Mp_sim.Replay} table —
+    key on this hash and fold the RNG inputs in separately, exactly
+    when a program consumes them. *)
+
 val rehash : t -> t
-(** Recompute [struct_hash] from the current field values — required
-    after hand-editing a finalized program (e.g. [{ p with body }] in
-    tests); {!Builder.finalize} output is already hashed. *)
+(** Recompute [struct_hash] and [body_hash] from the current field
+    values — required after hand-editing a finalized program (e.g.
+    [{ p with body }] in tests); {!Builder.finalize} output is already
+    hashed. *)
 
 val struct_hash : t -> int64
+
+val body_hash : t -> int64
 
 val has_memory : t -> bool
 (** Whether any body instruction is a memory operation — allocation-free

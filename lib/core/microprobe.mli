@@ -56,6 +56,7 @@ module Machine = Mp_sim.Machine
 module Core_sim = Mp_sim.Core_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
+module Replay = Mp_sim.Replay
 module Trace = Mp_potra.Trace
 
 (* Case studies *)

@@ -261,7 +261,31 @@ type boundary = {
   b_cache : int array;
 }
 
-let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
+(* One fingerprinted period's worth of every measured counter — the
+   by-product of a period skip that the replay layer stores. All
+   deltas are exact integers taken BEFORE the skip credits them, so
+   [activity + k * delta] reproduces a dense run with k more periods
+   bit-for-bit (see Replay for the validity conditions). Only captured
+   when every thread advances the same number of iterations per period
+   ([pd_period_iters]); heterogeneous-rate deployments replay at their
+   recorded window only. *)
+type period_delta = {
+  pd_period_iters : int;  (* loop iterations per period, every thread *)
+  pd_cycles : int;        (* cycles per period *)
+  pd_min_total : int;     (* smallest warmup+measure the delta extends to:
+                             max thread iteration at the match, plus 1 *)
+  pd_counters : int array array;
+      (* per thread: instrs, dispatched, fxu, lsu, vsu, bru, st,
+         l1, l2, l3, memc — the raw_counters fields in order *)
+  pd_op_issues : (int * int) list;      (* (opcode id, delta), sparse *)
+  pd_level_loads : int array;
+  pd_switch : int;
+  pd_transitions : (int * int * int) list;  (* (prev id, next id, delta) *)
+  pd_prefetches : int;
+}
+
+let run_ex ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period
+    progs =
   let nthreads = Array.length progs in
   if nthreads = 0 then invalid_arg "Core_sim.run: no threads";
   let mem_lat =
@@ -624,6 +648,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
   let period_done = ref (not period_on) in
   let last_b_iter = ref (-1) in
   let skipped = ref 0 in
+  let captured_delta = ref None in
   let snapshot now =
     {
       b_cycle = now;
@@ -658,6 +683,60 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
         threads;
       let n = !n in
       if n > 0 then begin
+        (* Capture the per-period delta before crediting mutates the
+           counters: it is exactly what one period adds to every
+           measured quantity, the closed-form step the replay layer
+           re-applies. Only a uniform per-thread iteration rate makes
+           the step extrapolate across windows (see Replay). *)
+        let per0 = threads.(0).iter - b.b_iters.(0) in
+        if
+          Array.for_all2
+            (fun (t : thread_state) bi -> t.iter - bi = per0)
+            threads b.b_iters
+        then begin
+          let i_max =
+            Array.fold_left (fun acc t -> max acc t.iter) 0 threads
+          in
+          captured_delta :=
+            Some
+              {
+                pd_period_iters = per0;
+                pd_cycles = d_cycles;
+                pd_min_total = i_max + 1;
+                pd_counters =
+                  Array.mapi
+                    (fun j t ->
+                      let c = t.counters and s = b.b_raw.(j) in
+                      [| c.instrs - s.instrs; c.dispatched - s.dispatched;
+                         c.fxu - s.fxu; c.lsu - s.lsu; c.vsu - s.vsu;
+                         c.bru - s.bru; c.st - s.st; c.l1 - s.l1;
+                         c.l2 - s.l2; c.l3 - s.l3; c.memc - s.memc |])
+                    threads;
+                pd_op_issues =
+                  (let acc = ref [] in
+                   for i = Array.length b.b_op_issues - 1 downto 0 do
+                     let d = op_issues.(i) - b.b_op_issues.(i) in
+                     if d <> 0 then acc := (i, d) :: !acc
+                   done;
+                   !acc);
+                pd_level_loads =
+                  Array.init 4 (fun i ->
+                      level_loads.(i) - b.b_level_loads.(i));
+                pd_switch = !switch_events - b.b_switch;
+                pd_transitions =
+                  (let acc = ref [] in
+                   for key = Array.length transitions - 1 downto 0 do
+                     let d = transitions.(key) - b.b_transitions.(key) in
+                     if d <> 0 then
+                       acc :=
+                         (key / trans_stride, key mod trans_stride, d) :: !acc
+                   done;
+                   !acc);
+                pd_prefetches =
+                  Cache_sim.prefetches_issued cache
+                  - b.b_cache.(Array.length b.b_cache - 1);
+              }
+        end;
         Array.iteri
           (fun j t ->
             let per = t.iter - b.b_iters.(j) in
@@ -1068,7 +1147,7 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
     Array.fold_left (fun acc (p : dprog) -> acc +. p.daf) 0.0 progs
     /. float_of_int nthreads
   in
-  {
+  let activity = {
     measured_cycles;
     threads = Array.map counters_of threads;
     op_issues;
@@ -1089,3 +1168,8 @@ let run ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period progs =
     daf;
     prefetches = Cache_sim.prefetches_issued cache;
   }
+  in
+  (activity, !captured_delta)
+
+let run ~uarch ~opmap ?mem_latency ?warmup ?measure ?period progs =
+  fst (run_ex ~uarch ~opmap ?mem_latency ?warmup ?measure ?period progs)

@@ -73,6 +73,48 @@ val run :
     being simulated; the returned {!activity} is bit-identical to a
     dense run either way, only wall-clock time differs. *)
 
+type period_delta = {
+  pd_period_iters : int;  (** loop iterations per period (every thread) *)
+  pd_cycles : int;        (** cycles per period *)
+  pd_min_total : int;
+      (** smallest warmup+measure total the delta extends to: the
+          largest per-thread iteration count at the fingerprint match,
+          plus one (below it the run would have stopped before
+          reaching the matched state) *)
+  pd_counters : int array array;
+      (** per thread: instrs, dispatched, fxu, lsu, vsu, bru, st, l1,
+          l2, l3, memc — {!Measurement.counters} minus cycles, in
+          order *)
+  pd_op_issues : (int * int) list;  (** (opmap id, delta), sparse *)
+  pd_level_loads : int array;
+  pd_switch : int;
+  pd_transitions : (int * int * int) list;
+      (** (prev id, next id, delta) *)
+  pd_prefetches : int;
+}
+(** Exactly one fingerprinted period's worth of every measured
+    counter, captured before the period skip credits it. Adding [k]
+    times this delta to a run's {!activity} reproduces the activity of
+    a run with [k * pd_period_iters] more (or, negated, fewer)
+    measured iterations, bit-for-bit — the closed-form step behind
+    {!Replay}, which also documents the validity conditions. Only
+    captured when every thread advances the same number of iterations
+    per period. *)
+
+val run_ex :
+  uarch:Mp_uarch.Uarch_def.t ->
+  opmap:opmap ->
+  ?mem_latency:int ->
+  ?warmup:int ->
+  ?measure:int ->
+  ?period:bool ->
+  dprog array ->
+  activity * period_delta option
+(** {!run}, additionally returning the per-period counter delta when a
+    steady-state period was fingerprinted and skipped ([None] for
+    dense runs, aperiodic programs, windows too short to skip, or
+    unequal per-thread iteration rates). *)
+
 val period_hits : unit -> int
 (** Process-wide count of runs in which a steady-state period was
     detected and skipped. Telemetry only — never part of {!activity}. *)

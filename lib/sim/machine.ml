@@ -7,10 +7,11 @@ type t = {
   opmap : Core_sim.opmap;
   seed : int;
   cache : Measurement_cache.t option;
+  replay : Replay.t option;
   uarch_fp : string;  (* keys machines with different uarchs apart *)
 }
 
-let create ?(seed = 2012) ?(cache = true) uarch =
+let create ?(seed = 2012) ?(cache = true) ?(replay = true) uarch =
   {
     uarch;
     table = Energy_table.power7;
@@ -20,6 +21,11 @@ let create ?(seed = 2012) ?(cache = true) uarch =
       (if cache then
          Some (Measurement_cache.create ?disk:(Measurement_cache.env_disk ()) ())
        else None);
+    (* the replay table is process-global (records are keyed on
+       everything that distinguishes machines), so machines share
+       steady-state work; [~replay:false] opts a machine out — the
+       benchmarks' dense reference machines need genuinely dense runs *)
+    replay = (if replay && Replay.enabled () then Some (Replay.global ()) else None);
     uarch_fp = Measurement_cache.uarch_fingerprint uarch;
   }
 
@@ -111,15 +117,60 @@ let simulate_many ?(warmup = 1) ?(measure = default_measure) ?period t
     (config : Uarch_def.config) name (per_thread : Ir.t array) =
   let seeded = not (Array.for_all seed_independent_program per_thread) in
   let rng = run_rng t config ~seeded name in
+  (* Programs with memory instructions draw their address streams from
+     [rng] at deploy time, and the sensor-noise rng continues from that
+     phase — so such programs always deploy, replay hit or not, and
+     their replay key carries the RNG inputs as a salt. Pure compute
+     programs consume no randomness: a replay hit skips their
+     deployment entirely and their records are shared across names,
+     seeds and core counts. *)
+  let consumes_rng = Array.exists Ir.has_memory per_thread in
   let progs =
-    Array.init config.Uarch_def.smt (fun tid ->
-        deploy_thread t rng config tid per_thread.(tid))
+    lazy
+      (Array.init config.Uarch_def.smt (fun tid ->
+           deploy_thread t rng config tid per_thread.(tid)))
   in
-  let activity =
-    Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~warmup ~measure ?period progs
+  if consumes_rng then ignore (Lazy.force progs);
+  let salt =
+    if consumes_rng then
+      Some
+        (Printf.sprintf "%d.%s.%d.%d"
+           (if seeded then t.seed else 0)
+           name config.Uarch_def.cores config.Uarch_def.smt)
+    else None
   in
+  (* same float fold as Core_sim's daf: per_thread is the per-thread
+     program array, so a reified activity carries the identical value *)
+  let daf =
+    Array.fold_left
+      (fun acc (p : Ir.t) -> acc +. Ir.data_activity_factor p)
+      0.0 per_thread
+    /. float_of_int (Array.length per_thread)
+  in
+  let run_once ~mem_latency =
+    let dense () =
+      Core_sim.run_ex ~uarch:t.uarch ~opmap:t.opmap ~mem_latency ~warmup
+        ~measure ?period (Lazy.force progs)
+    in
+    match t.replay with
+    | None -> fst (dense ())
+    | Some table ->
+      let key =
+        Replay.key ~uarch:t.uarch_fp ~smt:config.Uarch_def.smt ~warmup
+          ~mem_latency ?salt per_thread
+      in
+      (match Replay.find table ~opmap:t.opmap ~daf ~warmup ~measure key with
+       | Some activity -> activity
+       | None ->
+         let activity, pd = dense () in
+         Replay.record table ~opmap:t.opmap ~measure key activity pd;
+         activity)
+  in
+  let activity = run_once ~mem_latency:t.uarch.Uarch_def.mem_latency in
   (* shared memory bandwidth: inflate memory latency when the chip's
-     aggregate demand exceeds the sustainable rate, and re-simulate *)
+     aggregate demand exceeds the sustainable rate, and re-simulate
+     (the re-run replays under its own key — the latency component
+     differs) *)
   let demand = mem_demand activity *. float_of_int config.Uarch_def.cores in
   let cap = t.uarch.Uarch_def.mem_bw_lines_per_cycle in
   let activity =
@@ -128,8 +179,7 @@ let simulate_many ?(warmup = 1) ?(measure = default_measure) ?period t
       let lat =
         int_of_float (float_of_int t.uarch.Uarch_def.mem_latency *. factor)
       in
-      Core_sim.run ~uarch:t.uarch ~opmap:t.opmap ~mem_latency:lat ~warmup
-        ~measure ?period progs
+      run_once ~mem_latency:lat
     end
     else activity
   in
@@ -269,7 +319,10 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
   let exec jobs =
-    Mp_util.Parallel.map
+    (* chunked: replay and cache hits make individual jobs tiny, and
+       chunking amortises deque traffic over them; auto_chunk leaves
+       ~8 chunks per worker so stealing can still rebalance tails *)
+    Mp_util.Parallel.map_chunked
       ~cost:(fun (config, p) -> job_cost config [ p ])
       pool
       (fun (config, p) -> run ~warmup ~measure ?period t config p)
@@ -289,7 +342,7 @@ let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
   let exec jobs =
-    Mp_util.Parallel.map
+    Mp_util.Parallel.map_chunked
       ~cost:(fun (config, ps) -> job_cost config ps)
       pool
       (fun (config, ps) ->

@@ -11,7 +11,8 @@
 
 type t
 
-val create : ?seed:int -> ?cache:bool -> Mp_uarch.Uarch_def.t -> t
+val create :
+  ?seed:int -> ?cache:bool -> ?replay:bool -> Mp_uarch.Uarch_def.t -> t
 (** A machine with its ground-truth power behaviour. [seed] controls
     sensor noise and stream randomisation (default 2012). [cache]
     (default [true]) memoizes measurements content-addressed on
@@ -22,6 +23,17 @@ val create : ?seed:int -> ?cache:bool -> Mp_uarch.Uarch_def.t -> t
     ([MP_CACHE_DIR] names the directory, default [_mp_cache]), so
     repeated harness invocations of the same build skip
     already-simulated points — see {!Measurement_cache.env_disk}.
+
+    [replay] (default [true]) attaches the process-global
+    {!Replay} table: runs that fingerprinted a steady-state period
+    store a closed-form counter step, and later measurements of the
+    same structural program — on this machine {e or any other},
+    whatever the window — skip warmup-to-steady-state entirely.
+    Replayed measurements are bit-identical to dense simulation, so
+    the layer is observationally invisible apart from wall-clock time;
+    [MP_REPLAY=off] disables it process-wide, [~replay:false] per
+    machine (the benchmarks' dense reference machines need genuinely
+    dense runs).
 
     Programs whose generating passes are all seed-independent (no pass
     drew from an rng and no memory model; see

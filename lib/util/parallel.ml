@@ -78,6 +78,10 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   steals : int Atomic.t;
+  (* adaptive-mode telemetry: batches (>= 2 jobs) that fanned out vs
+     ran sequentially — fallback decision, nesting, or size 1 *)
+  par_batches : int Atomic.t;
+  seq_batches : int Atomic.t;
 }
 
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
@@ -145,6 +149,8 @@ let create n =
       stop = false;
       workers = [];
       steals = Atomic.make 0;
+      par_batches = Atomic.make 0;
+      seq_batches = Atomic.make 0;
     }
   in
   if size > 1 then
@@ -155,6 +161,10 @@ let create n =
 let size t = t.size
 
 let steal_count t = Atomic.get t.steals
+
+let parallel_batches t = Atomic.get t.par_batches
+
+let serial_fallbacks t = Atomic.get t.seq_batches
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -186,11 +196,76 @@ let schedule_order cost input =
       keyed;
     Array.map snd keyed
 
-let map ?cost pool f xs =
-  if pool.size <= 1 || pool.workers = [] || in_worker () then seq_map f xs
+(* ----- adaptive fan-out/serial decision ---------------------------------- *)
+
+(* How much parallelism a batch actually carries: at most one core's
+   worth per job, and — when the caller supplies cost hints — at most
+   total/max "largest-job equivalents", because no schedule finishes
+   before the largest job does. A batch of 90 equal jobs has width 90;
+   a batch of 90 jobs where one dwarfs the rest has width ~1 and gains
+   nothing from 8 domains. *)
+let effective_width cost input =
+  let n = Array.length input in
+  match cost with
+  | None -> float_of_int n
+  | Some c ->
+    let total = ref 0.0 in
+    let mx = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let v = Float.max 0.0 (c x) in
+        total := !total +. v;
+        if v > !mx then mx := v)
+      input;
+    if !mx <= 0.0 then float_of_int n
+    else Float.min (float_of_int n) (!total /. !mx)
+
+(* Deliberately permissive: speedup is bounded by the batch's width,
+   not the pool's size, so a width-6 batch on 8 workers still wins
+   ~6x and must fan out. The per-core criterion only exists to catch
+   batches so thin that most domains would wake up for nothing. *)
+let default_min_jobs_per_core = 0.25
+
+let env_min_jobs_per_core () =
+  match Sys.getenv_opt "MP_POOL_MIN_JOBS_PER_CORE" with
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some f when f >= 0.0 && Float.is_finite f -> f
+     | _ -> default_min_jobs_per_core)
+  | None -> default_min_jobs_per_core
+
+(* Fan out only when the batch can amortise domain wakeup/steal
+   overhead: at least two jobs of comparable weight ([width >= 2] —
+   below that, the batch is one dominant job plus crumbs and the
+   dominant job bounds wall-clock anyway), and enough width to feed
+   the pool ([min_jobs_per_core] per worker, default 1: a pool that
+   can't give every domain a job's worth of work mostly pays wakeups).
+   Serial execution of an unworthy batch is bit-identical by the map
+   contract, so the decision is pure scheduling. *)
+let worthwhile ~size ~jobs ~width ~min_jobs_per_core =
+  size > 1 && jobs >= 2 && width >= 2.0
+  && width >= min_jobs_per_core *. float_of_int size
+
+let map ?cost ?min_jobs_per_core pool f xs =
+  let forced_seq = pool.size <= 1 || pool.workers = [] || in_worker () in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  let fan_out =
+    (not forced_seq)
+    &&
+    let mjpc =
+      match min_jobs_per_core with
+      | Some v -> v
+      | None -> env_min_jobs_per_core ()
+    in
+    worthwhile ~size:pool.size ~jobs:n
+      ~width:(effective_width cost input)
+      ~min_jobs_per_core:mjpc
+  in
+  if n >= 2 then
+    Atomic.incr (if fan_out then pool.par_batches else pool.seq_batches);
+  if not fan_out then seq_map f xs
   else begin
-    let input = Array.of_list xs in
-    let n = Array.length input in
     if n = 0 then []
     else begin
       let results = Array.make n None in
@@ -264,7 +339,7 @@ let auto_chunk ~jobs ~workers =
     let target = 8 * max 1 workers in
     (jobs + target - 1) / target
 
-let map_chunked ?chunk ?cost pool f xs =
+let map_chunked ?chunk ?cost ?min_jobs_per_core pool f xs =
   let n = List.length xs in
   if n = 0 then []
   else begin
@@ -273,7 +348,7 @@ let map_chunked ?chunk ?cost pool f xs =
       | Some c -> max 1 c
       | None -> auto_chunk ~jobs:n ~workers:pool.size
     in
-    if chunk <= 1 then map ?cost pool f xs
+    if chunk <= 1 then map ?cost ?min_jobs_per_core pool f xs
     else
       let chunk_cost =
         Option.map
@@ -281,7 +356,9 @@ let map_chunked ?chunk ?cost pool f xs =
           cost
       in
       List.concat
-        (map ?cost:chunk_cost pool (fun c -> seq_map f c) (chunks chunk xs))
+        (map ?cost:chunk_cost ?min_jobs_per_core pool
+           (fun c -> seq_map f c)
+           (chunks chunk xs))
   end
 
 let detected_cores () = Domain.recommended_domain_count ()

@@ -23,6 +23,12 @@
     - A pool of size 1 — and any call made {e from inside} a pool
       worker — degrades to sequential execution, so nested maps can
       never deadlock on the job deques.
+    - Fan-out is {e adaptive}: a batch without enough parallel width
+      to amortise domain wakeup/steal overhead (see {!worthwhile} and
+      the [MP_POOL_MIN_JOBS_PER_CORE] knob) also runs sequentially.
+      Either execution produces bit-identical results, so the decision
+      is pure scheduling; {!serial_fallbacks} / {!parallel_batches}
+      count the outcomes.
     - If any job raises, the exception of the lowest-indexed failing
       job is re-raised in the caller once all jobs have drained —
       regardless of which worker ran or stole the failing job. *)
@@ -46,11 +52,21 @@ val shutdown : t -> unit
 (** Stop the workers and join them (queued jobs are drained first).
     Idempotent. Maps on a shut-down pool run sequentially. *)
 
-val map : ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?cost:('a -> float) ->
+  ?min_jobs_per_core:float ->
+  t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: one job per element. [cost] is a
     scheduling hint — jobs are started heaviest-first (ties broken by
     input position) so long jobs don't land at the batch tail; it has
-    no effect on the result. *)
+    no effect on the result.
+
+    The batch fans out only when {!worthwhile} says the parallelism
+    can amortise domain overhead; otherwise it runs sequentially in
+    the caller (bit-identical either way). [min_jobs_per_core]
+    overrides the environment threshold for this call — [0.] forces
+    fan-out of any batch with width >= 2, large values force serial
+    (tests use both). *)
 
 val auto_chunk : jobs:int -> workers:int -> int
 (** The chunk size {!map_chunked} derives when [?chunk] is omitted:
@@ -61,11 +77,55 @@ val auto_chunk : jobs:int -> workers:int -> int
     report the effective granularity. *)
 
 val map_chunked :
-  ?chunk:int -> ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
+  ?chunk:int ->
+  ?cost:('a -> float) ->
+  ?min_jobs_per_core:float ->
+  t -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!map} but groups elements into chunks to amortise queue
     traffic when jobs are small. [chunk] overrides the {!auto_chunk}
     default. A chunk's cost is the sum of its members'; result order is
-    input order either way. *)
+    input order either way. The adaptive fan-out decision is taken at
+    chunk granularity. *)
+
+(** {2 Adaptive fan-out}
+
+    Fanning a batch across domains only pays when the batch carries
+    enough {e parallel width}: speedup is bounded by
+    [total_cost / max_cost] (no schedule finishes before the largest
+    job), and a pool whose workers can't each get a job's worth of
+    work mostly pays wakeups. Batches below the threshold run
+    sequentially in the caller — results are bit-identical by the
+    {!map} contract, so the decision is pure scheduling. *)
+
+val effective_width : ('a -> float) option -> 'a array -> float
+(** [min jobs (total_cost / max_cost)] — the batch's usable
+    parallelism in "largest-job equivalents"; just [jobs] without a
+    cost hint (or when every cost is <= 0). *)
+
+val worthwhile :
+  size:int -> jobs:int -> width:float -> min_jobs_per_core:float -> bool
+(** The fan-out predicate: a pool of [size] workers fans out a batch
+    iff [size > 1], [jobs >= 2], [width >= 2] and
+    [width >= min_jobs_per_core * size]. Exposed pure for tests. *)
+
+val default_min_jobs_per_core : float
+(** 0.25 — deliberately permissive: speedup is bounded by the batch's
+    width, not the pool's size (a width-6 batch on 8 workers still
+    wins ~6x), so the per-core criterion only rejects batches so thin
+    that most domains would wake for nothing. *)
+
+val env_min_jobs_per_core : unit -> float
+(** [MP_POOL_MIN_JOBS_PER_CORE] parsed as a non-negative float,
+    otherwise {!default_min_jobs_per_core}. [0] disables the
+    jobs-per-core criterion (any batch of width >= 2 fans out). *)
+
+val parallel_batches : t -> int
+(** Batches (>= 2 jobs) this pool fanned out since creation. Monotone
+    telemetry for BENCH_sim.json, like {!steal_count}. *)
+
+val serial_fallbacks : t -> int
+(** Batches (>= 2 jobs) this pool ran sequentially — adaptive
+    fallback, nested calls, or a size-1 pool. *)
 
 val in_worker : unit -> bool
 (** True when called from inside a pool worker (nested maps degrade). *)

@@ -180,6 +180,108 @@ let test_default_size_env () =
   Alcotest.(check bool) "capped at cores" true
     (Mp_util.Parallel.default_size () <= cores)
 
+(* ----- adaptive fan-out ----------------------------------------------------- *)
+
+let test_effective_width () =
+  let w = Mp_util.Parallel.effective_width in
+  Alcotest.(check (float 1e-9)) "no hint: width = jobs" 5.
+    (w None [| 1; 2; 3; 4; 5 |]);
+  (* one dominant job: total/max ~ 1 — no schedule beats serial *)
+  Alcotest.(check (float 1e-9)) "dominated batch" 1.002
+    (w (Some float_of_int) [| 1000; 1; 1 |]);
+  (* uniform costs: width = job count, capped by it *)
+  Alcotest.(check (float 1e-9)) "uniform batch" 4.
+    (w (Some (fun _ -> 3.)) [| 0; 0; 0; 0 |]);
+  (* degenerate costs fall back to the job count *)
+  Alcotest.(check (float 1e-9)) "all-zero costs" 3.
+    (w (Some (fun _ -> 0.)) [| 1; 2; 3 |])
+
+let test_worthwhile () =
+  let w = Mp_util.Parallel.worthwhile in
+  Alcotest.(check bool) "size-1 pool never fans out" false
+    (w ~size:1 ~jobs:100 ~width:100. ~min_jobs_per_core:0.);
+  Alcotest.(check bool) "a single job never fans out" false
+    (w ~size:8 ~jobs:1 ~width:1. ~min_jobs_per_core:0.);
+  Alcotest.(check bool) "width below 2 never fans out" false
+    (w ~size:8 ~jobs:10 ~width:1.5 ~min_jobs_per_core:0.);
+  (* a width-6 batch on 8 workers still wins ~6x: the permissive
+     default threshold (0.25 jobs/core = width 2 on 8 workers) keeps it
+     parallel *)
+  Alcotest.(check bool) "moderate width fans out at the default" true
+    (w ~size:8 ~jobs:10 ~width:6.
+       ~min_jobs_per_core:Mp_util.Parallel.default_min_jobs_per_core);
+  Alcotest.(check bool) "a strict threshold rejects the same batch" false
+    (w ~size:8 ~jobs:10 ~width:6. ~min_jobs_per_core:1.);
+  Alcotest.(check bool) "zero disables the per-core criterion" true
+    (w ~size:16 ~jobs:4 ~width:2. ~min_jobs_per_core:0.)
+
+let test_min_jobs_per_core_env () =
+  let d = Mp_util.Parallel.default_min_jobs_per_core in
+  Unix.putenv "MP_POOL_MIN_JOBS_PER_CORE" "2.5";
+  Alcotest.(check (float 1e-9)) "env override" 2.5
+    (Mp_util.Parallel.env_min_jobs_per_core ());
+  Unix.putenv "MP_POOL_MIN_JOBS_PER_CORE" "0";
+  Alcotest.(check (float 1e-9)) "zero accepted" 0.
+    (Mp_util.Parallel.env_min_jobs_per_core ());
+  Unix.putenv "MP_POOL_MIN_JOBS_PER_CORE" "not-a-number";
+  Alcotest.(check (float 1e-9)) "garbage ignored" d
+    (Mp_util.Parallel.env_min_jobs_per_core ());
+  Unix.putenv "MP_POOL_MIN_JOBS_PER_CORE" "-3";
+  Alcotest.(check (float 1e-9)) "negative ignored" d
+    (Mp_util.Parallel.env_min_jobs_per_core ());
+  Unix.putenv "MP_POOL_MIN_JOBS_PER_CORE" "";
+  Alcotest.(check (float 1e-9)) "unset falls back to the default" d
+    (Mp_util.Parallel.env_min_jobs_per_core ())
+
+let test_adaptive_fallback_counters () =
+  let pool = Mp_util.Parallel.create 4 in
+  (* a dominated batch (width ~1) runs sequentially in the caller *)
+  let sf0 = Mp_util.Parallel.serial_fallbacks pool in
+  let pb0 = Mp_util.Parallel.parallel_batches pool in
+  let r =
+    Mp_util.Parallel.map
+      ~cost:(fun x -> if x = 0 then 1000. else 1.)
+      pool (( + ) 1) [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "fallback results intact" [ 1; 2; 3 ] r;
+  Alcotest.(check int) "counted as a serial fallback" (sf0 + 1)
+    (Mp_util.Parallel.serial_fallbacks pool);
+  Alcotest.(check int) "not counted as parallel" pb0
+    (Mp_util.Parallel.parallel_batches pool);
+  (* a wide uniform batch fans out *)
+  let pb1 = Mp_util.Parallel.parallel_batches pool in
+  let xs = List.init 16 Fun.id in
+  let r2 = Mp_util.Parallel.map pool (fun x -> 2 * x) xs in
+  Alcotest.(check (list int)) "parallel results intact"
+    (List.map (fun x -> 2 * x) xs) r2;
+  Alcotest.(check int) "counted as parallel" (pb1 + 1)
+    (Mp_util.Parallel.parallel_batches pool);
+  (* the per-call override forces the same batch serial — bit-identical *)
+  let sf1 = Mp_util.Parallel.serial_fallbacks pool in
+  let r3 = Mp_util.Parallel.map ~min_jobs_per_core:1000. pool (fun x -> 2 * x) xs in
+  Alcotest.(check (list int)) "forced-serial results identical" r2 r3;
+  Alcotest.(check int) "override counted as a fallback" (sf1 + 1)
+    (Mp_util.Parallel.serial_fallbacks pool);
+  (* ... and map_chunked threads the override through *)
+  let sf2 = Mp_util.Parallel.serial_fallbacks pool in
+  let r4 =
+    Mp_util.Parallel.map_chunked ~min_jobs_per_core:1000. pool
+      (fun x -> 2 * x) xs
+  in
+  Alcotest.(check (list int)) "chunked forced-serial identical" r2 r4;
+  Alcotest.(check bool) "chunked override counted" true
+    (Mp_util.Parallel.serial_fallbacks pool > sf2);
+  Mp_util.Parallel.shutdown pool;
+  (* a size-1 pool books every multi-job batch as a fallback *)
+  let p1 = Mp_util.Parallel.create 1 in
+  let sf = Mp_util.Parallel.serial_fallbacks p1 in
+  ignore (Mp_util.Parallel.map p1 Fun.id [ 1; 2; 3 ]);
+  Alcotest.(check int) "size-1 pool counts fallbacks" (sf + 1)
+    (Mp_util.Parallel.serial_fallbacks p1);
+  Alcotest.(check int) "size-1 pool never parallel" 0
+    (Mp_util.Parallel.parallel_batches p1);
+  Mp_util.Parallel.shutdown p1
+
 (* ----- run_batch determinism ------------------------------------------------ *)
 
 let l1 = [ (Mp_uarch.Cache_geometry.L1, 1.0) ]
@@ -269,6 +371,13 @@ let () =
          Alcotest.test_case "nested map degrades" `Quick
            test_nested_map_degrades;
          Alcotest.test_case "MP_POOL_SIZE" `Quick test_default_size_env ]);
+      ("adaptive fan-out",
+       [ Alcotest.test_case "effective width" `Quick test_effective_width;
+         Alcotest.test_case "worthwhile predicate" `Quick test_worthwhile;
+         Alcotest.test_case "MP_POOL_MIN_JOBS_PER_CORE" `Quick
+           test_min_jobs_per_core_env;
+         Alcotest.test_case "fallback counters" `Quick
+           test_adaptive_fallback_counters ]);
       ("run_batch",
        [ Alcotest.test_case "bit-identical vs serial" `Quick
            test_run_batch_matches_serial;

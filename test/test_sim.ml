@@ -827,12 +827,12 @@ let period_equiv ?(cores = 1) ?(smt = 1) ?(warmup = 1) ?(measure = 48) name p =
   let cfg = config a ~cores ~smt in
   let dense =
     Machine.run ~warmup ~measure ~period:false
-      (Machine.create ~cache:false a.Arch.uarch)
+      (Machine.create ~cache:false ~replay:false a.Arch.uarch)
       cfg p
   in
   let skip =
     Machine.run ~warmup ~measure ~period:true
-      (Machine.create ~cache:false a.Arch.uarch)
+      (Machine.create ~cache:false ~replay:false a.Arch.uarch)
       cfg p
   in
   Alcotest.(check bool) (name ^ " bit-identical") true (compare dense skip = 0)
@@ -844,7 +844,7 @@ let test_period_detects_and_skips () =
   let a = arch () in
   let hits0 = Core_sim.period_hits () in
   let skipped0 = Core_sim.cycles_skipped () in
-  let m = Machine.create ~cache:false a.Arch.uarch in
+  let m = Machine.create ~cache:false ~replay:false a.Arch.uarch in
   ignore
     (Machine.run ~measure:64 ~period:true m (config a ~cores:1 ~smt:1)
        (mono a "fadd"));
@@ -911,12 +911,12 @@ let test_period_equiv_heterogeneous () =
   let cfg = config a ~cores:2 ~smt:2 in
   let dense =
     Machine.run_heterogeneous ~measure:32 ~period:false
-      (Machine.create ~cache:false a.Arch.uarch)
+      (Machine.create ~cache:false ~replay:false a.Arch.uarch)
       cfg [ compute; memory ]
   in
   let skip =
     Machine.run_heterogeneous ~measure:32 ~period:true
-      (Machine.create ~cache:false a.Arch.uarch)
+      (Machine.create ~cache:false ~replay:false a.Arch.uarch)
       cfg [ compute; memory ]
   in
   Alcotest.(check bool) "hetero bit-identical" true (compare dense skip = 0)
@@ -963,13 +963,13 @@ let test_period_nondyadic () =
              iterations covers the combined period with margin *)
           let dense =
             Machine.run ~measure:256 ~period:false
-              (Machine.create ~cache:false a.Arch.uarch)
+              (Machine.create ~cache:false ~replay:false a.Arch.uarch)
               cfg p
           in
           let hits0 = Core_sim.period_hits () in
           let skip =
             Machine.run ~measure:256 ~period:true
-              (Machine.create ~cache:false a.Arch.uarch)
+              (Machine.create ~cache:false ~replay:false a.Arch.uarch)
               cfg p
           in
           Alcotest.(check bool) (name ^ " period detected") true
@@ -992,8 +992,8 @@ let test_period_training_suite () =
   in
   Alcotest.(check bool) "suite non-empty" true (List.length progs > 20);
   let cfg = config a ~cores:8 ~smt:2 in
-  let dense_m = Machine.create ~cache:false a.Arch.uarch in
-  let skip_m = Machine.create ~cache:false a.Arch.uarch in
+  let dense_m = Machine.create ~cache:false ~replay:false a.Arch.uarch in
+  let skip_m = Machine.create ~cache:false ~replay:false a.Arch.uarch in
   List.iteri
     (fun i p ->
       let dense = Machine.run ~measure:12 ~period:false dense_m cfg p in
@@ -1004,6 +1004,191 @@ let test_period_training_suite () =
         true
         (compare dense skip = 0))
     progs
+
+(* ----- steady-state replay -------------------------------------------------- *)
+
+(* Replay serves later measurements of the same structural program from
+   a captured period record; every served activity must be bit-identical
+   to dense simulation. The tests run against the process-global table
+   (the one Machine.create attaches), so hit/miss assertions are
+   delta-based. *)
+
+let replay_dense ?(cores = 1) ?(smt = 1) ?measure a p =
+  Machine.run ?measure
+    (Machine.create ~cache:false ~replay:false a.Arch.uarch)
+    (config a ~cores ~smt) p
+
+let test_replay_bit_identity () =
+  (* compute kernels across SMT levels, including the non-dyadic mulld
+     (occupancy 1.43) whose steady state only repeats every second
+     iteration: a second run on the same machine and a run on a fresh
+     machine must both be served from the table, bit-identical *)
+  let a = arch () in
+  List.iter
+    (fun (mnemonic, dep) ->
+      let p = mono a ~dep mnemonic in
+      List.iter
+        (fun smt ->
+          let name = Printf.sprintf "%s smt%d" mnemonic smt in
+          let dense = replay_dense ~smt a p in
+          let m = Machine.create ~cache:false a.Arch.uarch in
+          let r1 = Machine.run m (config a ~cores:1 ~smt) p in
+          let hits0 = Replay.hits () in
+          let r2 = Machine.run m (config a ~cores:1 ~smt) p in
+          Alcotest.(check bool) (name ^ " first run = dense") true
+            (compare dense r1 = 0);
+          Alcotest.(check bool) (name ^ " replayed run = dense") true
+            (compare dense r2 = 0);
+          Alcotest.(check bool) (name ^ " second run hit the table") true
+            (Replay.hits () > hits0);
+          (* a fresh machine shares the process-global table *)
+          let m2 = Machine.create ~cache:false a.Arch.uarch in
+          let r3 = Machine.run m2 (config a ~cores:1 ~smt) p in
+          Alcotest.(check bool) (name ^ " fresh machine = dense") true
+            (compare dense r3 = 0))
+        [ 1; 2; 4 ])
+    [ ("add", Builder.No_deps); ("mulld", Builder.No_deps);
+      ("fadd", Builder.Fixed 1) ]
+
+let test_replay_memory () =
+  (* memory programs consume the per-run RNG (address streams), so
+     their records are salted with the machine seed: replay under each
+     seed must reproduce that seed's dense run, not another's *)
+  let a = arch () in
+  let progs =
+    [ ("lbz L1", mono a "lbz");
+      ("lbz L1/L2",
+       mono a
+         ~mem_mix:
+           [ (Mp_uarch.Cache_geometry.L1, 0.5);
+             (Mp_uarch.Cache_geometry.L2, 0.5) ]
+         "lbz") ]
+  in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun seed ->
+          let tag = Printf.sprintf "%s seed %d" name seed in
+          let dense =
+            Machine.run ~measure:16
+              (Machine.create ~seed ~cache:false ~replay:false a.Arch.uarch)
+              (config a ~cores:1 ~smt:2) p
+          in
+          let m = Machine.create ~seed ~cache:false a.Arch.uarch in
+          let r1 = Machine.run ~measure:16 m (config a ~cores:1 ~smt:2) p in
+          let r2 = Machine.run ~measure:16 m (config a ~cores:1 ~smt:2) p in
+          Alcotest.(check bool) (tag ^ " first run = dense") true
+            (compare dense r1 = 0);
+          Alcotest.(check bool) (tag ^ " replayed = dense") true
+            (compare dense r2 = 0))
+        [ 2012; 5 ])
+    progs
+
+let test_replay_window_extrapolation () =
+  (* the period step: a record captured at a narrow window serves a
+     wider window by base + k*delta — the common case (default-window
+     training runs vs the bootstrap's doubled window). fadd reaches a
+     1-iteration steady state inside the default window; size 250
+     spreads mulld's non-dyadic residual phases over a 4-iteration
+     period at smt1, so from a base of 12 the window 24 is admissible
+     (diff 12 = 3 periods) while 14 is not (diff 2) and must fall back
+     to dense simulation — bit-identically either way. *)
+  let a = arch () in
+  List.iter
+    (fun (name, p, base, wider, inadmissible) ->
+      let m = Machine.create ~cache:false a.Arch.uarch in
+      ignore (Machine.run ~measure:base m (config a ~cores:1 ~smt:1) p);
+      let hits0 = Replay.hits () in
+      let m2 = Machine.create ~cache:false a.Arch.uarch in
+      let wide = Machine.run ~measure:wider m2 (config a ~cores:1 ~smt:1) p in
+      Alcotest.(check bool) (name ^ " wider window served by replay") true
+        (Replay.hits () > hits0);
+      Alcotest.(check bool) (name ^ " extrapolated = dense") true
+        (compare (replay_dense ~measure:wider a p) wide = 0);
+      match inadmissible with
+      | None -> ()
+      | Some w ->
+        let m3 = Machine.create ~cache:false a.Arch.uarch in
+        let r = Machine.run ~measure:w m3 (config a ~cores:1 ~smt:1) p in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s inadmissible window %d = dense" name w)
+          true
+          (compare (replay_dense ~measure:w a p) r = 0))
+    [ ("fadd", mono a "fadd", 8, 24, None);
+      ("mulld/250", mono a ~size:250 "mulld", 12, 24, Some 14) ]
+
+let test_replay_disabled () =
+  (* ~replay:false opts a machine out entirely: no lookups, no records *)
+  let a = arch () in
+  let p = mono a "xvmaddadp" in
+  let m = Machine.create ~cache:false ~replay:false a.Arch.uarch in
+  let hits0 = Replay.hits () in
+  let misses0 = Replay.misses () in
+  let r1 = Machine.run m (config a ~cores:1 ~smt:1) p in
+  let r2 = Machine.run m (config a ~cores:1 ~smt:1) p in
+  Alcotest.(check bool) "dense runs identical" true (compare r1 r2 = 0);
+  Alcotest.(check int) "no hits" hits0 (Replay.hits ());
+  Alcotest.(check int) "no misses" misses0 (Replay.misses ())
+
+let test_replay_name_insensitive () =
+  (* records are keyed on the name-free body hash: the same body under
+     a different label is the same record. (Memory programs are the
+     exception — their salt folds the name because the address-stream
+     RNG is seeded from it — so this is a compute kernel.) *)
+  let a = arch () in
+  let build name =
+    let synth = Synthesizer.create ~name a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size:96);
+    Synthesizer.add_pass synth
+      (Passes.fill_sequence [ Arch.find_instruction a "fmul" ]);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:13 synth
+  in
+  let alpha = build "alpha" and beta = build "beta" in
+  Alcotest.(check bool) "struct hashes differ (name included)" true
+    (Ir.struct_hash alpha <> Ir.struct_hash beta);
+  Alcotest.(check bool) "body hashes agree (name-free)" true
+    (Ir.body_hash alpha = Ir.body_hash beta);
+  let fp = Measurement_cache.uarch_fingerprint a.Arch.uarch in
+  Alcotest.(check string) "replay keys agree"
+    (Replay.key ~uarch:fp ~smt:1 ~warmup:1 ~mem_latency:0 [| alpha |])
+    (Replay.key ~uarch:fp ~smt:1 ~warmup:1 ~mem_latency:0 [| beta |]);
+  (* end to end: measuring beta is served by alpha's record *)
+  let m = Machine.create ~cache:false a.Arch.uarch in
+  ignore (Machine.run m (config a ~cores:1 ~smt:1) alpha);
+  let hits0 = Replay.hits () in
+  let r_beta = Machine.run m (config a ~cores:1 ~smt:1) beta in
+  Alcotest.(check bool) "beta served from alpha's record" true
+    (Replay.hits () > hits0);
+  Alcotest.(check bool) "beta replay = beta dense" true
+    (compare (replay_dense a beta) r_beta = 0)
+
+let prop_replay_key_one_edit =
+  (* editing a single instruction anywhere in the body must change the
+     replay key — the key is a digest of the full instruction stream,
+     not of summary statistics *)
+  let a = arch () in
+  let fp = Measurement_cache.uarch_fingerprint a.Arch.uarch in
+  let size = 24 in
+  let build pattern =
+    let synth = Synthesizer.create ~name:"edit" a in
+    Synthesizer.add_pass synth (Passes.skeleton ~size);
+    Synthesizer.add_pass synth (Passes.fill_sequence pattern);
+    Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:5 synth
+  in
+  let add = Arch.find_instruction a "add" in
+  let subf = Arch.find_instruction a "subf" in
+  QCheck.Test.make ~name:"one-instruction edit changes the replay key"
+    ~count:16
+    QCheck.(int_range 0 (size - 1))
+    (fun i ->
+      let base = List.init size (fun _ -> add) in
+      let edited = List.mapi (fun j x -> if j = i then subf else x) base in
+      let p = build base and p' = build edited in
+      Ir.body_hash p <> Ir.body_hash p'
+      && Replay.key ~uarch:fp ~smt:1 ~warmup:1 ~mem_latency:0 [| p |]
+         <> Replay.key ~uarch:fp ~smt:1 ~warmup:1 ~mem_latency:0 [| p' |])
 
 let prop_power_monotone_in_cores =
   let a = arch () in
@@ -1072,6 +1257,17 @@ let () =
          Alcotest.test_case "aperiodic fallback" `Quick test_period_aperiodic_fallback;
          Alcotest.test_case "non-dyadic kernels" `Quick test_period_nondyadic;
          Alcotest.test_case "training suite" `Slow test_period_training_suite ]);
+      ("replay",
+       [ Alcotest.test_case "bit-identity across SMT" `Quick
+           test_replay_bit_identity;
+         Alcotest.test_case "memory programs and seeds" `Quick
+           test_replay_memory;
+         Alcotest.test_case "window extrapolation" `Quick
+           test_replay_window_extrapolation;
+         Alcotest.test_case "replay disabled" `Quick test_replay_disabled;
+         Alcotest.test_case "name-insensitive keys" `Quick
+           test_replay_name_insensitive;
+         QCheck_alcotest.to_alcotest prop_replay_key_one_edit ]);
       ("disk cache",
        [ Alcotest.test_case "round trip" `Quick test_disk_cache_roundtrip;
          Alcotest.test_case "shared across seeds" `Quick
