@@ -105,7 +105,7 @@ let lap machine pool jobs =
    show the oversubscription plateau, not hide it. *)
 let scaling_workers = [ 1; 2; 4; 8 ]
 
-let write_scaling_json ~quick ~jobs entries =
+let write_scaling_json ~quick ~jobs ~procpool entries =
   let path = "BENCH_scaling.json" in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -121,10 +121,128 @@ let write_scaling_json ~quick ~jobs entries =
         workers seconds speedup
         (if i = List.length entries - 1 then "" else ","))
     entries;
-  out "  ]\n";
+  out "  ],\n";
+  (let combos, speedup, fanned = procpool in
+   out "  \"procpool\": {\n";
+   out "    \"fanned_out\": %b,\n" fanned;
+   out "    \"speedup\": %.6f,\n" speedup;
+   out "    \"entries\": [\n";
+   List.iteri
+     (fun i (w, d, seconds) ->
+       out
+         "      { \"procs\": %d, \"domains_per_proc\": %d, \"seconds\": \
+          %.6f }%s\n"
+         w d seconds
+         (if i = List.length combos - 1 then "" else ","))
+     combos;
+   out "    ]\n";
+   out "  }\n");
   out "}\n";
   close_out oc;
   Context.log "wrote %s" path
+
+(* ----- proc-pool curve ---------------------------------------------------- *)
+
+(* The process-level fan-out over the same batch: every combination of
+   1/2 shard workers x 1/2 domains per worker, each lap checked
+   bit-identical against plain in-process execution. The headline
+   number is 2 workers vs 1 at a single domain each — pure process
+   sharding with the domain layer held flat. *)
+let procpool_combos = [ (1, 1); (1, 2); (2, 1); (2, 2) ]
+
+let procpool_curve (ctx : Context.t) machine jobs =
+  Context.section "Process fan-out curve — 1/2 workers x 1/2 domains";
+  (* in-process reference, process sharding explicitly off *)
+  let reference = Machine.run_batch ~procs:0 machine jobs in
+  let shard0, shard1 =
+    List.fold_left
+      (fun (a, b) (_, p) ->
+        if Shard_exec.shard_index ~shards:2 [ p ] = 0 then (a + 1, b)
+        else (a, b + 1))
+      (0, 0) jobs
+  in
+  let rec0 = Machine.jobs_recovered () in
+  let sent0 = Mp_util.Procpool.frames_sent () in
+  let entries =
+    List.map
+      (fun (w, d) ->
+        let sp =
+          Shard_exec.create_pool
+            ~env:[ ("MP_POOL_SIZE", string_of_int d) ]
+            w
+        in
+        (* prime lap: spawns the workers and warms their machines
+           outside the timed window *)
+        let prime = Machine.run_batch ~shard_pool:sp machine jobs in
+        let t0 = Unix.gettimeofday () in
+        let r = Machine.run_batch ~shard_pool:sp machine jobs in
+        let dt = Unix.gettimeofday () -. t0 in
+        Shard_exec.shutdown_pool sp;
+        if compare reference prime <> 0 || compare reference r <> 0 then
+          failwith
+            (Printf.sprintf
+               "procpool curve: results at %d workers x %d domains diverge \
+                from in-process execution"
+               w d);
+        (w, d, dt))
+      procpool_combos
+  in
+  let recovered = Machine.jobs_recovered () - rec0 in
+  let dispatched = Mp_util.Procpool.frames_sent () > sent0 in
+  let time_of w d =
+    List.find_map
+      (fun (w', d', t) -> if w' = w && d' = d then Some t else None)
+      entries
+    |> Option.get
+  in
+  let speedup = time_of 1 1 /. Float.max (time_of 2 1) 1e-9 in
+  (* "genuinely fanned out": frames actually crossed process
+     boundaries, both shards carried work, nothing had to be
+     recovered, and the runner has a second core to run it on *)
+  let fanned =
+    dispatched && recovered = 0 && shard0 > 0 && shard1 > 0
+    && Mp_util.Parallel.detected_cores () >= 2
+  in
+  List.iter
+    (fun (w, d, t) ->
+      Context.record_metric ctx
+        (Printf.sprintf "procpool_w%d_d%d_seconds" w d)
+        t;
+      Context.log "%d worker%s x %d domain%s: %.2fs" w
+        (if w = 1 then "" else "s")
+        d
+        (if d = 1 then "" else "s")
+        t)
+    entries;
+  Context.record_metric ctx "procpool_speedup" speedup;
+  Context.record_metric ctx "procpool_fanned_out" (if fanned then 1. else 0.);
+  Context.record_metric ctx "procpool_jobs_recovered_delta"
+    (float_of_int recovered);
+  Context.log
+    "2 workers vs 1 (single domain each): %.2fx; %d jobs recovered;\n\
+     all laps bit-identical to in-process execution"
+    speedup recovered;
+  (* CI gate, mirroring parbench: a batch the coordinator chose to
+     shard across two live workers must not lose to one worker — below
+     parity the sharding or the placement has regressed. When the
+     dispatch never actually fanned out (single core, adaptive
+     fallback, one-sided shard spread) or a worker had to be recovered
+     mid-curve, wall-clock comparisons say nothing about the sharding
+     layer, so the gate stands down. *)
+  if fanned && speedup < 1.0 then
+    failwith
+      (Printf.sprintf
+         "procpool curve: 2 workers only %.2fx vs 1 worker (floor 1.0x, \
+          fanned out)"
+         speedup);
+  if not fanned then
+    Context.log
+      "speedup gate skipped (%s)"
+      (if not dispatched then "dispatch stayed in-process"
+       else if recovered > 0 then "jobs were recovered mid-curve"
+       else if shard0 = 0 || shard1 = 0 then "one-sided shard spread"
+       else "single detected core");
+  (entries, speedup, fanned)
 
 let scaling_curve (ctx : Context.t) =
   Context.section "Worker scaling curve — one batch, pools of 1/2/4/8";
@@ -182,7 +300,9 @@ let scaling_curve (ctx : Context.t) =
       Context.log "%d worker%s: %.2fs (%.2fx vs 1 worker)" w
         (if w = 1 then "" else "s") t s)
     curve;
-  write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs) curve
+  let procpool = procpool_curve ctx machine jobs in
+  write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs)
+    ~procpool curve
 
 (* ----- parbench ---------------------------------------------------------- *)
 

@@ -170,6 +170,21 @@ let () =
        this should stay in the noise; MP_KEY=marshal makes it visible *)
     Context.record_metric ctx "key_digest_seconds"
       (Microprobe.Measurement_cache.key_seconds ());
+    (* process-level sharding telemetry: the MP_PROCS knob as resolved,
+       the shared pool actually built, frames over the worker pipes,
+       and the crash-recovery counters (both zero in a healthy run) *)
+    Context.record_metric ctx "procs_requested"
+      (float_of_int (Microprobe.Shard_exec.env_procs ()));
+    Context.record_metric ctx "procs_effective"
+      (float_of_int (Microprobe.Shard_exec.global_size ()));
+    Context.record_metric ctx "proc_respawns"
+      (float_of_int (Mp_util.Procpool.respawn_count ()));
+    Context.record_metric ctx "jobs_recovered"
+      (float_of_int (Microprobe.Machine.jobs_recovered ()));
+    Context.record_metric ctx "frames_sent"
+      (float_of_int (Mp_util.Procpool.frames_sent ()));
+    Context.record_metric ctx "frames_received"
+      (float_of_int (Mp_util.Procpool.frames_received ()));
     (* duplicate points collapsed before simulation, at both layers:
        Machine.run_batch within-batch dedup and Driver.eval_list keyed
        dedup *)
@@ -189,5 +204,9 @@ let () =
          (float_of_int s.Microprobe.Measurement_cache.disk_hits);
        Context.record_metric ctx "cache_hit_rate"
          (Microprobe.Measurement_cache.hit_rate c));
-    write_bench_json ~path:"BENCH_sim.json" ~quick ~total ctx timings
+    write_bench_json ~path:"BENCH_sim.json" ~quick ~total ctx timings;
+    (* join worker domains and shard subprocesses deterministically on
+       the normal exit path (the at_exit hooks cover abnormal ones) *)
+    Microprobe.Shard_exec.shutdown_global ();
+    Mp_util.Parallel.shutdown_global ()
   end

@@ -336,6 +336,38 @@ let cache_gc dir max_mb =
       0
     end
 
+(* What's on disk for the current build: entry counts and sizes for
+   the measurement cache and the replay store it contains, plus the
+   namespace entries of this binary carry. Read-only. *)
+let cache_stat dir =
+  let dir =
+    match dir with
+    | "" ->
+      (match Measurement_cache.env_disk () with
+       | Some d -> d.Measurement_cache.dir
+       | None -> "_mp_cache")
+    | d -> d
+  in
+  Printf.printf "directory:  %s\n" dir;
+  Printf.printf "namespace:  %s\n" (Measurement_cache.namespace ());
+  if not (Sys.file_exists dir) then
+    Printf.printf "(no cache directory yet)\n"
+  else begin
+    let s = Measurement_cache.disk_stats dir in
+    Printf.printf "cache:      %d entries in %d shards, %.1f MiB\n"
+      s.Measurement_cache.ds_entries s.Measurement_cache.ds_shards
+      (float_of_int s.Measurement_cache.ds_bytes /. mib);
+    let rdir = Filename.concat dir "replay" in
+    if Sys.file_exists rdir then begin
+      let r = Measurement_cache.disk_stats rdir in
+      Printf.printf "replay:     %d records in %d shards, %.1f MiB\n"
+        r.Measurement_cache.ds_entries r.Measurement_cache.ds_shards
+        (float_of_int r.Measurement_cache.ds_bytes /. mib)
+    end
+    else Printf.printf "replay:     (no store)\n"
+  end;
+  0
+
 let cache_cmd =
   let dir_t =
     Arg.(
@@ -361,9 +393,17 @@ let cache_cmd =
             (in-flight writes are never touched)")
       Term.(const cache_gc $ dir_t $ max_mb_t)
   in
+  let stat =
+    Cmd.v
+      (Cmd.info "stat"
+         ~doc:
+           "Show shard, entry and size statistics for the measurement \
+            cache and the replay store, plus this build's namespace")
+      Term.(const cache_stat $ dir_t)
+  in
   Cmd.group
     (Cmd.info "mp-cache" ~doc:"Disk measurement-cache housekeeping")
-    [ gc ]
+    [ gc; stat ]
 
 (* ----- main ------------------------------------------------------------------------- *)
 
@@ -375,4 +415,9 @@ let () =
       [ list_isa_cmd; isa_text_cmd; generate_cmd; measure_cmd; bootstrap_cmd;
         stressmark_cmd; cache_cmd ]
   in
-  exit (Cmd.eval' group)
+  let code = Cmd.eval' group in
+  (* join worker domains and shard subprocesses deterministically on
+     every exit path (the at_exit hooks cover abnormal ones) *)
+  Shard_exec.shutdown_global ();
+  Util.Parallel.shutdown_global ();
+  exit code

@@ -33,6 +33,7 @@ module Core_sim = Mp_sim.Core_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
 module Replay = Mp_sim.Replay
+module Shard_exec = Mp_sim.Shard_exec
 module Trace = Mp_potra.Trace
 module Power_model = Mp_model
 module Workloads = Mp_workloads

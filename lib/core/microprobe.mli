@@ -57,6 +57,7 @@ module Core_sim = Mp_sim.Core_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
 module Replay = Mp_sim.Replay
+module Shard_exec = Mp_sim.Shard_exec
 module Trace = Mp_potra.Trace
 
 (* Case studies *)

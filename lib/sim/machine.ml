@@ -259,6 +259,85 @@ let job_cost (config : Uarch_def.config) (ps : Ir.t list) =
   in
   float_of_int (config.Uarch_def.cores * config.Uarch_def.smt * (body + 1))
 
+(* ----- multi-process sharding -------------------------------------------- *)
+
+let spec t =
+  {
+    Shard_exec.ms_seed = t.seed;
+    ms_cache = t.cache <> None;
+    ms_replay = t.replay <> None;
+    ms_uarch = t.uarch;
+  }
+
+let jobs_recovered_total = Atomic.make 0
+
+let jobs_recovered () = Atomic.get jobs_recovered_total
+
+(* Worker-computed results warm this machine's cache under the same key
+   [cached] derives, so later runs and batches hit without resimulating
+   what another process already measured. *)
+let cache_insert t ~warmup ~measure config name per_thread m =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+    let seed =
+      if Array.for_all seed_independent_program per_thread then None
+      else Some t.seed
+    in
+    let key =
+      Measurement_cache.key ~uarch:t.uarch_fp ?seed ~config ~warmup ~measure
+        ~name per_thread
+    in
+    Measurement_cache.add cache key m
+
+(* Dispatch already-deduplicated jobs to the worker pool. Positions a
+   worker lost (crash, timeout, garbage frame) come back [None] and are
+   re-run through [in_process] — the coordinator's own domain pool — so
+   a dying worker degrades to a slower batch, never a failed or wrong
+   one; [jobs_recovered] counts them. *)
+let sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool ~to_job ~insert
+    ~in_process jobs =
+  let sjobs = List.map to_job jobs in
+  let fan_out =
+    let width =
+      Mp_util.Parallel.effective_width
+        (Some (fun (j : Shard_exec.job) -> j.Shard_exec.j_cost))
+        (Array.of_list sjobs)
+    in
+    (* the adaptive decision reuses the domain pool's predicate, with
+       the size floored at 2: a single worker still carries dispatch
+       overhead worth amortising, but [worthwhile] vetoes size 1
+       outright *)
+    Mp_util.Parallel.worthwhile ~size:(max 2 procs) ~jobs:(List.length jobs)
+      ~width
+      ~min_jobs_per_core:(Mp_util.Parallel.env_min_jobs_per_core ())
+  in
+  let pool =
+    if not fan_out then None
+    else
+      match shard_pool with
+      | Some p -> Some p
+      | None -> Shard_exec.get_pool procs
+  in
+  match pool with
+  | None -> in_process jobs
+  | Some p ->
+    let res = Shard_exec.run_jobs p ~spec:(spec t) ~warmup ~measure ?period sjobs in
+    let jobs_arr = Array.of_list jobs in
+    let from_worker = Array.map Option.is_some res in
+    let missing = ref [] in
+    Array.iteri (fun i r -> if Option.is_none r then missing := i :: !missing) res;
+    let missing = List.rev !missing in
+    if missing <> [] then begin
+      ignore (Atomic.fetch_and_add jobs_recovered_total (List.length missing));
+      let recovered = in_process (List.map (fun i -> jobs_arr.(i)) missing) in
+      List.iter2 (fun i m -> res.(i) <- Some m) missing recovered
+    end;
+    Array.iteri
+      (fun i fw -> if fw then insert jobs_arr.(i) (Option.get res.(i)))
+      from_worker;
+    Array.to_list (Array.map Option.get res)
+
 (* ----- duplicate collapsing ---------------------------------------------- *)
 
 (* Search drivers routinely submit the same point several times within
@@ -310,15 +389,25 @@ let dedup_map job_key exec jobs =
   let results = Array.of_list (exec (List.rev !uniques)) in
   List.map (fun slot -> results.(slot)) slots
 
-let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool
-    ?(dedup = true) t jobs =
+(* procs resolution shared by both batch entry points: explicit arg
+   wins; a caller-supplied pool implies its own size; otherwise the
+   MP_PROCS knob decides (0 = in-process, unchanged behavior). *)
+let resolve_procs procs shard_pool =
+  match (procs, shard_pool) with
+  | Some n, _ -> max 0 n
+  | None, Some sp -> Shard_exec.pool_size sp
+  | None, None -> Shard_exec.env_procs ()
+
+let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
+    ?shard_pool ?(dedup = true) t jobs =
   (* deterministic id assignment: intern everything in job order —
      duplicates included — before any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
-  let exec jobs =
+  let procs = resolve_procs procs shard_pool in
+  let in_process jobs =
     (* chunked: replay and cache hits make individual jobs tiny, and
        chunking amortises deque traffic over them; auto_chunk leaves
        ~8 chunks per worker so stealing can still rebalance tails *)
@@ -328,6 +417,20 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool
       (fun (config, p) -> run ~warmup ~measure ?period t config p)
       jobs
   in
+  let exec jobs =
+    if procs <= 0 then in_process jobs
+    else
+      sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool
+        ~to_job:(fun (config, p) ->
+          {
+            Shard_exec.j_config = config;
+            j_programs = [ p ];
+            j_cost = job_cost config [ p ];
+          })
+        ~insert:(fun (config, (p : Ir.t)) m ->
+          cache_insert t ~warmup ~measure config p.Ir.name [| p |] m)
+        ~in_process jobs
+  in
   if dedup then
     dedup_map
       (fun (config, (p : Ir.t)) ->
@@ -336,18 +439,32 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool
   else exec jobs
 
 let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
-    ?pool ?(dedup = true) t jobs =
+    ?pool ?procs ?shard_pool ?(dedup = true) t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
-  let exec jobs =
+  let procs = resolve_procs procs shard_pool in
+  let in_process jobs =
     Mp_util.Parallel.map_chunked
       ~cost:(fun (config, ps) -> job_cost config ps)
       pool
       (fun (config, ps) ->
         run_heterogeneous ~warmup ~measure ?period t config ps)
       jobs
+  in
+  let exec jobs =
+    if procs <= 0 then in_process jobs
+    else
+      sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool
+        ~to_job:(fun (config, ps) ->
+          { Shard_exec.j_config = config; j_programs = ps; j_cost = job_cost config ps })
+        ~insert:(fun (config, ps) m ->
+          let name =
+            String.concat "|" (List.map (fun (p : Ir.t) -> p.Ir.name) ps)
+          in
+          cache_insert t ~warmup ~measure config name (Array.of_list ps) m)
+        ~in_process jobs
   in
   if dedup then
     dedup_map
@@ -434,3 +551,62 @@ let idle_reading t config =
   let p = Power_sim.idle_power ~table:t.table ~config in
   let rel = Mp_util.Rng.gaussian rng ~mu:1.0 ~sigma:t.table.Energy_table.noise_rel in
   Float.max 0.0 (p *. rel)
+
+(* ----- worker-side executor ---------------------------------------------- *)
+
+(* One machine per distinct spec, memoized so consecutive request
+   frames of a campaign reuse a warm opmap, cache and replay
+   connection. Keyed on the uarch fingerprint — [machine_spec] values
+   can't be compared structurally (the uarch holds a closure). *)
+let worker_machines : (string * int * bool * bool, t) Hashtbl.t =
+  Hashtbl.create 4
+
+let machine_for_spec (s : Shard_exec.machine_spec) =
+  let k =
+    ( Measurement_cache.uarch_fingerprint s.Shard_exec.ms_uarch,
+      s.Shard_exec.ms_seed,
+      s.Shard_exec.ms_cache,
+      s.Shard_exec.ms_replay )
+  in
+  match Hashtbl.find_opt worker_machines k with
+  | Some m -> m
+  | None ->
+    let m =
+      create ~seed:s.Shard_exec.ms_seed ~cache:s.Shard_exec.ms_cache
+        ~replay:s.Shard_exec.ms_replay s.Shard_exec.ms_uarch
+    in
+    Hashtbl.add worker_machines k m;
+    m
+
+(* Execute a coordinator's request inside a worker process: same
+   pre-intern discipline and chunked domain-pool fan-out as
+   [run_batch], so a shard computes exactly what the coordinator
+   would. *)
+let exec_request (rq : Shard_exec.request) =
+  let t = machine_for_spec rq.Shard_exec.rq_spec in
+  let jobs = Array.to_list rq.Shard_exec.rq_jobs in
+  List.iter
+    (fun (j : Shard_exec.job) -> List.iter (pre_intern t) j.Shard_exec.j_programs)
+    jobs;
+  let warmup = rq.Shard_exec.rq_warmup in
+  let measure = rq.Shard_exec.rq_measure in
+  let period = rq.Shard_exec.rq_period in
+  let results =
+    Mp_util.Parallel.map_chunked
+      ~cost:(fun (j : Shard_exec.job) -> j.Shard_exec.j_cost)
+      (Mp_util.Parallel.global ())
+      (fun (j : Shard_exec.job) ->
+        match j.Shard_exec.j_programs with
+        | [ p ] -> run ~warmup ~measure ?period t j.Shard_exec.j_config p
+        | ps -> run_heterogeneous ~warmup ~measure ?period t j.Shard_exec.j_config ps)
+      jobs
+  in
+  Array.of_list results
+
+(* Every executable linking the simulator can be its own shard worker:
+   the executor is injected (breaking the Machine <-> Shard_exec
+   cycle), then the worker flag is checked — [maybe_become_worker]
+   never returns in a worker process. *)
+let () =
+  Shard_exec.install_executor exec_request;
+  Shard_exec.maybe_become_worker ()

@@ -68,6 +68,7 @@ val run :
 
 val run_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
+  ?procs:int -> ?shard_pool:Shard_exec.pool ->
   ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t) list ->
   Measurement.t list
@@ -86,7 +87,20 @@ val run_batch :
     result is scattered back to every duplicate position. Measurements
     are deterministic given the key, so collapsing is observationally
     invisible apart from wall-clock time; {!batch_dup_collapsed} counts
-    the positions served by a twin. *)
+    the positions served by a twin.
+
+    [procs] layers a {e process-level} fan-out above the domain pool:
+    deduplicated jobs are sharded by structural hash across
+    {!Shard_exec} worker subprocesses, each running its own domain
+    pool. [0] (the default when [MP_PROCS] is unset) keeps everything
+    in-process — behavior unchanged; results with any [procs] value
+    are bit-identical to in-process execution. The fan-out is adaptive
+    (thin batches stay in-process, same {!Mp_util.Parallel.worthwhile}
+    predicate) and crash-tolerant: jobs lost to a dead or wedged
+    worker are transparently re-run in-process ({!jobs_recovered}
+    counts them). [shard_pool] supplies an explicit pool (the bench
+    harness builds per-combination pools); otherwise the shared
+    process-wide pool of [procs] workers serves. *)
 
 val run_heterogeneous :
   ?warmup:int -> ?measure:int -> ?period:bool ->
@@ -99,19 +113,30 @@ val run_heterogeneous :
 
 val run_heterogeneous_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
+  ?procs:int -> ?shard_pool:Shard_exec.pool ->
   ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t list) list ->
   Measurement.t list
 (** {!run_heterogeneous} over a whole candidate population as one
     fan-out across [pool], under the same determinism contract (and
-    the same [dedup] duplicate collapsing) as {!run_batch}: results in
-    job order, bit-identical to the serial loop (all per-thread
-    programs are pre-interned in job order before any worker runs). *)
+    the same [dedup] duplicate collapsing, [procs]/[shard_pool]
+    process sharding) as {!run_batch}: results in job order,
+    bit-identical to the serial loop (all per-thread programs are
+    pre-interned in job order before any worker runs). *)
 
 val batch_dup_collapsed : unit -> int
 (** Process-wide count of batch positions served by collapsing onto a
     duplicate within the same batch (see [dedup] on {!run_batch}).
     Monotonic; callers wanting a per-phase figure take a delta. *)
+
+val spec : t -> Shard_exec.machine_spec
+(** The machine's wire description — what a shard worker needs to
+    rebuild an equivalent machine on its side. *)
+
+val jobs_recovered : unit -> int
+(** Process-wide count of batch jobs whose shard worker was lost
+    (crash, timeout, garbage frame) and which were transparently
+    re-run in-process. Monotonic; [0] in a healthy run. *)
 
 val run_phases :
   ?pool:Mp_util.Parallel.t ->

@@ -195,6 +195,42 @@ let gc ?max_bytes dir =
     bytes_after = !total;
   }
 
+(* Read-only counterpart to [gc]'s scan, for the `mp-cache stat` CLI:
+   how many shard subdirectories, entry files and bytes a directory
+   holds. In-flight [.tmp.*] files are excluded, like everywhere
+   else. *)
+type disk_stats = { ds_shards : int; ds_entries : int; ds_bytes : int }
+
+let disk_stats dir =
+  let count d (entries, bytes) =
+    match Sys.readdir d with
+    | exception _ -> (entries, bytes)
+    | fs ->
+      Array.fold_left
+        (fun (entries, bytes) f ->
+          if is_tmp f then (entries, bytes)
+          else
+            match Unix.stat (Filename.concat d f) with
+            | exception _ -> (entries, bytes)
+            | st when st.Unix.st_kind = Unix.S_REG ->
+              (entries + 1, bytes + st.Unix.st_size)
+            | _ -> (entries, bytes))
+        (entries, bytes) fs
+  in
+  let acc = count dir (0, 0) in
+  let shards, (entries, bytes) =
+    match Sys.readdir dir with
+    | exception _ -> (0, acc)
+    | fs ->
+      Array.fold_left
+        (fun (shards, acc) f ->
+          let sub = Filename.concat dir f in
+          if is_shard_name f && is_dir sub then (shards + 1, count sub acc)
+          else (shards, acc))
+        (0, acc) fs
+  in
+  { ds_shards = shards; ds_entries = entries; ds_bytes = bytes }
+
 (* Enforce the MP_CACHE_MAX_MB bound automatically — at most once per
    directory per process, like [prune_stale], so repeated
    [Machine.create] calls don't rescan the directory. *)

@@ -88,6 +88,17 @@ val gc : ?max_bytes:int -> string -> gc_stats
     miss, so running [gc] against a live cache is safe. Best-effort:
     IO errors skip the file rather than raise. *)
 
+type disk_stats = {
+  ds_shards : int;   (** two-hex-digit shard subdirectories present *)
+  ds_entries : int;  (** entry files, root plus shards (temps excluded) *)
+  ds_bytes : int;    (** total size of those entries *)
+}
+
+val disk_stats : string -> disk_stats
+(** Read-only scan of a cache (or replay-store) directory — what
+    [mp-cache stat] prints. A missing directory reports all zeros;
+    in-flight [.tmp.*] files are excluded, as everywhere else. *)
+
 val persistent : t -> bool
 
 type stats = {

@@ -1,0 +1,275 @@
+open Mp_uarch
+open Mp_codegen
+
+(* Sharded multi-process measurement execution. The coordinator side
+   shards a deduplicated batch across a pool of worker subprocesses
+   (each a re-exec of this very executable, flagged by MP_SHARD_WORKER)
+   and scatters the streamed results back; the worker side is a frame
+   loop installed by Machine at module-init time. The split with
+   Machine is deliberate: this module owns the protocol and the pool,
+   Machine owns how a request is actually executed — injected through
+   [install_executor] so the two don't depend on each other
+   circularly. *)
+
+(* ----- protocol ---------------------------------------------------------- *)
+
+(* Wire types are Marshal'd. Everything here is plain data except the
+   uarch's [resources] closure, which is why requests are written with
+   [Marshal.Closures] — valid only between identical binaries, which
+   the self-exec guarantees and the namespace check enforces (the
+   namespace embeds a digest of the executable, the same guard the disk
+   cache uses). *)
+
+type machine_spec = {
+  ms_seed : int;
+  ms_cache : bool;
+  ms_replay : bool;
+  ms_uarch : Uarch_def.t;
+}
+
+type job = {
+  j_config : Uarch_def.config;
+  (* one element = homogeneous deployment (replicated over SMT
+     threads); [smt] elements = heterogeneous per-thread programs *)
+  j_programs : Ir.t list;
+  j_cost : float; (* forwarded so workers schedule heaviest-first too *)
+}
+
+type request = {
+  rq_ns : string; (* Measurement_cache.namespace () of the sender *)
+  rq_warmup : int;
+  rq_measure : int;
+  rq_period : bool option;
+  rq_spec : machine_spec;
+  rq_jobs : job array;
+}
+
+type response = {
+  rs_ns : string;
+  rs_results : (Measurement.t array, string) result;
+}
+
+(* ----- knobs ------------------------------------------------------------- *)
+
+let worker_env_var = "MP_SHARD_WORKER"
+
+let in_worker_process () = Sys.getenv_opt worker_env_var = Some "1"
+
+(* MP_PROCS: 0/unset = in-process (unchanged behavior); N = that many
+   workers; "auto" = one worker per domain-pool's worth of cores.
+   Inside a worker process the answer is always 0 — workers never
+   spawn their own process pools. *)
+let env_procs () =
+  if in_worker_process () then 0
+  else
+    match Sys.getenv_opt "MP_PROCS" with
+    | None -> 0
+    | Some s ->
+      let s = String.lowercase_ascii (String.trim s) in
+      if s = "" then 0
+      else if s = "auto" then
+        max 1
+          (Mp_util.Parallel.detected_cores ()
+          / max 1 (Mp_util.Parallel.default_size ()))
+      else (
+        match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 0)
+
+let default_timeout_s = 300.0
+
+let env_timeout_s () =
+  match Sys.getenv_opt "MP_PROC_TIMEOUT_S" with
+  | Some s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some v when v > 0.0 && Float.is_finite v -> v
+     | _ -> default_timeout_s)
+  | None -> default_timeout_s
+
+(* ----- sharding ---------------------------------------------------------- *)
+
+(* Placement is keyed by the programs' structural hashes, so the same
+   structural program always lands on the same worker: that worker's
+   replay table and warm in-memory cache accumulate exactly the records
+   this program will ask for again. Configuration deliberately does not
+   enter the key — all configurations of one program share a worker's
+   warm replay state. *)
+let shard_index ~shards programs =
+  let module F = Mp_util.Fnv in
+  let h =
+    List.fold_left (fun h p -> F.int64 h (Ir.struct_hash p)) F.seed programs
+  in
+  Int64.to_int (F.finish h) land max_int mod max 1 shards
+
+(* ----- worker side ------------------------------------------------------- *)
+
+(* Machine installs the request executor at module-init time (it can't
+   be referenced directly from here without a dependency cycle). *)
+let executor : (request -> Measurement.t array) option ref = ref None
+
+let install_executor f = executor := Some f
+
+let worker_main () =
+  (* Keep private copies of the protocol fds and point stdout at stderr
+     for everyone else: any stray [print_string] in simulation code
+     would otherwise corrupt the frame stream. *)
+  let inp = Unix.dup Unix.stdin in
+  let out = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  let ns = Measurement_cache.namespace () in
+  let execute rq =
+    if rq.rq_ns <> ns then
+      Error (Printf.sprintf "namespace mismatch: got %s, have %s" rq.rq_ns ns)
+    else
+      match !executor with
+      | None -> Error "no executor installed"
+      | Some f -> ( try Ok (f rq) with e -> Error (Printexc.to_string e))
+  in
+  let rec loop () =
+    match Mp_util.Procpool.read_frame inp with
+    | None -> () (* EOF: the coordinator shut the pool down *)
+    | Some payload ->
+      (match (Marshal.from_bytes payload 0 : request) with
+       | exception _ -> () (* garbage on the wire: bail out, get reaped *)
+       | rq ->
+         let rs = { rs_ns = ns; rs_results = execute rq } in
+         (match
+            Mp_util.Procpool.write_frame out (Marshal.to_bytes rs [])
+          with
+          | () -> loop ()
+          | exception _ -> () (* coordinator gone *)))
+  in
+  loop ()
+
+(* Called from Machine's module initializer — i.e. in every executable
+   that links the simulator — so any such executable can be its own
+   worker. Never returns in a worker process. *)
+let maybe_become_worker () =
+  if in_worker_process () then begin
+    worker_main ();
+    exit 0
+  end
+
+(* ----- coordinator side -------------------------------------------------- *)
+
+type pool = { pp : Mp_util.Procpool.t; timeout_s : float }
+
+let create_pool ?(env = []) ?timeout_s n =
+  let env =
+    env
+    @ [
+        (worker_env_var, "1");
+        (* workers must not recurse into process pools of their own *)
+        ("MP_PROCS", "0");
+      ]
+  in
+  {
+    pp = Mp_util.Procpool.create ~env ~prog:Sys.executable_name ~args:[] n;
+    timeout_s = (match timeout_s with Some s -> s | None -> env_timeout_s ());
+  }
+
+let pool_size p = Mp_util.Procpool.size p.pp
+
+let procpool p = p.pp
+
+let shutdown_pool p = Mp_util.Procpool.shutdown p.pp
+
+(* One sharded dispatch at a time per coordinator: each worker's pipe
+   carries one request/response exchange, so interleaving two batches
+   over the same pool would cross their frames. *)
+let dispatch_lock = Mutex.create ()
+
+let run_jobs p ~spec ~warmup ~measure ?period jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  if n > 0 then begin
+    Mutex.lock dispatch_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock dispatch_lock)
+      (fun () ->
+        let shards = pool_size p in
+        let buckets = Array.make shards [] in
+        Array.iteri
+          (fun i j ->
+            let s = shard_index ~shards j.j_programs in
+            buckets.(s) <- i :: buckets.(s))
+          jobs;
+        let buckets = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+        let ns = Measurement_cache.namespace () in
+        (* send every shard first, then collect: workers compute their
+           shards concurrently while the coordinator waits on the first *)
+        let in_flight = Array.make shards false in
+        Array.iteri
+          (fun s bucket ->
+            if Array.length bucket > 0 then begin
+              let rq =
+                {
+                  rq_ns = ns;
+                  rq_warmup = warmup;
+                  rq_measure = measure;
+                  rq_period = period;
+                  rq_spec = spec;
+                  rq_jobs = Array.map (fun i -> jobs.(i)) bucket;
+                }
+              in
+              match Marshal.to_bytes rq [ Marshal.Closures ] with
+              | exception _ -> () (* unmarshalable spec: caller recovers *)
+              | payload ->
+                in_flight.(s) <-
+                  Mp_util.Procpool.send ~timeout_s:p.timeout_s p.pp s payload
+            end)
+          buckets;
+        Array.iteri
+          (fun s bucket ->
+            if in_flight.(s) then
+              match Mp_util.Procpool.recv ~timeout_s:p.timeout_s p.pp s with
+              | None -> () (* crash/timeout: slot reaped, jobs recovered *)
+              | Some payload ->
+                (match (Marshal.from_bytes payload 0 : response) with
+                 | exception _ -> Mp_util.Procpool.reap p.pp s
+                 | rs ->
+                   if rs.rs_ns <> ns then Mp_util.Procpool.reap p.pp s
+                   else (
+                     match rs.rs_results with
+                     | Error _ -> () (* worker-reported failure *)
+                     | Ok arr ->
+                       if Array.length arr = Array.length bucket then
+                         Array.iteri
+                           (fun k i -> results.(i) <- Some arr.(k))
+                           bucket
+                       else Mp_util.Procpool.reap p.pp s)))
+          buckets)
+  end;
+  results
+
+(* ----- the shared pool --------------------------------------------------- *)
+
+let global : pool option ref = ref None
+let global_lock = Mutex.create ()
+
+let shutdown_global () =
+  Mutex.lock global_lock;
+  let p = !global in
+  global := None;
+  Mutex.unlock global_lock;
+  Option.iter shutdown_pool p
+
+let () = at_exit shutdown_global
+
+let get_pool n =
+  Mutex.lock global_lock;
+  let p =
+    match !global with
+    | Some p ->
+      Mp_util.Procpool.ensure_size p.pp n;
+      Some p
+    | None -> (
+      match create_pool n with
+      | p ->
+        global := Some p;
+        Some p
+      | exception _ -> None)
+  in
+  Mutex.unlock global_lock;
+  p
+
+let global_size () = match !global with Some p -> pool_size p | None -> 0

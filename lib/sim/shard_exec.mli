@@ -1,0 +1,161 @@
+(** Sharded multi-process measurement execution — the process-level
+    fan-out above {!Mp_util.Parallel}'s domain pool.
+
+    A coordinator shards a (deduplicated) measurement batch across a
+    pool of worker subprocesses, each of which is a re-exec of the
+    {e current executable} (flagged by the [MP_SHARD_WORKER]
+    environment variable) running its own domain pool, measurement
+    cache and replay table. Jobs are placed by their programs'
+    structural hashes, so the same structural program always lands on
+    the same worker — that worker's replay table and warm cache
+    accumulate exactly the records the program will ask for again.
+    Results stream back and are scattered positionally; execution is
+    bit-identical to in-process evaluation (measurements are
+    deterministic given the job, and {!Power_sim} sums energies in
+    opcode-name order, so a worker's independent intern history cannot
+    reorder a float sum).
+
+    {2 Wire protocol}
+
+    Length-prefixed [Marshal] frames over stdin/stdout pipes
+    ({!Mp_util.Procpool} owns the framing). Requests carry the
+    sender's {!Measurement_cache.namespace} — schema version plus a
+    digest of the executable, the same guard the disk cache uses — and
+    are written with [Marshal.Closures] (the uarch's [resources] field
+    is a closure), which is only sound between identical binaries: the
+    self-exec guarantees it and both ends verify the namespace anyway.
+    Workers inherit [MP_CACHE_DIR], so the sharded disk cache and the
+    replay store are the merge point: every worker writes through with
+    the same tmp+rename atomicity, and a campaign's second lap is warm
+    regardless of which process measured first.
+
+    {2 Crash tolerance}
+
+    A worker that crashes, writes garbage, or exceeds
+    [MP_PROC_TIMEOUT_S] is reaped; {!run_jobs} returns [None] for its
+    shard's positions and the caller ({!Machine.run_batch}) re-runs
+    exactly those jobs in its own domain pool — a dying worker degrades
+    to a slower batch, never a failed or wrong one. The next dispatch
+    respawns the slot transparently. *)
+
+(** Everything needed to reconstruct an equivalent [Machine.t] in the
+    worker (the worker memoizes machines per spec, so consecutive
+    batches reuse warm opmaps). *)
+type machine_spec = {
+  ms_seed : int;
+  ms_cache : bool;
+  ms_replay : bool;
+  ms_uarch : Mp_uarch.Uarch_def.t;
+}
+
+type job = {
+  j_config : Mp_uarch.Uarch_def.config;
+  j_programs : Mp_codegen.Ir.t list;
+      (** one element: homogeneous deployment (replicated over SMT
+          threads); [smt] elements: heterogeneous per-thread programs *)
+  j_cost : float;
+      (** scheduling hint, forwarded so the worker's domain pool also
+          starts heaviest-first *)
+}
+
+type request = {
+  rq_ns : string;
+  rq_warmup : int;
+  rq_measure : int;
+  rq_period : bool option;
+  rq_spec : machine_spec;
+  rq_jobs : job array;
+}
+
+type response = {
+  rs_ns : string;
+  rs_results : (Measurement.t array, string) result;
+}
+
+(** {2 Knobs} *)
+
+val env_procs : unit -> int
+(** [MP_PROCS] parsed: [0] (the default, and anything unparsable) means
+    in-process execution, unchanged behavior; [N] means a pool of [N]
+    workers; ["auto"] picks [detected_cores / pool_size] (at least 1).
+    Always [0] inside a worker process — workers never spawn process
+    pools of their own. *)
+
+val env_timeout_s : unit -> float
+(** [MP_PROC_TIMEOUT_S] parsed as a positive number of seconds per
+    shard exchange (default 300). A worker that exceeds it is treated
+    as crashed. *)
+
+val in_worker_process : unit -> bool
+(** True when this process was spawned as a shard worker. *)
+
+val shard_index : shards:int -> Mp_codegen.Ir.t list -> int
+(** The placement function: an FNV fold of the per-thread programs'
+    {!Mp_codegen.Ir.struct_hash} values, mod [shards]. Exposed pure so
+    tests and the bench harness can predict job spread. *)
+
+(** {2 Worker side} *)
+
+val install_executor : (request -> Measurement.t array) -> unit
+(** Install the function that actually runs a request's jobs.
+    {!Machine} calls this from its module initializer — injection
+    instead of a direct call breaks the dependency cycle (the
+    coordinator lives below Machine, the executor needs Machine). *)
+
+val maybe_become_worker : unit -> unit
+(** If this process carries the worker flag: dup the protocol fds,
+    redirect stdout to stderr (stray prints must not corrupt frames),
+    serve request frames until EOF, then [exit 0]. Never returns in a
+    worker process; a no-op otherwise. Called at [Machine]
+    module-init, after the executor is installed. *)
+
+(** {2 Coordinator side} *)
+
+type pool
+
+val create_pool : ?env:(string * string) list -> ?timeout_s:float -> int -> pool
+(** A pool of [n] worker subprocesses (re-execs of
+    [Sys.executable_name]). [env] adds environment overrides for the
+    workers — the bench harness uses [("MP_POOL_SIZE", d)] to control
+    each worker's domain count; the worker flag and [MP_PROCS=0] are
+    always set. [timeout_s] defaults to {!env_timeout_s}. *)
+
+val pool_size : pool -> int
+
+val procpool : pool -> Mp_util.Procpool.t
+(** The underlying transport, exposed for tests (crash injection via
+    {!Mp_util.Procpool.kill}) and telemetry. *)
+
+val shutdown_pool : pool -> unit
+
+val run_jobs :
+  pool ->
+  spec:machine_spec ->
+  warmup:int ->
+  measure:int ->
+  ?period:bool ->
+  job list ->
+  Measurement.t option array
+(** Shard the jobs across the pool by {!shard_index}, send each
+    non-empty shard as one request, collect responses (each worker
+    gets [timeout_s] from its read's start), and scatter results back
+    positionally. [None] positions belong to shards whose worker was
+    lost (crash, timeout, garbage frame, namespace mismatch) or whose
+    request could not be marshalled — the caller re-runs those jobs
+    in-process. Dispatches are serialized process-wide (one exchange
+    per worker pipe at a time). *)
+
+(** {2 The shared pool} *)
+
+val get_pool : int -> pool option
+(** The process-wide pool, created on first use and grown (never
+    shrunk) to at least [n] workers; [None] when spawning failed. Shut
+    down at exit. *)
+
+val global_size : unit -> int
+(** Workers in the shared pool ([0] when it was never created) — the
+    [procs_effective] harness metric. *)
+
+val shutdown_global : unit -> unit
+(** Shut down and drop the shared pool now; idempotent. Also registered
+    [at_exit]. *)

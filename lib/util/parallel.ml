@@ -400,3 +400,14 @@ let global () =
   in
   Mutex.unlock global_lock;
   pool
+
+(* Explicit counterpart to the at_exit hook: exit paths that want the
+   domains joined *before* the process tears anything else down (the
+   CLI and the bench harness) call this; [shutdown] is idempotent, so
+   the at_exit firing afterwards is harmless. *)
+let shutdown_global () =
+  Mutex.lock global_lock;
+  let p = !global_pool in
+  global_pool := None;
+  Mutex.unlock global_lock;
+  Option.iter shutdown p

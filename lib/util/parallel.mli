@@ -150,3 +150,10 @@ val default_size : unit -> int
 val global : unit -> t
 (** The process-wide shared pool, created on first use with
     {!default_size} workers and shut down at exit. *)
+
+val shutdown_global : unit -> unit
+(** Shut down and drop the {!global} pool now (a later {!global} call
+    creates a fresh one). Explicit counterpart to the [at_exit] hook
+    for exit paths that want worker domains joined deterministically —
+    the CLI and the bench harness call it before returning. Idempotent
+    and safe when no global pool was ever created. *)

@@ -1,0 +1,325 @@
+(* A crash-tolerant pool of worker subprocesses driven over
+   stdin/stdout pipes. This is the transport layer under
+   Mp_sim.Shard_exec: it owns process lifecycle (spawn, reap, respawn)
+   and byte-level framing, and knows nothing about what the frames
+   mean. Every failure mode — a worker that died, a truncated or
+   oversized frame, a write into a broken pipe, a read that times out —
+   degrades to "this worker is gone" (the slot is reaped and the call
+   reports failure); the *caller* decides what to do with the jobs that
+   were in flight. That split keeps the recovery story testable with a
+   plain [/bin/cat] echo worker. *)
+
+(* ----- framing ----------------------------------------------------------- *)
+
+(* 4-byte big-endian length prefix + payload. The length guard bounds a
+   corrupt header's damage: a worker that wrote garbage makes recv fail
+   (and the worker get reaped) instead of making the coordinator try to
+   allocate gigabytes. *)
+let max_frame_bytes = 1 lsl 30
+
+let frame_header_bytes = 4
+
+(* writes with an optional absolute deadline: the fd is non-blocking
+   (see [spawn]), so a worker that stopped reading surfaces as EAGAIN +
+   select timeout instead of wedging the coordinator forever *)
+let rec write_all ?deadline fd buf off len =
+  if len > 0 then begin
+    (match deadline with
+     | Some d ->
+       let left = d -. Unix.gettimeofday () in
+       if left <= 0.0 then raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""));
+       (match Unix.select [] [ fd ] [] left with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""))
+        | _ -> ())
+     | None -> ());
+    match Unix.write fd buf off len with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      write_all ?deadline fd buf off len
+    | n -> write_all ?deadline fd buf (off + n) (len - n)
+  end
+
+let write_frame ?deadline fd payload =
+  let len = Bytes.length payload in
+  if len > max_frame_bytes then invalid_arg "Procpool.write_frame: frame too large";
+  let hdr = Bytes.create frame_header_bytes in
+  Bytes.set_int32_be hdr 0 (Int32.of_int len);
+  write_all ?deadline fd hdr 0 frame_header_bytes;
+  write_all ?deadline fd payload 0 len
+
+(* [`Eof] covers every way the stream can end badly — closed pipe, read
+   error — because they all mean the same thing to the caller: the peer
+   is gone. *)
+let read_exact ?deadline fd buf off len =
+  let pos = ref off and left = ref len in
+  let rec loop () =
+    if !left = 0 then `Ok
+    else begin
+      let wait =
+        match deadline with None -> -1.0 | Some d -> d -. Unix.gettimeofday ()
+      in
+      if deadline <> None && wait <= 0.0 then `Timeout
+      else
+        match Unix.select [ fd ] [] [] wait with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | [], _, _ -> loop () (* deadline re-checked at the top *)
+        | _ ->
+          (match Unix.read fd buf !pos !left with
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+           | exception _ -> `Eof
+           | 0 -> `Eof
+           | n ->
+             pos := !pos + n;
+             left := !left - n;
+             loop ())
+    end
+  in
+  loop ()
+
+let read_frame ?timeout_s fd =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let hdr = Bytes.create frame_header_bytes in
+  match read_exact ?deadline fd hdr 0 frame_header_bytes with
+  | `Eof | `Timeout -> None
+  | `Ok ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame_bytes then None
+    else begin
+      let payload = Bytes.create len in
+      match read_exact ?deadline fd payload 0 len with
+      | `Ok -> Some payload
+      | `Eof | `Timeout -> None
+    end
+
+(* ----- process-wide telemetry -------------------------------------------- *)
+
+(* Cumulative over every pool in the process, so the bench harness can
+   report one number per metric without threading pool handles around. *)
+let respawns = Atomic.make 0
+let sent = Atomic.make 0
+let received = Atomic.make 0
+
+let respawn_count () = Atomic.get respawns
+let frames_sent () = Atomic.get sent
+let frames_received () = Atomic.get received
+
+(* ----- the pool ---------------------------------------------------------- *)
+
+type worker = {
+  mutable pid : int; (* -1 when the slot holds no live process *)
+  mutable to_fd : Unix.file_descr option;
+  mutable from_fd : Unix.file_descr option;
+  mutable spawned_once : bool; (* a later spawn is a respawn *)
+}
+
+type t = {
+  prog : string;
+  argv : string array;
+  env : string array;
+  lock : Mutex.t; (* guards worker slots (spawn/reap transitions) *)
+  mutable workers : worker array;
+}
+
+(* Overrides win over the inherited environment; first occurrence of a
+   key wins within the override list itself. *)
+let child_env overrides =
+  let seen = Hashtbl.create 8 in
+  let ov =
+    List.filter_map
+      (fun (k, v) ->
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          Some (k ^ "=" ^ v)
+        end)
+      overrides
+  in
+  let inherited =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun s ->
+           match String.index_opt s '=' with
+           | Some i -> not (Hashtbl.mem seen (String.sub s 0 i))
+           | None -> true)
+  in
+  Array.of_list (ov @ inherited)
+
+let fresh_worker () =
+  { pid = -1; to_fd = None; from_fd = None; spawned_once = false }
+
+(* cloexec on the ends we keep: a worker spawned later must not inherit
+   an earlier worker's pipe ends, or closing our copy would no longer
+   deliver EOF to that worker *)
+let spawn t w =
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  match Unix.create_process_env t.prog t.argv t.env in_r out_w Unix.stderr with
+  | exception e ->
+    List.iter (fun fd -> try Unix.close fd with _ -> ()) [ in_r; in_w; out_r; out_w ];
+    raise e
+  | pid ->
+    Unix.close in_r;
+    Unix.close out_w;
+    (* non-blocking writes so a worker that stopped draining its stdin
+       can't wedge the coordinator (see [write_all]) *)
+    Unix.set_nonblock in_w;
+    if w.spawned_once then Atomic.incr respawns;
+    w.spawned_once <- true;
+    w.pid <- pid;
+    w.to_fd <- Some in_w;
+    w.from_fd <- Some out_r
+
+(* must hold t.lock *)
+let reap_locked w =
+  (match w.to_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+  (match w.from_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+  w.to_fd <- None;
+  w.from_fd <- None;
+  if w.pid > 0 then begin
+    (try Unix.kill w.pid Sys.sigkill with _ -> ());
+    (try ignore (Unix.waitpid [] w.pid) with _ -> ())
+  end;
+  w.pid <- -1
+
+let create ?(env = []) ~prog ~args n =
+  (* a write into a pipe whose worker just died must surface as EPIPE,
+     not kill the coordinator *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let n = max 1 n in
+  let t =
+    {
+      prog;
+      argv = Array.of_list (prog :: args);
+      env = child_env env;
+      lock = Mutex.create ();
+      workers = Array.init n (fun _ -> fresh_worker ());
+    }
+  in
+  Array.iter (fun w -> spawn t w) t.workers;
+  t
+
+let size t = Array.length t.workers
+
+let ensure_size t n =
+  Mutex.lock t.lock;
+  let cur = Array.length t.workers in
+  if n > cur then
+    t.workers <-
+      Array.append t.workers (Array.init (n - cur) (fun _ -> fresh_worker ()));
+  Mutex.unlock t.lock
+
+let pid t i =
+  let w = t.workers.(i) in
+  if w.pid > 0 then Some w.pid else None
+
+let send ?timeout_s t i payload =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  Mutex.lock t.lock;
+  let w = t.workers.(i) in
+  let fd =
+    if w.pid <= 0 then (match spawn t w with () -> w.to_fd | exception _ -> None)
+    else w.to_fd
+  in
+  let ok =
+    match fd with
+    | None -> false
+    | Some fd ->
+      (match write_frame ?deadline fd payload with
+       | () ->
+         Atomic.incr sent;
+         true
+       | exception _ ->
+         reap_locked w;
+         false)
+  in
+  Mutex.unlock t.lock;
+  ok
+
+(* test hook: write raw bytes with no framing, to simulate a worker (or
+   coordinator) that emits a truncated or corrupt frame *)
+let send_raw t i payload =
+  Mutex.lock t.lock;
+  let w = t.workers.(i) in
+  let ok =
+    match w.to_fd with
+    | None -> false
+    | Some fd ->
+      (match write_all fd payload 0 (Bytes.length payload) with
+       | () -> true
+       | exception _ ->
+         reap_locked w;
+         false)
+  in
+  Mutex.unlock t.lock;
+  ok
+
+let recv ?timeout_s t i =
+  let fd =
+    Mutex.lock t.lock;
+    let fd = t.workers.(i).from_fd in
+    Mutex.unlock t.lock;
+    fd
+  in
+  match fd with
+  | None -> None
+  | Some fd ->
+    (* the read itself runs outside the lock — a slow worker must not
+       block sends to its siblings *)
+    (match read_frame ?timeout_s fd with
+     | Some payload ->
+       Atomic.incr received;
+       Some payload
+     | None ->
+       Mutex.lock t.lock;
+       reap_locked t.workers.(i);
+       Mutex.unlock t.lock;
+       None)
+
+let reap t i =
+  Mutex.lock t.lock;
+  reap_locked t.workers.(i);
+  Mutex.unlock t.lock
+
+(* test hook: SIGKILL the process but leave the slot's bookkeeping
+   alone, exactly like a real crash — the next send/recv discovers the
+   death and reaps *)
+let kill t i =
+  Mutex.lock t.lock;
+  let w = t.workers.(i) in
+  if w.pid > 0 then (try Unix.kill w.pid Sys.sigkill with _ -> ());
+  Mutex.unlock t.lock
+
+let shutdown ?(grace_s = 1.0) t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  (* closing stdin delivers EOF: a healthy worker exits on its own *)
+  Array.iter
+    (fun w ->
+      (match w.to_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+      w.to_fd <- None)
+    workers;
+  let deadline = Unix.gettimeofday () +. grace_s in
+  Array.iter
+    (fun w ->
+      if w.pid > 0 then begin
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+          | 0, _ ->
+            if Unix.gettimeofday () < deadline then begin
+              Unix.sleepf 0.005;
+              wait ()
+            end
+            else begin
+              (try Unix.kill w.pid Sys.sigkill with _ -> ());
+              (try ignore (Unix.waitpid [] w.pid) with _ -> ())
+            end
+          | _ -> ()
+          | exception _ -> ()
+        in
+        wait ();
+        w.pid <- -1
+      end;
+      (match w.from_fd with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+      w.from_fd <- None)
+    workers;
+  Mutex.unlock t.lock

@@ -1,0 +1,101 @@
+(** A crash-tolerant pool of worker subprocesses driven over
+    stdin/stdout pipes.
+
+    The transport layer under {!Mp_sim.Shard_exec}: it owns process
+    lifecycle (spawn, reap, respawn) and length-prefixed framing, and
+    knows nothing about frame contents. Every failure mode — a worker
+    that died or stopped responding, a truncated or oversized frame, a
+    write into a broken pipe — degrades to "this worker is gone": the
+    slot is reaped (SIGKILL + waitpid, fds closed) and the call reports
+    failure, leaving the {e caller} to re-run whatever was in flight.
+    The next {!send} to a reaped slot respawns it transparently
+    (counted by {!respawn_count}).
+
+    Frames are a 4-byte big-endian length followed by the payload,
+    bounded by a 1 GiB guard so a corrupt header cannot make the reader
+    allocate garbage. Pipe ends kept by the coordinator are
+    close-on-exec, so a worker spawned later never holds an earlier
+    worker's pipes open (EOF on shutdown stays reliable), and writes
+    are non-blocking with a deadline so a wedged worker cannot block
+    the coordinator. SIGPIPE is ignored process-wide at pool creation.
+
+    All operations are domain-safe; per-worker sends/recvs serialize on
+    the pool lock only for slot bookkeeping (the blocking read itself
+    runs outside it). *)
+
+type t
+
+val create : ?env:(string * string) list -> prog:string -> args:string list ->
+  int -> t
+(** [create ~prog ~args n] spawns [n] workers (clamped to at least 1)
+    running [prog args], each with its stdin/stdout connected to the
+    pool and stderr inherited. [env] lists overrides applied on top of
+    the inherited environment (an override wins over an inherited
+    binding of the same name). Raises if the initial spawns fail. *)
+
+val size : t -> int
+
+val ensure_size : t -> int -> unit
+(** Grow the pool to at least [n] slots. New slots spawn lazily on
+    first {!send} (not counted as respawns). Never shrinks. *)
+
+val pid : t -> int -> int option
+(** The worker's process id, or [None] when the slot is reaped. *)
+
+val send : ?timeout_s:float -> t -> int -> bytes -> bool
+(** Frame and write [payload] to worker [i], respawning a reaped slot
+    first. [false] means the worker is gone (spawn failed, broken pipe,
+    or the write timed out) and the slot has been reaped — the caller
+    owns whatever it was trying to dispatch. *)
+
+val recv : ?timeout_s:float -> t -> int -> bytes option
+(** Read one frame from worker [i]. [None] means the worker is gone —
+    EOF, a malformed frame, or no complete frame within [timeout_s]
+    (wait forever when omitted) — and the slot has been reaped. *)
+
+val reap : t -> int -> unit
+(** Force-reap a slot: SIGKILL + waitpid, fds closed. Used by callers
+    that detect a sick worker at a higher level (e.g. a frame that
+    unmarshals to garbage); the next {!send} respawns. *)
+
+val kill : t -> int -> unit
+(** Test hook: SIGKILL the worker but leave the slot's bookkeeping
+    untouched, exactly like a real crash — the next {!send} or {!recv}
+    discovers the death and reaps. *)
+
+val shutdown : ?grace_s:float -> t -> unit
+(** Close every worker's stdin (EOF lets healthy workers exit on their
+    own), wait up to [grace_s] seconds (default 1.0) per straggler,
+    then SIGKILL and reap. Idempotent. *)
+
+(** {2 Process-wide telemetry}
+
+    Cumulative across every pool in the process (the bench harness
+    reports one number per metric); monotone, never part of any
+    result. *)
+
+val respawn_count : unit -> int
+(** Workers spawned to replace a reaped one (initial spawns and lazy
+    {!ensure_size} first-spawns excluded). *)
+
+val frames_sent : unit -> int
+
+val frames_received : unit -> int
+
+(** {2 Framing primitives}
+
+    Exposed so the worker side of a protocol (which talks over its own
+    stdin/stdout) reuses the exact same wire format, and for tests. *)
+
+val max_frame_bytes : int
+
+val write_frame : ?deadline:float -> Unix.file_descr -> bytes -> unit
+(** [deadline] is an absolute [Unix.gettimeofday] time; raises
+    [Unix.Unix_error] on timeout or write failure. *)
+
+val read_frame : ?timeout_s:float -> Unix.file_descr -> bytes option
+(** [None] on EOF, malformed length, or timeout. *)
+
+val send_raw : t -> int -> bytes -> bool
+(** Test hook: write raw bytes to worker [i] with {e no} framing, to
+    simulate a truncated or corrupt frame on the wire. *)

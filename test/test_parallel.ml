@@ -352,6 +352,124 @@ let test_run_batch_pool_size_one () =
   Mp_util.Parallel.shutdown pool;
   check_identical "pool-1 vs serial" serial batch
 
+(* ----- process pool (transport) --------------------------------------------- *)
+
+(* /bin/cat echoes bytes verbatim and the framing is symmetric, so a
+   cat worker is a perfect protocol loopback for the transport layer. *)
+let cat_pool n = Mp_util.Procpool.create ~prog:"/bin/cat" ~args:[] n
+
+let test_procpool_echo () =
+  let p = cat_pool 2 in
+  let payload = Bytes.of_string "hello frames" in
+  Alcotest.(check bool) "send 0" true (Mp_util.Procpool.send p 0 payload);
+  Alcotest.(check bool) "send 1" true (Mp_util.Procpool.send p 1 payload);
+  (match Mp_util.Procpool.recv ~timeout_s:10.0 p 0 with
+   | Some b ->
+     Alcotest.(check string) "echo 0" "hello frames" (Bytes.to_string b)
+   | None -> Alcotest.fail "worker 0 did not echo");
+  (match Mp_util.Procpool.recv ~timeout_s:10.0 p 1 with
+   | Some b ->
+     Alcotest.(check string) "echo 1" "hello frames" (Bytes.to_string b)
+   | None -> Alcotest.fail "worker 1 did not echo");
+  Mp_util.Procpool.shutdown p
+
+let test_procpool_timeout_respawn () =
+  let p = cat_pool 1 in
+  let r0 = Mp_util.Procpool.respawn_count () in
+  (* nothing was sent: a bounded recv must time out and reap the slot *)
+  Alcotest.(check bool) "timeout recv" true
+    (Mp_util.Procpool.recv ~timeout_s:0.2 p 0 = None);
+  Alcotest.(check bool) "slot reaped" true (Mp_util.Procpool.pid p 0 = None);
+  (* the next send respawns transparently and the exchange works again *)
+  let payload = Bytes.of_string "back" in
+  Alcotest.(check bool) "send respawns" true
+    (Mp_util.Procpool.send p 0 payload);
+  Alcotest.(check bool) "respawn counted" true
+    (Mp_util.Procpool.respawn_count () > r0);
+  (match Mp_util.Procpool.recv ~timeout_s:10.0 p 0 with
+   | Some b ->
+     Alcotest.(check string) "echo after respawn" "back" (Bytes.to_string b)
+   | None -> Alcotest.fail "respawned worker did not echo");
+  Mp_util.Procpool.shutdown p
+
+let test_procpool_truncated_frame () =
+  let p = cat_pool 1 in
+  (* a header promising 64 bytes followed by only 3 and worker death:
+     the reader must fail cleanly, not hang or surface a short frame *)
+  let junk = Bytes.create 7 in
+  Bytes.set_int32_be junk 0 64l;
+  Bytes.blit_string "abc" 0 junk 4 3;
+  Alcotest.(check bool) "raw bytes written" true
+    (Mp_util.Procpool.send_raw p 0 junk);
+  Mp_util.Procpool.kill p 0;
+  Alcotest.(check bool) "truncated frame rejected" true
+    (Mp_util.Procpool.recv ~timeout_s:10.0 p 0 = None);
+  Alcotest.(check bool) "slot reaped after kill" true
+    (Mp_util.Procpool.pid p 0 = None);
+  Mp_util.Procpool.shutdown p
+
+let test_procpool_ensure_size () =
+  let p = cat_pool 1 in
+  let r0 = Mp_util.Procpool.respawn_count () in
+  Mp_util.Procpool.ensure_size p 3;
+  Alcotest.(check int) "grown" 3 (Mp_util.Procpool.size p);
+  let payload = Bytes.of_string "new slot" in
+  Alcotest.(check bool) "lazy spawn on send" true
+    (Mp_util.Procpool.send p 2 payload);
+  (match Mp_util.Procpool.recv ~timeout_s:10.0 p 2 with
+   | Some b -> Alcotest.(check string) "echo" "new slot" (Bytes.to_string b)
+   | None -> Alcotest.fail "grown slot did not echo");
+  Alcotest.(check int) "lazy spawn is not a respawn" r0
+    (Mp_util.Procpool.respawn_count ());
+  Mp_util.Procpool.shutdown p
+
+(* ----- multi-process run_batch ---------------------------------------------- *)
+
+(* The shard workers are re-execs of this very test binary (Machine's
+   module initializer turns a flagged process into a frame loop), so
+   these tests exercise the full self-exec protocol end to end. *)
+
+let test_run_batch_procs_matches_serial () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let rec0 = Machine.jobs_recovered () in
+  (* one worker subprocess, then two: both must be bit-identical *)
+  let m2 = Machine.create ~cache:false a.Arch.uarch in
+  check_identical "procs-1 vs serial" serial
+    (Machine.run_batch ~procs:1 m2 jobs);
+  let m3 = Machine.create ~cache:false a.Arch.uarch in
+  check_identical "procs-2 vs serial" serial
+    (Machine.run_batch ~procs:2 m3 jobs);
+  Alcotest.(check int) "no recoveries in a healthy run" rec0
+    (Machine.jobs_recovered ());
+  Alcotest.(check bool) "shared pool live" true
+    (Mp_sim.Shard_exec.global_size () >= 2)
+
+let test_run_batch_worker_crash_recovers () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  match Mp_sim.Shard_exec.get_pool 2 with
+  | None -> Alcotest.fail "could not create the shared shard pool"
+  | Some p ->
+    let rec0 = Machine.jobs_recovered () in
+    (* kill every worker mid-pool, exactly like a crash: each shard's
+       exchange fails and every job must be recovered in-process *)
+    Mp_util.Procpool.kill (Mp_sim.Shard_exec.procpool p) 0;
+    Mp_util.Procpool.kill (Mp_sim.Shard_exec.procpool p) 1;
+    let m2 = Machine.create ~cache:false a.Arch.uarch in
+    let batch = Machine.run_batch ~procs:2 m2 jobs in
+    check_identical "crashed workers vs serial" serial batch;
+    Alcotest.(check bool) "recoveries counted" true
+      (Machine.jobs_recovered () > rec0);
+    (* the next dispatch finds reaped slots and respawns them *)
+    let m3 = Machine.create ~cache:false a.Arch.uarch in
+    check_identical "respawned pool vs serial" serial
+      (Machine.run_batch ~procs:2 m3 jobs)
+
 let () =
   Alcotest.run "mp_parallel"
     [
@@ -383,4 +501,17 @@ let () =
            test_run_batch_matches_serial;
          Alcotest.test_case "pool of one" `Quick
            test_run_batch_pool_size_one ]);
+      ("procpool",
+       [ Alcotest.test_case "echo round-trip" `Quick test_procpool_echo;
+         Alcotest.test_case "timeout reaps, send respawns" `Quick
+           test_procpool_timeout_respawn;
+         Alcotest.test_case "truncated frame" `Quick
+           test_procpool_truncated_frame;
+         Alcotest.test_case "ensure_size lazy spawn" `Quick
+           test_procpool_ensure_size ]);
+      ("multi-process",
+       [ Alcotest.test_case "procs bit-identical vs serial" `Quick
+           test_run_batch_procs_matches_serial;
+         Alcotest.test_case "worker crash recovers" `Quick
+           test_run_batch_worker_crash_recovers ]);
     ]

@@ -511,6 +511,131 @@ let test_disk_cache_corrupt_skipped () =
         s.Measurement_cache.disk_hits;
       Alcotest.(check int) "recomputed once" 1 s.Measurement_cache.misses)
 
+let rec no_tmp_left d =
+  Array.for_all
+    (fun f ->
+      let path = Filename.concat d f in
+      if Sys.is_directory path then no_tmp_left path
+      else not (String.length f >= 5 && String.sub f 0 5 = ".tmp."))
+    (Sys.readdir d)
+
+let test_disk_cache_concurrent_writers () =
+  let a = arch () in
+  let p = mono a "mulld" in
+  let c = config a ~cores:1 ~smt:1 in
+  let m = Machine.run (Machine.create ~cache:false a.Arch.uarch) c p in
+  let dir = fresh_dir "concwr" in
+  let disk =
+    { Measurement_cache.dir; namespace = Measurement_cache.namespace () }
+  in
+  let key i = Printf.sprintf "ab%06dcafe" (i mod 4) in
+  (* two independent tables race tmp+rename writes of the same keys
+     into the same directory — concurrent writers of one key store
+     identical bytes, so whichever rename lands last wins harmlessly *)
+  let writer () =
+    let t = Measurement_cache.create ~disk () in
+    for i = 0 to 39 do
+      Measurement_cache.add t (key i) m
+    done
+  in
+  let d1 = Domain.spawn writer and d2 = Domain.spawn writer in
+  Domain.join d1;
+  Domain.join d2;
+  let r = Measurement_cache.create ~disk () in
+  for i = 0 to 3 do
+    match Measurement_cache.find r (key i) with
+    | Some got ->
+      Alcotest.(check bool) "raced entry bit-identical" true
+        (compare got m = 0)
+    | None -> Alcotest.fail "concurrently written entry missing"
+  done;
+  Alcotest.(check bool) "no temp files left behind" true (no_tmp_left dir);
+  let s = Measurement_cache.disk_stats dir in
+  Alcotest.(check int) "one entry per key" 4 s.Measurement_cache.ds_entries;
+  Alcotest.(check bool) "sharded layout" true
+    (s.Measurement_cache.ds_shards >= 1)
+
+let test_replay_store_concurrent_writers () =
+  let a = arch () in
+  let u = a.Arch.uarch in
+  let p = mono a "mulld" in
+  (* a dense single-thread run at the Core_sim level supplies the
+     ground-truth activity and period delta a replay record stores *)
+  let opmap = Core_sim.opmap_create () in
+  let dp = Core_sim.deploy ~uarch:u ~opmap ~streams:(fun _ -> [||]) p in
+  let activity, pd =
+    Core_sim.run_ex ~uarch:u ~opmap ~warmup:1 ~measure:4 [| dp |]
+  in
+  let fp = Measurement_cache.uarch_fingerprint u in
+  let key =
+    Replay.key ~uarch:fp ~smt:1 ~warmup:1
+      ~mem_latency:u.Mp_uarch.Uarch_def.mem_latency [| p |]
+  in
+  let dir = fresh_dir "replaywr" in
+  let writer () =
+    let t = Replay.create ~disk_dir:dir () in
+    for _ = 1 to 20 do
+      Replay.record t ~opmap ~measure:4 key activity pd
+    done
+  in
+  let d1 = Domain.spawn writer and d2 = Domain.spawn writer in
+  Domain.join d1;
+  Domain.join d2;
+  (* a fresh table must reconstruct the activity from disk exactly as
+     an uncontended in-memory table would (replay-vs-dense equivalence
+     itself is covered by the replay suite) *)
+  let daf = Ir.data_activity_factor p in
+  let reference = Replay.create () in
+  Replay.record reference ~opmap ~measure:4 key activity pd;
+  let expect =
+    match Replay.find reference ~opmap ~daf ~warmup:1 ~measure:4 key with
+    | Some a -> a
+    | None -> Alcotest.fail "reference table did not serve its own record"
+  in
+  let t = Replay.create ~disk_dir:dir () in
+  (match Replay.find t ~opmap ~daf ~warmup:1 ~measure:4 key with
+   | Some got ->
+     Alcotest.(check bool) "raced store serves the uncontended record" true
+       (compare got expect = 0)
+   | None -> Alcotest.fail "record not served from the replay store");
+  Alcotest.(check bool) "no temp files left behind" true (no_tmp_left dir)
+
+(* ----- multi-process batches ------------------------------------------------ *)
+
+let test_procs_batch_matches_serial () =
+  let a = arch () in
+  (* a non-dyadic core count, memory and compute kernels, and a
+     heterogeneous batch: the full surface of the wire protocol *)
+  let p1 = mono a "mulld" and p2 = mono a "lbz" in
+  let c3 = config a ~cores:3 ~smt:2 in
+  let c1 = config a ~cores:1 ~smt:1 in
+  let jobs = [ (c3, p1); (c1, p1); (c3, p2); (c1, p2) ] in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let m2 = Machine.create ~cache:false a.Arch.uarch in
+  let batch = Machine.run_batch ~procs:2 m2 jobs in
+  List.iter2
+    (fun (s : Measurement.t) (b : Measurement.t) ->
+      Alcotest.(check bool)
+        (s.Measurement.program ^ " procs bit-identical")
+        true
+        (compare s b = 0))
+    serial batch;
+  (* heterogeneous jobs ride the same wire *)
+  let hjobs = [ (c3, [ p1; p2 ]); (c3, [ p2; p1 ]) ] in
+  let hserial =
+    List.map (fun (c, ps) -> Machine.run_heterogeneous m1 c ps) hjobs
+  in
+  let m3 = Machine.create ~cache:false a.Arch.uarch in
+  let hbatch = Machine.run_heterogeneous_batch ~procs:2 m3 hjobs in
+  List.iter2
+    (fun (s : Measurement.t) (b : Measurement.t) ->
+      Alcotest.(check bool)
+        (s.Measurement.program ^ " hetero procs bit-identical")
+        true
+        (compare s b = 0))
+    hserial hbatch
+
 let test_single_flight () =
   let cache = Measurement_cache.create () in
   let calls = Atomic.make 0 in
@@ -1246,7 +1371,9 @@ let () =
          QCheck_alcotest.to_alcotest prop_power_monotone_in_cores ]);
       ("batch",
        [ Alcotest.test_case "hetero batch = serial" `Quick
-           test_hetero_batch_matches_serial ]);
+           test_hetero_batch_matches_serial;
+         Alcotest.test_case "multi-process = serial" `Quick
+           test_procs_batch_matches_serial ]);
       ("period skipping",
        [ Alcotest.test_case "detects and skips" `Quick test_period_detects_and_skips;
          Alcotest.test_case "compute kernels" `Quick test_period_equiv_compute;
@@ -1274,6 +1401,10 @@ let () =
            test_disk_cache_shared_across_seeds;
          Alcotest.test_case "corrupt entries skipped" `Quick
            test_disk_cache_corrupt_skipped;
+         Alcotest.test_case "concurrent writers" `Quick
+           test_disk_cache_concurrent_writers;
+         Alcotest.test_case "replay store concurrent writers" `Quick
+           test_replay_store_concurrent_writers;
          Alcotest.test_case "single flight" `Quick test_single_flight;
          Alcotest.test_case "gc size bound" `Quick test_cache_gc;
          Alcotest.test_case "MP_CACHE_MAX_MB" `Quick test_cache_gc_env;
