@@ -19,6 +19,11 @@ type t = {
   mutable bu : Power_model.Bottom_up.t option;
   mutable props : Epi.Bootstrap.props list option;
   mutable metrics : (string * float) list;  (* exported to BENCH_sim.json *)
+  mutable membench_stride : (int * float * float * float array) list;
+      (* membench's stride sweep — (stride_lines, packed and list
+         Maccess/s, per-level source fractions) — picked up by
+         exp_parallel's BENCH_scaling.json writer when membench ran
+         earlier in the same invocation *)
 }
 
 let create ~quick =
@@ -37,6 +42,7 @@ let create ~quick =
     bu = None;
     props = None;
     metrics = [];
+    membench_stride = [];
   }
 
 let record_metric t name v =

@@ -105,7 +105,7 @@ let lap machine pool jobs =
    show the oversubscription plateau, not hide it. *)
 let scaling_workers = [ 1; 2; 4; 8 ]
 
-let write_scaling_json ~quick ~jobs ~procpool entries =
+let write_scaling_json ~quick ~jobs ~procpool ~stride entries =
   let path = "BENCH_scaling.json" in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -114,6 +114,21 @@ let write_scaling_json ~quick ~jobs ~procpool entries =
   out "  \"detected_cores\": %d,\n" (Mp_util.Parallel.detected_cores ());
   out "  \"pool_size_effective\": %d,\n" (Mp_util.Parallel.default_size ());
   out "  \"jobs\": %d,\n" jobs;
+  (* membench's STREAM-like stride sweep, when it ran in this harness
+     invocation — the seed of the ROADMAP's bandwidth campaign *)
+  if stride <> [] then begin
+    out "  \"stride_sweep\": [\n";
+    List.iteri
+      (fun i (s, pm, lm, frac : int * float * float * float array) ->
+        out
+          "    { \"stride_lines\": %d, \"packed_maccess_per_s\": %.3f, \
+           \"list_maccess_per_s\": %.3f, \"frac\": { \"L1\": %.4f, \"L2\": \
+           %.4f, \"L3\": %.4f, \"MEM\": %.4f } }%s\n"
+          s pm lm frac.(0) frac.(1) frac.(2) frac.(3)
+          (if i = List.length stride - 1 then "" else ","))
+      stride;
+    out "  ],\n"
+  end;
   out "  \"entries\": [\n";
   List.iteri
     (fun i (workers, seconds, speedup) ->
@@ -302,7 +317,7 @@ let scaling_curve (ctx : Context.t) =
     curve;
   let procpool = procpool_curve ctx machine jobs in
   write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs)
-    ~procpool curve
+    ~procpool ~stride:ctx.Context.membench_stride curve
 
 (* ----- parbench ---------------------------------------------------------- *)
 

@@ -21,6 +21,8 @@ let experiments : (string * string * (Context.t -> unit)) list =
     ("order", "Instruction-order power experiment", Exp_stressmark.order_experiment);
     ("hetero", "Heterogeneous per-thread stressmarks", Exp_stressmark.heterogeneous);
     ("ga", "GA stressmark search (batched, memoized)", Exp_stressmark.ga);
+    ("membench", "Packed vs list cache model on dense memory kernels",
+     Exp_membench.run);
     ("parbench", "Parallel engine speedup vs serial", Exp_parallel.run);
     ("replay", "Steady-state replay vs dense re-simulation", Exp_parallel.replay_bench);
     ("ablation", "Design-choice ablations", Exp_ablation.run);

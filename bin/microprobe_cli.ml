@@ -8,6 +8,7 @@
      bootstrap   derive latency/throughput/units/EPI for instructions
      stressmark  run a compact max-power search
      mp-cache    disk measurement-cache housekeeping (gc)
+     mem-stat    per-level histogram of the last membench run
 *)
 
 open Microprobe
@@ -405,6 +406,100 @@ let cache_cmd =
     (Cmd.info "mp-cache" ~doc:"Disk measurement-cache housekeeping")
     [ gc; stat ]
 
+(* ----- mem-stat ---------------------------------------------------------------------- *)
+
+(* The per-level source histogram of the last membench run, read back
+   from the BENCH_mem_hist.csv artifact the bench harness writes (rows
+   are comma-separated with no quoting — every field is a plain token).
+   Read-only: point --file at the artifact, or let the default search
+   find it next to the binary's usual invocation directories. *)
+let mem_stat_paths =
+  [ "BENCH_mem_hist.csv"; "bench/BENCH_mem_hist.csv";
+    "_build/default/bench/BENCH_mem_hist.csv" ]
+
+let mem_stat file =
+  let path =
+    match file with
+    | "" -> List.find_opt Sys.file_exists mem_stat_paths
+    | f -> if Sys.file_exists f then Some f else None
+  in
+  match path with
+  | None ->
+    prerr_endline
+      "mem-stat: no BENCH_mem_hist.csv found (run `dune build @ci` or \
+       `bench/main.exe membench` first, or pass --file)";
+    2
+  | Some path ->
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         rows := String.split_on_char ',' (input_line ic) :: !rows
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (match List.rev !rows with
+     | [] | [ _ ] ->
+       Printf.eprintf "mem-stat: %s is empty\n" path;
+       2
+     | _header :: rows ->
+       Printf.printf "membench histograms from %s\n\n" path;
+       let kernels =
+         Util.Text_table.create
+           [ "Target"; "SMT"; "speedup"; "L1"; "L2"; "L3"; "MEM";
+             "minorw/cyc" ]
+       in
+       let sweep =
+         Util.Text_table.create
+           [ "Stride"; "packed Macc/s"; "list Macc/s"; "L1"; "L2"; "L3";
+             "MEM" ]
+       in
+       let n_kernels = ref 0 and n_stride = ref 0 in
+       List.iter
+         (fun row ->
+           match row with
+           | [ "kernel"; target; smt; _list_s; _packed_s; speedup; f1; f2;
+               f3; fm; minorw ] ->
+             incr n_kernels;
+             Util.Text_table.add_row kernels
+               [ target; smt; speedup ^ "x"; f1; f2; f3; fm; minorw ]
+           | [ "stride"; _; stride; list_m; packed_m; _speedup; f1; f2; f3;
+               fm; _ ] ->
+             incr n_stride;
+             Util.Text_table.add_row sweep
+               [ stride; packed_m; list_m; f1; f2; f3; fm ]
+           | _ -> ())
+         rows;
+       if !n_kernels = 0 && !n_stride = 0 then begin
+         Printf.eprintf "mem-stat: no recognisable rows in %s\n" path;
+         2
+       end
+       else begin
+         if !n_kernels > 0 then Util.Text_table.print kernels;
+         if !n_stride > 0 then begin
+           print_newline ();
+           Util.Text_table.print sweep
+         end;
+         0
+       end)
+
+let mem_stat_cmd =
+  let file_t =
+    Arg.(
+      value & opt string ""
+      & info [ "file" ] ~docv:"CSV"
+          ~doc:
+            "Histogram artifact to read (default: search for \
+             $(b,BENCH_mem_hist.csv) in the usual bench output \
+             directories).")
+  in
+  Cmd.v
+    (Cmd.info "mem-stat"
+       ~doc:
+         "Print the per-level source histogram (and stride sweep) of the \
+          last membench run")
+    Term.(const mem_stat $ file_t)
+
 (* ----- main ------------------------------------------------------------------------- *)
 
 let () =
@@ -413,7 +508,7 @@ let () =
   let group =
     Cmd.group info
       [ list_isa_cmd; isa_text_cmd; generate_cmd; measure_cmd; bootstrap_cmd;
-        stressmark_cmd; cache_cmd ]
+        stressmark_cmd; cache_cmd; mem_stat_cmd ]
   in
   let code = Cmd.eval' group in
   (* join worker domains and shard subprocesses deterministically on

@@ -30,6 +30,7 @@ module Emit = Mp_codegen.Emit
 module Dse = Mp_dse
 module Machine = Mp_sim.Machine
 module Core_sim = Mp_sim.Core_sim
+module Cache_sim = Mp_sim.Cache_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
 module Replay = Mp_sim.Replay

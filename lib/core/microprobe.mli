@@ -54,6 +54,7 @@ module Dse = Mp_dse
 (* The measurement substrate (simulated machine) *)
 module Machine = Mp_sim.Machine
 module Core_sim = Mp_sim.Core_sim
+module Cache_sim = Mp_sim.Cache_sim
 module Measurement = Mp_sim.Measurement
 module Measurement_cache = Mp_sim.Measurement_cache
 module Replay = Mp_sim.Replay

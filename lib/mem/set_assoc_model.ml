@@ -162,6 +162,36 @@ let streams_for_loop t rng ~n =
     Array.map (fun l -> stream t rng l) slots
   end
 
+(* STREAM-like dense kernels: a deterministic strided walk, in address
+   order, sized so the touched line set overflows every level above the
+   target and (stride permitting) cycles within it. Deliberately the
+   opposite of [stream]: nothing is randomised, so the sequential
+   prefetcher sees stride-1 walks and bandwidth-style sweeps have a
+   fixed footprint per (target, stride) cell. *)
+let sequential_stream ~uarch ~target ~stride_lines =
+  if stride_lines < 1 then
+    invalid_arg "Set_assoc_model.sequential_stream: stride_lines < 1";
+  let cache l = Uarch_def.cache uarch l in
+  let cap_lines g = g.Cache_geometry.size_bytes / g.Cache_geometry.line_bytes in
+  let line_bytes = (cache Cache_geometry.L1).Cache_geometry.line_bytes in
+  (* distinct lines walked: half the target's capacity for L1 (resident
+     by construction), twice the capacity of the level above otherwise
+     (thrashes everything above the target) *)
+  let n =
+    match target with
+    | Cache_geometry.L1 -> max 1 (cap_lines (cache Cache_geometry.L1) / 2)
+    | Cache_geometry.L2 -> 2 * cap_lines (cache Cache_geometry.L1)
+    | Cache_geometry.L3 -> 2 * cap_lines (cache Cache_geometry.L2)
+    | Cache_geometry.MEM -> 2 * cap_lines (cache Cache_geometry.L3)
+  in
+  (* widely separated base per level class: walks of different targets
+     never alias *)
+  let base = (1 + rank target) lsl 34 in
+  {
+    target;
+    addresses = Array.init n (fun i -> base + (i * stride_lines * line_bytes));
+  }
+
 let footprint_bytes t =
   let line_bytes =
     (Uarch_def.cache t.uarch Cache_geometry.L1).Cache_geometry.line_bytes

@@ -71,6 +71,22 @@ val streams_for_loop :
     plan's distribution as closely as rounding allows (largest-
     remainder apportionment), in randomised order. *)
 
+val sequential_stream :
+  uarch:Mp_uarch.Uarch_def.t ->
+  target:level ->
+  stride_lines:int ->
+  stream
+(** A deterministic STREAM-like walk for bandwidth sweeps, independent
+    of any plan: addresses ascend by [stride_lines] cache lines and the
+    number of distinct lines is sized from the hierarchy (half the
+    target's capacity for [L1]; twice the capacity of the level above
+    for deeper targets, so at unit stride the walk thrashes every level
+    above the target and hits the target itself). Unlike {!stream}
+    nothing is randomised — the hardware-prefetcher-friendly ordering
+    is the point of the sweep. Larger strides concentrate the walk into
+    fewer sets, dragging the source level deeper: the roofline curve a
+    stride sweep is meant to trace. *)
+
 val pool_lines : t -> level -> int array
 (** The line addresses backing a level's pool (for inspection/tests). *)
 

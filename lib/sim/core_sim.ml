@@ -518,14 +518,16 @@ let run_ex ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period
   let iter_mods =
     Array.map
       (fun (p : dprog) ->
+        (* accumulate with duplicates and sort+dedup once: body-length
+           quadratic [List.mem] scans are measurable at deploy scale *)
         let ms = ref [] in
         Array.iter
           (fun (d : dinstr) ->
-            let add n = if n > 1 && not (List.mem n !ms) then ms := n :: !ms in
+            let add n = if n > 1 then ms := n :: !ms in
             add (Array.length d.stream);
             add (Array.length d.pattern))
           p.body;
-        Array.of_list (List.sort compare !ms))
+        Array.of_list (List.sort_uniq compare !ms))
       progs
   in
   let fpbuf = Buffer.create 1024 in
@@ -533,7 +535,13 @@ let run_ex ~uarch ~opmap ?mem_latency ?(warmup = 1) ?(measure = 2) ?period
      evolution, expressed relative to [now] (pipe residuals, completion
      countdowns, seq ages) so that two cycles in the same steady-state
      phase produce the same bytes. The string itself is the hash key:
-     matching means *equality*, not a digest collision. *)
+     for core/pipe/queue state matching means *equality*, not a digest
+     collision. The one exception is the cache portion of memory
+     programs: the default packed model contributes a rolling 63-bit
+     digest (O(1) per boundary instead of O(sets x ways)), so a match
+     there is equality up to a ~2^-63 collision — see
+     [Cache_sim.add_fingerprint]; [MP_CACHE_MODEL=list] restores full
+     serialization. *)
   let fingerprint now =
     Buffer.clear fpbuf;
     let buf = fpbuf in

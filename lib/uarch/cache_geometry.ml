@@ -30,6 +30,12 @@ let set_bits g = log2 (sets g)
 
 let set_index g addr = (addr lsr offset_bits g) land (sets g - 1)
 
+(* precomputable halves of [set_index]: both run a division/log2 loop,
+   so per-access callers hoist them into their own state once *)
+let set_shift g = offset_bits g
+
+let set_mask g = sets g - 1
+
 let line_address g addr = addr land lnot (g.line_bytes - 1)
 
 let tag g addr = addr lsr (offset_bits g + set_bits g)

@@ -25,6 +25,13 @@ val set_bits : t -> int
 val set_index : t -> int -> int
 (** [set_index g addr] is the set the byte address maps to. *)
 
+val set_shift : t -> int
+val set_mask : t -> int
+(** [(addr lsr set_shift g) land set_mask g = set_index g addr]: the
+    precomputable shift/mask pair behind {!set_index}, for callers that
+    index sets on a per-access hot path (both {!offset_bits} and
+    {!sets} re-run a log2/division every call). *)
+
 val line_address : t -> int -> int
 (** Address truncated to its cache-line base. *)
 
@@ -37,6 +44,10 @@ val tag : t -> int -> int
 
 val level_to_string : level -> string
 val level_of_string : string -> level option
+val level_rank : level -> int
+(** Position in the hierarchy: [L1 -> 0] ... [MEM -> 3]. Stable, so it
+    can index per-level arrays. *)
+
 val level_compare : level -> level -> int
 val all_levels : level list
 (** [L1; L2; L3; MEM] in hierarchy order. *)

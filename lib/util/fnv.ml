@@ -43,3 +43,23 @@ let finish z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let to_hex v = Printf.sprintf "%016Lx" v
+
+(* ----- native-int variant ------------------------------------------------- *)
+
+(* The same multiply-xor structure on OCaml's untagged 63-bit ints: no
+   Int64 boxing, so a fold is a handful of machine instructions. Used
+   where a hash is recomputed inside a simulator hot loop (the cache
+   model re-hashes a set on every fill). The constants are the 64-bit
+   ones truncated into native-int range, so the two variants are NOT
+   interchangeable — finished values live in different spaces. *)
+
+let seed_int = 0x3BF29CE484222325 (* offset basis, truncated to 62 bits *)
+let prime_int = 0x100000001B3
+
+let fold_int h v = (h lxor v) * prime_int
+
+(* splitmix-style avalanche, constants truncated into native-int range *)
+let finish_int z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)

@@ -31,3 +31,20 @@ val finish : t -> int64
 
 val to_hex : int64 -> string
 (** 16 lowercase hex characters, zero-padded. *)
+
+(** {2 Native-int variant}
+
+    Allocation-free folding on OCaml's untagged native ints, for hashes
+    recomputed inside simulator hot loops. Same multiply-xor/avalanche
+    structure with truncated constants — deterministic across processes
+    on a given word size, but {e not} value-compatible with the int64
+    variant above. *)
+
+val seed_int : int
+(** Starting accumulator for the native-int folds. *)
+
+val fold_int : int -> int -> int
+(** Fold one native int in a single multiply-xor step. *)
+
+val finish_int : int -> int
+(** Splitmix-style avalanche of a native-int accumulator. *)

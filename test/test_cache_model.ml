@@ -1,0 +1,254 @@
+(* Equivalence of the packed cache model against the list reference:
+   trace-level QCheck properties (source levels, counters, prefetcher,
+   rolling-digest invariants over randomized load/store traces with
+   set aliasing and streaming), the prefetch-streak saturation
+   contract, and machine-level bit-identity across the memory,
+   non-dyadic, heterogeneous and training suites under the
+   MP_CACHE_MODEL switch. *)
+
+open Mp_codegen
+open Mp_sim
+module CG = Mp_uarch.Cache_geometry
+
+let arch () = Arch.power7 ()
+
+let config a ~cores ~smt = Mp_uarch.Uarch_def.config ~cores ~smt a.Arch.uarch
+
+let with_model name f =
+  Unix.putenv "MP_CACHE_MODEL" name;
+  Fun.protect ~finally:(fun () -> Unix.putenv "MP_CACHE_MODEL" "") f
+
+(* ----- trace-level equivalence -------------------------------------------- *)
+
+(* A trace op: either an access aimed at a small window of L1 sets with
+   a tag range wide enough to thrash every level (set aliasing), or a
+   sequential line walk (streaming — wakes the prefetcher, whose
+   lookups mutate state beyond the demand access itself). *)
+type op =
+  | Aliased of int * int * bool  (* L1 set, tag, store *)
+  | Stream of int * int          (* base, length *)
+
+let op_print = function
+  | Aliased (s, t, st) -> Printf.sprintf "Aliased(%d,%d,%b)" s t st
+  | Stream (b, n) -> Printf.sprintf "Stream(%d,%d)" b n
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4,
+         map3
+           (fun s t st -> Aliased (s, t, st))
+           (int_bound 7) (int_bound 29) bool);
+        (1, map2 (fun b n -> Stream (b, 3 + n)) (int_bound 40) (int_bound 12))
+      ])
+
+let trace_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat ";" (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 1 300) op_gen)
+
+(* Drive one cache through a trace; returns the per-access source
+   levels plus the final observable state. *)
+let drive model ops =
+  let a = arch () in
+  let u = a.Arch.uarch in
+  let c = Cache_sim.create ~model u in
+  let l1g = Mp_uarch.Uarch_def.cache u CG.L1 in
+  let srcs = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Aliased (s, t, st) ->
+        let addr = CG.address_with_set l1g ~set:s ~tag:t in
+        srcs := Cache_sim.access c ~addr ~store:st :: !srcs
+      | Stream (b, n) ->
+        for i = 0 to n - 1 do
+          srcs :=
+            Cache_sim.access c ~addr:((b * 0x4000) + (i * 128)) ~store:false
+            :: !srcs
+        done)
+    ops;
+  let buf = Buffer.create 256 in
+  Cache_sim.add_fingerprint c buf;
+  ( List.rev !srcs,
+    Cache_sim.stats_snapshot c,
+    Cache_sim.prefetch_streak c,
+    Buffer.contents buf,
+    c )
+
+let prop_models_agree =
+  QCheck.Test.make ~name:"packed = list on randomized traces" ~count:120
+    trace_arb
+    (fun ops ->
+      let p_srcs, p_snap, p_streak, _, pc = drive Cache_sim.Packed ops in
+      let l_srcs, l_snap, l_streak, _, _ = drive Cache_sim.List_ref ops in
+      p_srcs = l_srcs && p_snap = l_snap && p_streak = l_streak
+      && Cache_sim.digest_consistent pc)
+
+let prop_digest_stable =
+  (* the rolling digest is a pure function of the access history:
+     replaying a trace bit-identically reproduces digest and
+     fingerprint, and the incremental value always matches a from-
+     scratch recomputation (checked inside digest_consistent) *)
+  QCheck.Test.make ~name:"rolling digest is stable and incremental"
+    ~count:60 trace_arb
+    (fun ops ->
+      let _, _, _, fp1, c1 = drive Cache_sim.Packed ops in
+      let _, _, _, fp2, c2 = drive Cache_sim.Packed ops in
+      fp1 = fp2
+      && Cache_sim.rolling_digest c1 = Cache_sim.rolling_digest c2
+      && Cache_sim.rolling_digest c1 <> None
+      && Cache_sim.digest_consistent c1 && Cache_sim.digest_consistent c2)
+
+(* ----- prefetch streak saturation ----------------------------------------- *)
+
+let test_streak_saturates () =
+  let a = arch () in
+  List.iter
+    (fun model ->
+      let fingerprint_after n =
+        let c = Cache_sim.create ~model a.Arch.uarch in
+        for i = 0 to n - 1 do
+          ignore (Cache_sim.access c ~addr:(i * 128) ~store:false)
+        done;
+        let buf = Buffer.create 256 in
+        Cache_sim.add_fingerprint c buf;
+        (Cache_sim.prefetch_streak c, Buffer.contents buf)
+      in
+      let streak_short, _ = fingerprint_after 10 in
+      let streak_long, fp_long = fingerprint_after 600 in
+      let name = Cache_sim.model_to_string model in
+      Alcotest.(check int) (name ^ ": streak saturated after 10") 3 streak_short;
+      Alcotest.(check int) (name ^ ": streak saturated after 600") 3 streak_long;
+      (* the fingerprint's streak component is the saturated live value:
+         a long sequential walk must not grow it *)
+      let suffix s n = String.sub s (String.length s - n) n in
+      Alcotest.(check string) (name ^ ": fingerprint streak field") ":3"
+        (suffix fp_long 2))
+    [ Cache_sim.Packed; Cache_sim.List_ref ]
+
+(* ----- model selection ----------------------------------------------------- *)
+
+let test_model_selection () =
+  let a = arch () in
+  let u = a.Arch.uarch in
+  with_model "list" (fun () ->
+      Alcotest.(check bool) "env selects list" true
+        (Cache_sim.model (Cache_sim.create u) = Cache_sim.List_ref));
+  with_model "packed" (fun () ->
+      Alcotest.(check bool) "env selects packed" true
+        (Cache_sim.model (Cache_sim.create u) = Cache_sim.Packed));
+  with_model "" (fun () ->
+      Alcotest.(check bool) "default is packed" true
+        (Cache_sim.model (Cache_sim.create u) = Cache_sim.Packed));
+  Alcotest.(check bool) "explicit argument wins" true
+    (Cache_sim.model (Cache_sim.create ~model:Cache_sim.List_ref u)
+     = Cache_sim.List_ref)
+
+(* ----- machine-level bit-identity ------------------------------------------ *)
+
+let synth a ~name ~size ?(mem = []) ?(fill = [ "lbz" ]) () =
+  let s = Synthesizer.create ~name a in
+  Synthesizer.add_pass s (Passes.skeleton ~size);
+  Synthesizer.add_pass s
+    (Passes.fill_uniform (List.map (Arch.find_instruction a) fill));
+  if mem <> [] then Synthesizer.add_pass s (Passes.memory_model mem);
+  Synthesizer.add_pass s (Passes.dependency Builder.No_deps);
+  Synthesizer.synthesize ~seed:77 s
+
+(* Run one program under both models on fresh dense machines; the
+   measurement must not differ in a single bit. *)
+let check_both ?measure a cfg p name =
+  let run model =
+    with_model model (fun () ->
+        Machine.run ?measure
+          (Machine.create ~cache:false ~replay:false a.Arch.uarch)
+          cfg p)
+  in
+  Alcotest.(check bool) (name ^ " bit-identical across models") true
+    (compare (run "list") (run "packed") = 0)
+
+let test_memory_suite () =
+  let a = arch () in
+  let mixes =
+    [ ("L1", [ (CG.L1, 1.0) ]); ("L2", [ (CG.L2, 1.0) ]);
+      ("L3", [ (CG.L3, 1.0) ]); ("MEM", [ (CG.MEM, 1.0) ]);
+      ("mixed", [ (CG.L1, 0.5); (CG.L3, 0.3); (CG.MEM, 0.2) ]) ]
+  in
+  List.iter
+    (fun (mname, mem) ->
+      let p = synth a ~name:("eq-" ^ mname) ~size:96 ~mem () in
+      List.iter
+        (fun smt ->
+          check_both ~measure:16 a (config a ~cores:1 ~smt) p
+            (Printf.sprintf "%s smt%d" mname smt))
+        [ 1; 2; 4 ])
+    mixes
+
+let test_nondyadic () =
+  (* fractional-occupancy opcodes over a memory mix: period skipping
+     fires mid-window, so fingerprints, period credit and the tail all
+     cross the digest-based match path *)
+  let a = arch () in
+  let p =
+    synth a ~name:"eq-nondyadic" ~size:64
+      ~fill:[ "lbz"; "stfd"; "mulld"; "andi." ]
+      ~mem:[ (CG.L1, 0.6); (CG.L3, 0.4) ]
+      ()
+  in
+  List.iter
+    (fun smt ->
+      check_both ~measure:64 a (config a ~cores:1 ~smt) p
+        (Printf.sprintf "non-dyadic smt%d" smt))
+    [ 1; 2; 4 ]
+
+let test_heterogeneous () =
+  let a = arch () in
+  let compute = synth a ~name:"eq-compute" ~size:64 ~fill:[ "add"; "mulld" ] () in
+  let memory = synth a ~name:"eq-mem" ~size:64 ~mem:[ (CG.L2, 1.0) ] () in
+  let run model =
+    with_model model (fun () ->
+        Machine.run_heterogeneous ~measure:16
+          (Machine.create ~cache:false ~replay:false a.Arch.uarch)
+          (config a ~cores:1 ~smt:2)
+          [ compute; memory ])
+  in
+  Alcotest.(check bool) "heterogeneous bit-identical across models" true
+    (compare (run "list") (run "packed") = 0)
+
+let test_training_suite () =
+  (* the acceptance bar: the whole (quick) Table-2 training suite,
+     program by program, packed vs list *)
+  let a = arch () in
+  let machine = Machine.create a.Arch.uarch in
+  let fams = Mp_workloads.Training.table2 ~machine ~arch:a ~quick:true () in
+  let progs =
+    List.map
+      (fun (e : Mp_workloads.Training.entry) -> e.Mp_workloads.Training.program)
+      (Mp_workloads.Training.all_entries fams)
+  in
+  Alcotest.(check bool) "suite non-empty" true (List.length progs > 20);
+  let cfg = config a ~cores:8 ~smt:2 in
+  List.iteri
+    (fun i p ->
+      check_both ~measure:12 a cfg p
+        (Printf.sprintf "suite entry %d (%s)" i p.Mp_codegen.Ir.name))
+    progs
+
+let () =
+  Alcotest.run "mp_cache_model"
+    [
+      ("trace equivalence",
+       [ QCheck_alcotest.to_alcotest prop_models_agree;
+         QCheck_alcotest.to_alcotest prop_digest_stable ]);
+      ("prefetcher",
+       [ Alcotest.test_case "streak saturates at 3" `Quick
+           test_streak_saturates ]);
+      ("selection",
+       [ Alcotest.test_case "MP_CACHE_MODEL" `Quick test_model_selection ]);
+      ("machine bit-identity",
+       [ Alcotest.test_case "memory suite" `Quick test_memory_suite;
+         Alcotest.test_case "non-dyadic" `Quick test_nondyadic;
+         Alcotest.test_case "heterogeneous" `Quick test_heterogeneous;
+         Alcotest.test_case "training suite" `Slow test_training_suite ]);
+    ]
