@@ -105,7 +105,7 @@ let lap machine pool jobs =
    show the oversubscription plateau, not hide it. *)
 let scaling_workers = [ 1; 2; 4; 8 ]
 
-let write_scaling_json ~quick ~jobs ~procpool ~stride entries =
+let write_scaling_json ~quick ~jobs ~procpool ~netpool ~stride entries =
   let path = "BENCH_scaling.json" in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -150,6 +150,18 @@ let write_scaling_json ~quick ~jobs ~procpool ~stride entries =
          w d seconds
          (if i = List.length combos - 1 then "" else ","))
      combos;
+   out "    ]\n";
+   out "  },\n");
+  (let nentries, recovered, dispatched = netpool in
+   out "  \"netpool\": {\n";
+   out "    \"dispatched\": %b,\n" dispatched;
+   out "    \"jobs_recovered\": %d,\n" recovered;
+   out "    \"entries\": [\n";
+   List.iteri
+     (fun i (w, seconds) ->
+       out "      { \"remote_workers\": %d, \"seconds\": %.6f }%s\n" w seconds
+         (if i = List.length nentries - 1 then "" else ","))
+     nentries;
    out "    ]\n";
    out "  }\n");
   out "}\n";
@@ -259,6 +271,85 @@ let procpool_curve (ctx : Context.t) machine jobs =
        else "single detected core");
   (entries, speedup, fanned)
 
+(* ----- loopback net-pool smoke ------------------------------------------- *)
+
+(* The socket transport over the same batch: a persistent worker is
+   spawned on a loopback TCP port (`microprobe worker --listen` in
+   self-exec form) and the batch runs once in-process (0 remote
+   workers) and once against the remote peer only (1 remote worker),
+   every lap checked bit-identical against the in-process reference.
+   This is a wire-path smoke, not a scaling claim — both ends share
+   the same machine — so the gates are bit-identity and zero
+   recoveries over a healthy peer, with the laps recorded to the
+   `netpool` section of BENCH_scaling.json. *)
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false)
+
+let netpool_curve (ctx : Context.t) machine jobs =
+  Context.section "Remote fan-out smoke — loopback TCP worker";
+  let reference = Machine.run_batch ~procs:0 machine jobs in
+  let t0 = Unix.gettimeofday () in
+  let local = Machine.run_batch ~procs:0 machine jobs in
+  let t_local = Unix.gettimeofday () -. t0 in
+  if compare reference local <> 0 then
+    failwith "netpool smoke: in-process laps diverge from each other";
+  let port = free_port () in
+  let pid = Shard_exec.spawn_worker ~port () in
+  let rec0 = Machine.jobs_recovered () in
+  let nf0 = Mp_util.Netpool.frames_sent () in
+  let t_remote =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        let sp = Shard_exec.create_pool ~hosts:[ ("127.0.0.1", port) ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Shard_exec.shutdown_pool sp)
+          (fun () ->
+            (* prime lap: establishes the connection and warms the
+               worker's machine outside the timed window *)
+            let prime = Machine.run_batch ~shard_pool:sp machine jobs in
+            let t0 = Unix.gettimeofday () in
+            let r = Machine.run_batch ~shard_pool:sp machine jobs in
+            let dt = Unix.gettimeofday () -. t0 in
+            if compare reference prime <> 0 || compare reference r <> 0 then
+              failwith
+                "netpool smoke: remote results diverge from in-process \
+                 execution";
+            dt))
+  in
+  let recovered = Machine.jobs_recovered () - rec0 in
+  let dispatched = Mp_util.Netpool.frames_sent () > nf0 in
+  Context.record_metric ctx "netpool_local_seconds" t_local;
+  Context.record_metric ctx "netpool_remote_seconds" t_remote;
+  Context.record_metric ctx "netpool_dispatched" (if dispatched then 1. else 0.);
+  Context.record_metric ctx "netpool_jobs_recovered_delta"
+    (float_of_int recovered);
+  Context.log
+    "in-process %.2fs, loopback remote worker %.2fs; %d jobs recovered;\n\
+     all laps bit-identical to in-process execution"
+    t_local t_remote recovered;
+  (* CI gate: over a healthy loopback peer nothing may need recovering
+     — a nonzero delta means the socket transport dropped a live
+     connection mid-batch. Stands down only if the dispatch never
+     reached the wire (adaptive fallback on a tiny batch). *)
+  if dispatched && recovered > 0 then
+    failwith
+      (Printf.sprintf
+         "netpool smoke: %d jobs recovered over a healthy loopback worker"
+         recovered);
+  if not dispatched then
+    Context.log "recovery gate skipped (dispatch stayed in-process)";
+  ([ (0, t_local); (1, t_remote) ], recovered, dispatched)
+
 let scaling_curve (ctx : Context.t) =
   Context.section "Worker scaling curve — one batch, pools of 1/2/4/8";
   let arch = ctx.Context.arch in
@@ -316,8 +407,9 @@ let scaling_curve (ctx : Context.t) =
         (if w = 1 then "" else "s") t s)
     curve;
   let procpool = procpool_curve ctx machine jobs in
+  let netpool = netpool_curve ctx machine jobs in
   write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs)
-    ~procpool ~stride:ctx.Context.membench_stride curve
+    ~procpool ~netpool ~stride:ctx.Context.membench_stride curve
 
 (* ----- parbench ---------------------------------------------------------- *)
 

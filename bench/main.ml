@@ -187,6 +187,19 @@ let () =
       (float_of_int (Mp_util.Procpool.frames_sent ()));
     Context.record_metric ctx "frames_received"
       (float_of_int (Mp_util.Procpool.frames_received ()));
+    (* socket-transport telemetry: frames and bytes over TCP peers
+       (loopback smoke plus any MP_HOSTS peers), reconnects after peer
+       loss, and the remote slot count of the current global pool *)
+    Context.record_metric ctx "net_frames_sent"
+      (float_of_int (Mp_util.Netpool.frames_sent ()));
+    Context.record_metric ctx "net_frames_received"
+      (float_of_int (Mp_util.Netpool.frames_received ()));
+    Context.record_metric ctx "net_bytes"
+      (float_of_int (Mp_util.Netpool.bytes_transferred ()));
+    Context.record_metric ctx "net_reconnects"
+      (float_of_int (Mp_util.Netpool.reconnect_count ()));
+    Context.record_metric ctx "hosts_effective"
+      (float_of_int (Microprobe.Shard_exec.global_remote_size ()));
     (* duplicate points collapsed before simulation, at both layers:
        Machine.run_batch within-batch dedup and Driver.eval_list keyed
        dedup *)

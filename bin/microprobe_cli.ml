@@ -7,7 +7,8 @@
      measure     synthesize, deploy and measure a micro-benchmark
      bootstrap   derive latency/throughput/units/EPI for instructions
      stressmark  run a compact max-power search
-     mp-cache    disk measurement-cache housekeeping (gc)
+     worker      serve as a persistent remote measurement worker (TCP)
+     mp-cache    disk measurement-cache housekeeping (gc, stat)
      mem-stat    per-level histogram of the last membench run
 *)
 
@@ -296,6 +297,43 @@ let stressmark_cmd =
   Cmd.v (Cmd.info "stressmark" ~doc:"Run a compact max-power search")
     Term.(const stressmark $ subsample)
 
+(* ----- worker -------------------------------------------------------------------- *)
+
+(* A persistent remote worker: coordinators with MP_HOSTS pointing here
+   shard measurement batches onto this process over TCP. The serve loop
+   returns on SIGTERM/SIGINT after finishing any in-flight request, so
+   a supervisor restart never loses a coordinator's job (the
+   coordinator re-runs whatever a hard kill drops anyway). *)
+let worker listen =
+  match Shard_exec.parse_hosts listen with
+  | [ (host, port) ] ->
+    Printf.eprintf "microprobe worker: listening on %s:%d\n" host port;
+    Printf.eprintf "namespace: %s\n%!" (Measurement_cache.namespace ());
+    Shard_exec.serve ~host ~port ();
+    prerr_endline "microprobe worker: drained, exiting";
+    0
+  | _ ->
+    prerr_endline "worker: --listen must be HOST:PORT";
+    2
+
+let worker_cmd =
+  let listen_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Bind address. Coordinators list it in $(b,MP_HOSTS); both \
+             ends must run the identical binary (enforced by the \
+             namespace handshake on connect).")
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve as a persistent remote measurement worker until \
+          SIGTERM/SIGINT (in-flight requests finish first)")
+    Term.(const worker $ listen_t)
+
 (* ----- mp-cache ------------------------------------------------------------------ *)
 
 let mib = 1024.0 *. 1024.0
@@ -337,10 +375,30 @@ let cache_gc dir max_mb =
       0
     end
 
+(* minimal JSON string escaping: paths and namespaces are the only
+   strings we emit, but a backslash-y path must still round-trip *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* What's on disk for the current build: entry counts and sizes for
    the measurement cache and the replay store it contains, plus the
-   namespace entries of this binary carry. Read-only. *)
-let cache_stat dir =
+   namespace entries of this binary carry. Read-only. [--json] emits
+   the same facts as one machine-readable object on stdout (absent
+   stores are [null], so consumers need no existence probe of their
+   own). *)
+let cache_stat dir json =
   let dir =
     match dir with
     | "" ->
@@ -349,23 +407,47 @@ let cache_stat dir =
        | None -> "_mp_cache")
     | d -> d
   in
-  Printf.printf "directory:  %s\n" dir;
-  Printf.printf "namespace:  %s\n" (Measurement_cache.namespace ());
-  if not (Sys.file_exists dir) then
-    Printf.printf "(no cache directory yet)\n"
+  let exists = Sys.file_exists dir in
+  let stats d =
+    let s = Measurement_cache.disk_stats d in
+    ( s.Measurement_cache.ds_entries,
+      s.Measurement_cache.ds_shards,
+      s.Measurement_cache.ds_bytes )
+  in
+  let rdir = Filename.concat dir "replay" in
+  if json then begin
+    let store d =
+      if not (Sys.file_exists d) then "null"
+      else
+        let entries, shards, bytes = stats d in
+        Printf.sprintf "{\"entries\": %d, \"shards\": %d, \"bytes\": %d}"
+          entries shards bytes
+    in
+    Printf.printf
+      "{\"directory\": \"%s\", \"namespace\": \"%s\", \"cache\": %s, \
+       \"replay\": %s}\n"
+      (json_escape dir)
+      (json_escape (Measurement_cache.namespace ()))
+      (if exists then store dir else "null")
+      (if exists then store rdir else "null")
+  end
   else begin
-    let s = Measurement_cache.disk_stats dir in
-    Printf.printf "cache:      %d entries in %d shards, %.1f MiB\n"
-      s.Measurement_cache.ds_entries s.Measurement_cache.ds_shards
-      (float_of_int s.Measurement_cache.ds_bytes /. mib);
-    let rdir = Filename.concat dir "replay" in
-    if Sys.file_exists rdir then begin
-      let r = Measurement_cache.disk_stats rdir in
-      Printf.printf "replay:     %d records in %d shards, %.1f MiB\n"
-        r.Measurement_cache.ds_entries r.Measurement_cache.ds_shards
-        (float_of_int r.Measurement_cache.ds_bytes /. mib)
+    Printf.printf "directory:  %s\n" dir;
+    Printf.printf "namespace:  %s\n" (Measurement_cache.namespace ());
+    if not exists then Printf.printf "(no cache directory yet)\n"
+    else begin
+      let entries, shards, bytes = stats dir in
+      Printf.printf "cache:      %d entries in %d shards, %.1f MiB\n" entries
+        shards
+        (float_of_int bytes /. mib);
+      if Sys.file_exists rdir then begin
+        let entries, shards, bytes = stats rdir in
+        Printf.printf "replay:     %d records in %d shards, %.1f MiB\n"
+          entries shards
+          (float_of_int bytes /. mib)
+      end
+      else Printf.printf "replay:     (no store)\n"
     end
-    else Printf.printf "replay:     (no store)\n"
   end;
   0
 
@@ -394,13 +476,19 @@ let cache_cmd =
             (in-flight writes are never touched)")
       Term.(const cache_gc $ dir_t $ max_mb_t)
   in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON object instead of text.")
+  in
   let stat =
     Cmd.v
       (Cmd.info "stat"
          ~doc:
            "Show shard, entry and size statistics for the measurement \
             cache and the replay store, plus this build's namespace")
-      Term.(const cache_stat $ dir_t)
+      Term.(const cache_stat $ dir_t $ json_t)
   in
   Cmd.group
     (Cmd.info "mp-cache" ~doc:"Disk measurement-cache housekeeping")
@@ -508,7 +596,7 @@ let () =
   let group =
     Cmd.group info
       [ list_isa_cmd; isa_text_cmd; generate_cmd; measure_cmd; bootstrap_cmd;
-        stressmark_cmd; cache_cmd; mem_stat_cmd ]
+        stressmark_cmd; worker_cmd; cache_cmd; mem_stat_cmd ]
   in
   let code = Cmd.eval' group in
   (* join worker domains and shard subprocesses deterministically on

@@ -295,9 +295,14 @@ let cache_insert t ~warmup ~measure config name per_thread m =
    re-run through [in_process] — the coordinator's own domain pool — so
    a dying worker degrades to a slower batch, never a failed or wrong
    one; [jobs_recovered] counts them. *)
-let sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool ~to_job ~insert
-    ~in_process jobs =
+let sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool ~to_job
+    ~insert ~in_process jobs =
   let sjobs = List.map to_job jobs in
+  let slots =
+    match shard_pool with
+    | Some sp -> Shard_exec.pool_size sp
+    | None -> procs + List.length hosts
+  in
   let fan_out =
     let width =
       Mp_util.Parallel.effective_width
@@ -308,7 +313,7 @@ let sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool ~to_job ~insert
        the size floored at 2: a single worker still carries dispatch
        overhead worth amortising, but [worthwhile] vetoes size 1
        outright *)
-    Mp_util.Parallel.worthwhile ~size:(max 2 procs) ~jobs:(List.length jobs)
+    Mp_util.Parallel.worthwhile ~size:(max 2 slots) ~jobs:(List.length jobs)
       ~width
       ~min_jobs_per_core:(Mp_util.Parallel.env_min_jobs_per_core ())
   in
@@ -317,7 +322,7 @@ let sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool ~to_job ~insert
     else
       match shard_pool with
       | Some p -> Some p
-      | None -> Shard_exec.get_pool procs
+      | None -> Shard_exec.get_pool ~hosts procs
   in
   match pool with
   | None -> in_process jobs
@@ -398,8 +403,17 @@ let resolve_procs procs shard_pool =
   | None, Some sp -> Shard_exec.pool_size sp
   | None, None -> Shard_exec.env_procs ()
 
+(* same shape for remote hosts: explicit arg wins; a caller-supplied
+   pool carries its own peers (so no extra hosts); otherwise the
+   MP_HOSTS knob decides ([] = no remotes, unchanged behavior) *)
+let resolve_hosts hosts shard_pool =
+  match (hosts, shard_pool) with
+  | Some h, _ -> h
+  | None, Some _ -> []
+  | None, None -> Shard_exec.env_hosts ()
+
 let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
-    ?shard_pool ?(dedup = true) t jobs =
+    ?hosts ?shard_pool ?(dedup = true) t jobs =
   (* deterministic id assignment: intern everything in job order —
      duplicates included — before any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
@@ -407,6 +421,7 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
   let procs = resolve_procs procs shard_pool in
+  let hosts = resolve_hosts hosts shard_pool in
   let in_process jobs =
     (* chunked: replay and cache hits make individual jobs tiny, and
        chunking amortises deque traffic over them; auto_chunk leaves
@@ -418,9 +433,9 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
       jobs
   in
   let exec jobs =
-    if procs <= 0 then in_process jobs
+    if procs <= 0 && hosts = [] then in_process jobs
     else
-      sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool
+      sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool
         ~to_job:(fun (config, p) ->
           {
             Shard_exec.j_config = config;
@@ -439,12 +454,13 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
   else exec jobs
 
 let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
-    ?pool ?procs ?shard_pool ?(dedup = true) t jobs =
+    ?pool ?procs ?hosts ?shard_pool ?(dedup = true) t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
   in
   let procs = resolve_procs procs shard_pool in
+  let hosts = resolve_hosts hosts shard_pool in
   let in_process jobs =
     Mp_util.Parallel.map_chunked
       ~cost:(fun (config, ps) -> job_cost config ps)
@@ -454,9 +470,9 @@ let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
       jobs
   in
   let exec jobs =
-    if procs <= 0 then in_process jobs
+    if procs <= 0 && hosts = [] then in_process jobs
     else
-      sharded_exec t ~warmup ~measure ?period ~procs ~shard_pool
+      sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool
         ~to_job:(fun (config, ps) ->
           { Shard_exec.j_config = config; j_programs = ps; j_cost = job_cost config ps })
         ~insert:(fun (config, ps) m ->

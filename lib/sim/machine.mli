@@ -68,7 +68,7 @@ val run :
 
 val run_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
-  ?procs:int -> ?shard_pool:Shard_exec.pool ->
+  ?procs:int -> ?hosts:(string * int) list -> ?shard_pool:Shard_exec.pool ->
   ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t) list ->
   Measurement.t list
@@ -98,9 +98,14 @@ val run_batch :
     (thin batches stay in-process, same {!Mp_util.Parallel.worthwhile}
     predicate) and crash-tolerant: jobs lost to a dead or wedged
     worker are transparently re-run in-process ({!jobs_recovered}
-    counts them). [shard_pool] supplies an explicit pool (the bench
-    harness builds per-combination pools); otherwise the shared
-    process-wide pool of [procs] workers serves. *)
+    counts them). [hosts] adds remote TCP workers (default: the
+    [MP_HOSTS] knob) to the same pool — slots beyond the [procs] local
+    subprocesses — under the identical placement fold and crash/
+    recovery contract; a lost peer degrades to a slower batch exactly
+    like a lost subprocess. [shard_pool] supplies an explicit pool (the
+    bench harness builds per-combination pools) and then carries its
+    own peers; otherwise the shared process-wide pool of [procs]
+    workers plus [hosts] peers serves. *)
 
 val run_heterogeneous :
   ?warmup:int -> ?measure:int -> ?period:bool ->
@@ -113,13 +118,13 @@ val run_heterogeneous :
 
 val run_heterogeneous_batch :
   ?warmup:int -> ?measure:int -> ?period:bool -> ?pool:Mp_util.Parallel.t ->
-  ?procs:int -> ?shard_pool:Shard_exec.pool ->
+  ?procs:int -> ?hosts:(string * int) list -> ?shard_pool:Shard_exec.pool ->
   ?dedup:bool ->
   t -> (Mp_uarch.Uarch_def.config * Mp_codegen.Ir.t list) list ->
   Measurement.t list
 (** {!run_heterogeneous} over a whole candidate population as one
     fan-out across [pool], under the same determinism contract (and
-    the same [dedup] duplicate collapsing, [procs]/[shard_pool]
+    the same [dedup] duplicate collapsing, [procs]/[hosts]/[shard_pool]
     process sharding) as {!run_batch}: results in job order,
     bit-identical to the serial loop (all per-thread programs are
     pre-interned in job order before any worker runs). *)

@@ -53,7 +53,18 @@ type response = {
 
 let worker_env_var = "MP_SHARD_WORKER"
 
-let in_worker_process () = Sys.getenv_opt worker_env_var = Some "1"
+let net_worker_env_var = "MP_NET_WORKER"
+
+(* set while this process is serving remote coordinators over TCP —
+   the same "workers don't fan out" bar as the env flags, but for the
+   CLI's [worker --listen] mode, which can't rely on its own
+   environment having been scrubbed *)
+let net_serving = ref false
+
+let in_worker_process () =
+  Sys.getenv_opt worker_env_var = Some "1"
+  || Sys.getenv_opt net_worker_env_var <> None
+  || !net_serving
 
 (* MP_PROCS: 0/unset = in-process (unchanged behavior); N = that many
    workers; "auto" = one worker per domain-pool's worth of cores.
@@ -84,6 +95,36 @@ let env_timeout_s () =
      | _ -> default_timeout_s)
   | None -> default_timeout_s
 
+(* "host:port,host:port,..."; entries that don't parse are dropped.
+   The split is on the *last* colon so bracketless IPv6 literals keep
+   working. Always [] inside a worker — remote workers never chain to
+   further remotes. *)
+let parse_hosts s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         match String.rindex_opt entry ':' with
+         | None -> None
+         | Some i ->
+           let host = String.sub entry 0 i in
+           let port = String.sub entry (i + 1) (String.length entry - i - 1) in
+           (match int_of_string_opt port with
+            | Some p when p > 0 && p < 65536 && host <> "" -> Some (host, p)
+            | _ -> None))
+
+let env_hosts () =
+  if in_worker_process () then []
+  else
+    match Sys.getenv_opt "MP_HOSTS" with None -> [] | Some s -> parse_hosts s
+
+(* the handshake both ends of a TCP connection must present: protocol
+   tag plus the measurement-cache namespace (schema version + binary
+   digest) — the same guard the pipe transport checks per-request,
+   moved to connect time so an incompatible peer is rejected before any
+   closure-bearing frame is decoded *)
+let net_handshake () =
+  Bytes.of_string ("mpnet1 " ^ Measurement_cache.namespace ())
+
 (* ----- sharding ---------------------------------------------------------- *)
 
 (* Placement is keyed by the programs' structural hashes, so the same
@@ -107,6 +148,61 @@ let executor : (request -> Measurement.t array) option ref = ref None
 
 let install_executor f = executor := Some f
 
+(* One request → one response, shared by the pipe worker and the TCP
+   server. The namespace check is per-request even though the TCP path
+   also handshakes at connect time: requests carry Marshal'd closures,
+   so it is checked as close to the decode as possible. *)
+let execute_request ns rq =
+  if rq.rq_ns <> ns then
+    Error (Printf.sprintf "namespace mismatch: got %s, have %s" rq.rq_ns ns)
+  else
+    match !executor with
+    | None -> Error "no executor installed"
+    | Some f -> ( try Ok (f rq) with e -> Error (Printexc.to_string e))
+
+(* The worker frame loop over an arbitrary fd pair; returns on EOF,
+   wire garbage, a dead coordinator, or [stop] turning true between
+   requests (an in-flight request always finishes first — that is the
+   graceful-drain contract). [idle_tick_s] bounds how long a quiet
+   connection can delay noticing [stop]: the loop selects for
+   readability on that tick and only then commits to a blocking frame
+   read, so an idle tick is never mistaken for a closed peer. *)
+let serve_loop ?(stop = ref false) ?idle_tick_s inp out =
+  let ns = Measurement_cache.namespace () in
+  let next_frame () =
+    match idle_tick_s with
+    | None -> (
+      match Mp_util.Transport.read_frame inp with
+      | Some p -> `Frame p
+      | None -> `Closed)
+    | Some tick ->
+      let rec wait () =
+        if !stop then `Closed
+        else
+          match Unix.select [ inp ] [] [] tick with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | [], _, _ -> wait ()
+          | _ -> (
+            match Mp_util.Transport.read_frame inp with
+            | Some p -> `Frame p
+            | None -> `Closed)
+      in
+      wait ()
+  in
+  let rec loop () =
+    match next_frame () with
+    | `Closed -> ()
+    | `Frame payload ->
+      (match (Marshal.from_bytes payload 0 : request) with
+       | exception _ -> () (* garbage on the wire: bail out, get reaped *)
+       | rq ->
+         let rs = { rs_ns = ns; rs_results = execute_request ns rq } in
+         (match Mp_util.Transport.write_frame out (Marshal.to_bytes rs []) with
+          | () -> loop ()
+          | exception _ -> () (* coordinator gone *)))
+  in
+  loop ()
+
 let worker_main () =
   (* Keep private copies of the protocol fds and point stdout at stderr
      for everyone else: any stray [print_string] in simulation code
@@ -114,63 +210,226 @@ let worker_main () =
   let inp = Unix.dup Unix.stdin in
   let out = Unix.dup Unix.stdout in
   Unix.dup2 Unix.stderr Unix.stdout;
-  let ns = Measurement_cache.namespace () in
-  let execute rq =
-    if rq.rq_ns <> ns then
-      Error (Printf.sprintf "namespace mismatch: got %s, have %s" rq.rq_ns ns)
-    else
-      match !executor with
-      | None -> Error "no executor installed"
-      | Some f -> ( try Ok (f rq) with e -> Error (Printexc.to_string e))
+  serve_loop inp out
+
+(* ----- the TCP worker ----------------------------------------------------- *)
+
+(* [serve] turns this process into a persistent remote worker: bind,
+   accept one coordinator at a time, handshake, run the same frame loop
+   the pipe worker runs. SIGTERM/SIGINT set a stop flag instead of
+   killing the process, so an in-flight request finishes and its
+   response is delivered before we exit — the coordinator never loses a
+   job to a polite shutdown. *)
+let serve ?(host = "0.0.0.0") ~port () =
+  net_serving := true;
+  let stop = ref false in
+  let request_stop _ = stop := true in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop) with _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop) with _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let addr =
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_PASSIVE ]
+    with
+    | ai :: _ -> ai.Unix.ai_addr
+    | [] -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
   in
-  let rec loop () =
-    match Mp_util.Procpool.read_frame inp with
-    | None -> () (* EOF: the coordinator shut the pool down *)
-    | Some payload ->
-      (match (Marshal.from_bytes payload 0 : request) with
-       | exception _ -> () (* garbage on the wire: bail out, get reaped *)
-       | rq ->
-         let rs = { rs_ns = ns; rs_results = execute rq } in
-         (match
-            Mp_util.Procpool.write_frame out (Marshal.to_bytes rs [])
-          with
-          | () -> loop ()
-          | exception _ -> () (* coordinator gone *)))
+  let lsock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec lsock;
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock addr;
+  Unix.listen lsock 8;
+  let hs = net_handshake () in
+  let serve_conn fd =
+    Unix.set_close_on_exec fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    let accepted =
+      (* mirror of Netpool's connect-side handshake: read theirs, echo
+         ours; byte-inequality rejects the connection before any
+         closure-bearing frame is decoded *)
+      match Mp_util.Transport.read_frame ~timeout_s:10.0 fd with
+      | Some theirs when Bytes.equal theirs hs ->
+        (match Mp_util.Transport.write_frame fd hs with
+         | () -> true
+         | exception _ -> false)
+      | Some _ | None -> false
+    in
+    if accepted then serve_loop ~stop ~idle_tick_s:0.25 fd fd;
+    try Unix.close fd with _ -> ()
   in
-  loop ()
+  let rec accept_loop () =
+    if not !stop then begin
+      (* select tick so a pending SIGTERM is noticed within 0.25 s even
+         when no coordinator ever connects *)
+      (match Unix.select [ lsock ] [] [] 0.25 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ ->
+         (match Unix.accept lsock with
+          | exception _ -> ()
+          | fd, _ -> serve_conn fd));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close lsock with _ -> ())
 
 (* Called from Machine's module initializer — i.e. in every executable
    that links the simulator — so any such executable can be its own
-   worker. Never returns in a worker process. *)
+   worker. Never returns in a worker process. MP_NET_WORKER holds
+   "port" or "host:port" and turns the process into a TCP worker (used
+   by [spawn_worker] for loopback workers in tests and benches);
+   MP_SHARD_WORKER=1 keeps the pipe protocol over stdin/stdout. *)
 let maybe_become_worker () =
-  if in_worker_process () then begin
+  if Sys.getenv_opt worker_env_var = Some "1" then begin
     worker_main ();
     exit 0
   end
+  else
+    match Sys.getenv_opt net_worker_env_var with
+    | None -> ()
+    | Some spec ->
+      let host, port =
+        match String.rindex_opt spec ':' with
+        | None -> ("127.0.0.1", int_of_string_opt (String.trim spec))
+        | Some i ->
+          ( String.sub spec 0 i,
+            int_of_string_opt
+              (String.sub spec (i + 1) (String.length spec - i - 1)) )
+      in
+      (match port with
+       | Some port when port > 0 && port < 65536 ->
+         (try serve ~host ~port ()
+          with e ->
+            prerr_endline
+              (Printf.sprintf "MP_NET_WORKER %s: %s" spec (Printexc.to_string e));
+            exit 1)
+       | _ ->
+         prerr_endline (Printf.sprintf "MP_NET_WORKER: bad listen spec %S" spec);
+         exit 1);
+      exit 0
+
+(* Spawn a loopback TCP worker — a re-exec of this executable with
+   MP_NET_WORKER set — and wait until its port accepts connections, so
+   callers can build a pool against it without racing its startup. The
+   probe connection is rejected by the server's handshake read (EOF)
+   and costs it nothing. *)
+let spawn_worker ?(env = []) ?(host = "127.0.0.1") ?(ready_timeout_s = 30.0)
+    ~port () =
+  let env =
+    (net_worker_env_var, Printf.sprintf "%s:%d" host port)
+    :: (("MP_PROCS", "0") :: env)
+  in
+  let envp = Mp_util.Procpool.child_env env in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close devnull with _ -> ())
+      (fun () ->
+        Unix.create_process_env Sys.executable_name
+          [| Sys.executable_name |]
+          envp devnull Unix.stderr Unix.stderr)
+  in
+  let deadline = Unix.gettimeofday () +. ready_timeout_s in
+  let addr =
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | ai :: _ -> ai.Unix.ai_addr
+    | [] -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+  in
+  let rec wait_ready () =
+    let probe () =
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          match Unix.connect fd addr with
+          | () -> true
+          | exception _ -> false)
+    in
+    if probe () then ()
+    else if Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.02;
+      wait_ready ()
+    end
+    else begin
+      (try Unix.kill pid Sys.sigkill with _ -> ());
+      (try ignore (Unix.waitpid [] pid) with _ -> ());
+      failwith
+        (Printf.sprintf "spawn_worker: %s:%d not accepting after %.1fs" host
+           port ready_timeout_s)
+    end
+  in
+  wait_ready ();
+  pid
 
 (* ----- coordinator side -------------------------------------------------- *)
 
-type pool = { pp : Mp_util.Procpool.t; timeout_s : float }
+(* A mixed pool: slots [0, local) are worker subprocesses behind pipes,
+   slots [local, local+remote) are TCP peers. The shard fold neither
+   knows nor cares which kind a slot is — placement depends only on the
+   slot count, so an all-local, all-remote, or mixed pool of the same
+   size shards identically. *)
+type pool = {
+  pp : Mp_util.Procpool.t option;
+  np : Mp_util.Netpool.t option;
+  hosts : (string * int) list;
+  timeout_s : float;
+}
 
-let create_pool ?(env = []) ?timeout_s n =
+let create_pool ?(env = []) ?timeout_s ?(hosts = []) n =
   let env =
     env
     @ [
         (worker_env_var, "1");
-        (* workers must not recurse into process pools of their own *)
+        (* workers must not recurse into pools of their own *)
         ("MP_PROCS", "0");
+        ("MP_HOSTS", "");
       ]
   in
+  let pp =
+    if n > 0 then
+      Some (Mp_util.Procpool.create ~env ~prog:Sys.executable_name ~args:[] n)
+    else None
+  in
+  let np =
+    if hosts <> [] then
+      Some (Mp_util.Netpool.create ~handshake:(net_handshake ()) hosts)
+    else None
+  in
   {
-    pp = Mp_util.Procpool.create ~env ~prog:Sys.executable_name ~args:[] n;
+    pp;
+    np;
+    hosts;
     timeout_s = (match timeout_s with Some s -> s | None -> env_timeout_s ());
   }
 
-let pool_size p = Mp_util.Procpool.size p.pp
+let local_size p =
+  match p.pp with Some pp -> Mp_util.Procpool.size pp | None -> 0
 
-let procpool p = p.pp
+let remote_size p =
+  match p.np with Some np -> Mp_util.Netpool.size np | None -> 0
 
-let shutdown_pool p = Mp_util.Procpool.shutdown p.pp
+let pool_size p = local_size p + remote_size p
+
+let procpool p =
+  match p.pp with
+  | Some pp -> pp
+  | None -> invalid_arg "Shard_exec.procpool: pool has no local workers"
+
+let netpool p = p.np
+
+let slot_endpoint p s =
+  let local = local_size p in
+  if s < local then Mp_util.Procpool.endpoint (Option.get p.pp) s
+  else Mp_util.Netpool.endpoint (Option.get p.np) (s - local)
+
+let shutdown_pool p =
+  Option.iter Mp_util.Procpool.shutdown p.pp;
+  Option.iter Mp_util.Netpool.shutdown p.np
 
 (* One sharded dispatch at a time per coordinator: each worker's pipe
    carries one request/response exchange, so interleaving two batches
@@ -215,19 +474,21 @@ let run_jobs p ~spec ~warmup ~measure ?period jobs =
               | exception _ -> () (* unmarshalable spec: caller recovers *)
               | payload ->
                 in_flight.(s) <-
-                  Mp_util.Procpool.send ~timeout_s:p.timeout_s p.pp s payload
+                  Mp_util.Transport.send ~timeout_s:p.timeout_s
+                    (slot_endpoint p s) payload
             end)
           buckets;
         Array.iteri
           (fun s bucket ->
-            if in_flight.(s) then
-              match Mp_util.Procpool.recv ~timeout_s:p.timeout_s p.pp s with
+            if in_flight.(s) then begin
+              let ep = slot_endpoint p s in
+              match Mp_util.Transport.recv ~timeout_s:p.timeout_s ep with
               | None -> () (* crash/timeout: slot reaped, jobs recovered *)
               | Some payload ->
                 (match (Marshal.from_bytes payload 0 : response) with
-                 | exception _ -> Mp_util.Procpool.reap p.pp s
+                 | exception _ -> Mp_util.Transport.reap ep
                  | rs ->
-                   if rs.rs_ns <> ns then Mp_util.Procpool.reap p.pp s
+                   if rs.rs_ns <> ns then Mp_util.Transport.reap ep
                    else (
                      match rs.rs_results with
                      | Error _ -> () (* worker-reported failure *)
@@ -236,7 +497,8 @@ let run_jobs p ~spec ~warmup ~measure ?period jobs =
                          Array.iteri
                            (fun k i -> results.(i) <- Some arr.(k))
                            bucket
-                       else Mp_util.Procpool.reap p.pp s)))
+                       else Mp_util.Transport.reap ep))
+            end)
           buckets)
   end;
   results
@@ -255,21 +517,33 @@ let shutdown_global () =
 
 let () = at_exit shutdown_global
 
-let get_pool n =
+let get_pool ?(hosts = []) n =
   Mutex.lock global_lock;
+  let recreate () =
+    match create_pool ~hosts n with
+    | p ->
+      global := Some p;
+      Some p
+    | exception _ -> None
+  in
   let p =
     match !global with
-    | Some p ->
-      Mp_util.Procpool.ensure_size p.pp n;
+    | Some p when p.hosts = hosts && (n = 0 || p.pp <> None) ->
+      Option.iter (fun pp -> Mp_util.Procpool.ensure_size pp n) p.pp;
       Some p
-    | None -> (
-      match create_pool n with
-      | p ->
-        global := Some p;
-        Some p
-      | exception _ -> None)
+    | Some p ->
+      (* the host set changed (or local workers are now needed where
+         there were none): replace the pool rather than serve a stale
+         topology — shard placement depends on the slot count *)
+      global := None;
+      shutdown_pool p;
+      recreate ()
+    | None -> recreate ()
   in
   Mutex.unlock global_lock;
   p
 
-let global_size () = match !global with Some p -> pool_size p | None -> 0
+let global_size () = match !global with Some p -> local_size p | None -> 0
+
+let global_remote_size () =
+  match !global with Some p -> remote_size p | None -> 0

@@ -1,14 +1,16 @@
-(** Sharded multi-process measurement execution — the process-level
-    fan-out above {!Mp_util.Parallel}'s domain pool.
+(** Sharded multi-process and multi-host measurement execution — the
+    process-level fan-out above {!Mp_util.Parallel}'s domain pool.
 
     A coordinator shards a (deduplicated) measurement batch across a
-    pool of worker subprocesses, each of which is a re-exec of the
-    {e current executable} (flagged by the [MP_SHARD_WORKER]
-    environment variable) running its own domain pool, measurement
-    cache and replay table. Jobs are placed by their programs'
-    structural hashes, so the same structural program always lands on
-    the same worker — that worker's replay table and warm cache
-    accumulate exactly the records the program will ask for again.
+    mixed pool of workers: {e subprocesses} (re-execs of the current
+    executable, flagged by [MP_SHARD_WORKER], driven over pipes by
+    {!Mp_util.Procpool}) and {e remote peers} (the same executable
+    running [microprobe worker --listen], driven over TCP by
+    {!Mp_util.Netpool}). Jobs are placed by their programs' structural
+    hashes, so the same structural program always lands on the same
+    worker — that worker's replay table and warm cache accumulate
+    exactly the records the program will ask for again; placement
+    depends only on the slot count, never on a slot's transport.
     Results stream back and are scattered positionally; execution is
     bit-identical to in-process evaluation (measurements are
     deterministic given the job, and {!Power_sim} sums energies in
@@ -17,16 +19,20 @@
 
     {2 Wire protocol}
 
-    Length-prefixed [Marshal] frames over stdin/stdout pipes
-    ({!Mp_util.Procpool} owns the framing). Requests carry the
-    sender's {!Measurement_cache.namespace} — schema version plus a
-    digest of the executable, the same guard the disk cache uses — and
-    are written with [Marshal.Closures] (the uarch's [resources] field
-    is a closure), which is only sound between identical binaries: the
-    self-exec guarantees it and both ends verify the namespace anyway.
-    Workers inherit [MP_CACHE_DIR], so the sharded disk cache and the
-    replay store are the merge point: every worker writes through with
-    the same tmp+rename atomicity, and a campaign's second lap is warm
+    Length-prefixed [Marshal] frames ({!Mp_util.Transport} owns the
+    codec; pipes and sockets speak the identical format). Requests
+    carry the sender's {!Measurement_cache.namespace} — schema version
+    plus a digest of the executable, the same guard the disk cache
+    uses — and are written with [Marshal.Closures] (the uarch's
+    [resources] field is a closure), which is only sound between
+    identical binaries: the self-exec guarantees it for subprocesses,
+    and TCP peers additionally prove it at connect time by exchanging a
+    handshake frame carrying the namespace (a mismatched peer is
+    rejected before any closure-bearing frame is decoded; the
+    namespace is still re-checked per request on both ends). Workers
+    inherit [MP_CACHE_DIR], so the sharded disk cache and the replay
+    store are the merge point: every worker writes through with the
+    same tmp+rename atomicity, and a campaign's second lap is warm
     regardless of which process measured first.
 
     {2 Crash tolerance}
@@ -36,7 +42,9 @@
     shard's positions and the caller ({!Machine.run_batch}) re-runs
     exactly those jobs in its own domain pool — a dying worker degrades
     to a slower batch, never a failed or wrong one. The next dispatch
-    respawns the slot transparently. *)
+    respawns a subprocess slot transparently; a remote slot reconnects
+    with capped backoff (the worker process itself is out of our
+    hands). *)
 
 (** Everything needed to reconstruct an equivalent [Machine.t] in the
     worker (the worker memoizes machines per spec, so consecutive
@@ -86,8 +94,18 @@ val env_timeout_s : unit -> float
     shard exchange (default 300). A worker that exceeds it is treated
     as crashed. *)
 
+val env_hosts : unit -> (string * int) list
+(** [MP_HOSTS] parsed: a comma-separated list of [host:port] remote
+    workers (the split is on the last colon, so bare IPv6 literals
+    work); entries that don't parse are dropped. Always [[]] inside a
+    worker process — remote workers never chain to further remotes. *)
+
+val parse_hosts : string -> (string * int) list
+(** The parser under {!env_hosts}, exposed for the CLI and tests. *)
+
 val in_worker_process : unit -> bool
-(** True when this process was spawned as a shard worker. *)
+(** True when this process was spawned as a shard worker (pipe or TCP)
+    or is currently serving remote coordinators via {!serve}. *)
 
 val shard_index : shards:int -> Mp_codegen.Ir.t list -> int
 (** The placement function: an FNV fold of the per-thread programs'
@@ -103,30 +121,69 @@ val install_executor : (request -> Measurement.t array) -> unit
     coordinator lives below Machine, the executor needs Machine). *)
 
 val maybe_become_worker : unit -> unit
-(** If this process carries the worker flag: dup the protocol fds,
+(** If this process carries [MP_SHARD_WORKER=1]: dup the protocol fds,
     redirect stdout to stderr (stray prints must not corrupt frames),
-    serve request frames until EOF, then [exit 0]. Never returns in a
-    worker process; a no-op otherwise. Called at [Machine]
-    module-init, after the executor is installed. *)
+    serve request frames until EOF, then [exit 0]. If it carries
+    [MP_NET_WORKER] (["port"] or ["host:port"]): {!serve} on that
+    address, then [exit 0]. Never returns in a worker process; a no-op
+    otherwise. Called at [Machine] module-init, after the executor is
+    installed. *)
+
+val serve : ?host:string -> port:int -> unit -> unit
+(** Run this process as a persistent TCP worker: bind [host:port]
+    (default [0.0.0.0], [SO_REUSEADDR]), accept one coordinator at a
+    time, require the namespace handshake on each connection, then run
+    the same frame loop the pipe worker runs. SIGTERM/SIGINT request a
+    graceful drain: an in-flight request finishes and its response is
+    delivered, then [serve] returns (within 0.25 s when idle). The
+    process must not fan out while serving ({!env_procs}/{!env_hosts}
+    report 0/[[]] for its lifetime). *)
+
+val spawn_worker :
+  ?env:(string * string) list -> ?host:string -> ?ready_timeout_s:float ->
+  port:int -> unit -> int
+(** Spawn a loopback TCP worker — a re-exec of [Sys.executable_name]
+    with [MP_NET_WORKER] set — wait until [host:port] (default
+    [127.0.0.1]) accepts connections, and return its pid. Raises
+    [Failure] (after killing the child) if the port is not accepting
+    within [ready_timeout_s] (default 30). Used by the bench harness
+    and tests; the caller owns the pid (SIGTERM + waitpid to stop
+    it). *)
 
 (** {2 Coordinator side} *)
 
 type pool
 
-val create_pool : ?env:(string * string) list -> ?timeout_s:float -> int -> pool
-(** A pool of [n] worker subprocesses (re-execs of
-    [Sys.executable_name]). [env] adds environment overrides for the
-    workers — the bench harness uses [("MP_POOL_SIZE", d)] to control
-    each worker's domain count; the worker flag and [MP_PROCS=0] are
-    always set. [timeout_s] defaults to {!env_timeout_s}. *)
+val create_pool :
+  ?env:(string * string) list -> ?timeout_s:float ->
+  ?hosts:(string * int) list -> int -> pool
+(** A mixed pool: [n] worker subprocesses (re-execs of
+    [Sys.executable_name]; none when [n = 0]) in slots [0..n-1],
+    followed by one TCP peer per [hosts] entry. [env] adds environment
+    overrides for the subprocess workers — the bench harness uses
+    [("MP_POOL_SIZE", d)] to control each worker's domain count; the
+    worker flag, [MP_PROCS=0] and [MP_HOSTS=""] are always set (remote
+    peers bring their own environment). [timeout_s] defaults to
+    {!env_timeout_s}. *)
 
 val pool_size : pool -> int
+(** Local + remote slots — the [shards] the placement fold sees. *)
+
+val local_size : pool -> int
+
+val remote_size : pool -> int
 
 val procpool : pool -> Mp_util.Procpool.t
-(** The underlying transport, exposed for tests (crash injection via
-    {!Mp_util.Procpool.kill}) and telemetry. *)
+(** The pipe transport, exposed for tests (crash injection via
+    {!Mp_util.Procpool.kill}) and telemetry. Raises [Invalid_argument]
+    when the pool has no local workers. *)
+
+val netpool : pool -> Mp_util.Netpool.t option
+(** The socket transport, when the pool has remote peers. *)
 
 val shutdown_pool : pool -> unit
+(** Shut down subprocess workers and close every remote connection.
+    Idempotent. *)
 
 val run_jobs :
   pool ->
@@ -147,15 +204,21 @@ val run_jobs :
 
 (** {2 The shared pool} *)
 
-val get_pool : int -> pool option
+val get_pool : ?hosts:(string * int) list -> int -> pool option
 (** The process-wide pool, created on first use and grown (never
-    shrunk) to at least [n] workers; [None] when spawning failed. Shut
-    down at exit. *)
+    shrunk) to at least [n] local workers; [None] when spawning
+    failed. When the requested [hosts] differ from the live pool's the
+    pool is replaced (shard placement depends on the slot count, so a
+    stale topology must not be served). Shut down at exit. *)
 
 val global_size : unit -> int
-(** Workers in the shared pool ([0] when it was never created) — the
-    [procs_effective] harness metric. *)
+(** Local workers in the shared pool ([0] when it was never created) —
+    the [procs_effective] harness metric. *)
+
+val global_remote_size : unit -> int
+(** Remote peers in the shared pool — the [hosts_effective] harness
+    metric. *)
 
 val shutdown_global : unit -> unit
-(** Shut down and drop the shared pool now; idempotent. Also registered
-    [at_exit]. *)
+(** Shut down the shared pool now — subprocesses and remote
+    connections both; idempotent. Also registered [at_exit]. *)

@@ -1,0 +1,301 @@
+(* A crash-tolerant pool of remote workers driven over TCP sockets.
+   The socket sibling of [Procpool]: same frame codec ([Transport]),
+   same failure contract — every failure mode (connect refused, reset
+   connection, truncated frame, read timeout) degrades to "this peer is
+   gone" (the slot is reaped and the call reports failure), and the
+   *caller* re-runs whatever was in flight. Unlike subprocesses, a
+   remote peer cannot be respawned from here: a reaped slot just
+   reconnects on the next send, with capped exponential backoff so a
+   down host costs a bounded fast-fail instead of a connect timeout per
+   batch. *)
+
+(* ----- process-wide telemetry -------------------------------------------- *)
+
+let sent = Atomic.make 0
+let received = Atomic.make 0
+let bytes_total = Atomic.make 0
+let reconnects = Atomic.make 0
+
+let frames_sent () = Atomic.get sent
+let frames_received () = Atomic.get received
+let bytes_transferred () = Atomic.get bytes_total
+let reconnect_count () = Atomic.get reconnects
+
+(* ----- the pool ---------------------------------------------------------- *)
+
+type stats = {
+  st_frames_sent : int;
+  st_frames_received : int;
+  st_bytes_sent : int;
+  st_bytes_received : int;
+  st_reconnects : int;
+}
+
+type peer = {
+  p_host : string;
+  p_port : int;
+  p_label : string;
+  mutable p_fd : Unix.file_descr option;
+  mutable p_connected_once : bool; (* a later connect is a reconnect *)
+  mutable p_backoff_s : float;
+  mutable p_next_attempt : float; (* gettimeofday before which we fast-fail *)
+  mutable p_frames_sent : int;
+  mutable p_frames_received : int;
+  mutable p_bytes_sent : int;
+  mutable p_bytes_received : int;
+  mutable p_reconnects : int;
+}
+
+type t = {
+  handshake : bytes option;
+  connect_timeout_s : float;
+  lock : Mutex.t; (* guards peer slots (connect/reap transitions) *)
+  peers : peer array;
+}
+
+let backoff_initial_s = 0.05
+let backoff_cap_s = 2.0
+
+let default_connect_timeout_s () =
+  match Sys.getenv_opt "MP_NET_CONNECT_TIMEOUT_S" with
+  | Some s -> (match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 10.0)
+  | None -> 10.0
+
+let fresh_peer (host, port) =
+  {
+    p_host = host;
+    p_port = port;
+    p_label = Printf.sprintf "%s:%d" host port;
+    p_fd = None;
+    p_connected_once = false;
+    p_backoff_s = backoff_initial_s;
+    p_next_attempt = 0.0;
+    p_frames_sent = 0;
+    p_frames_received = 0;
+    p_bytes_sent = 0;
+    p_bytes_received = 0;
+    p_reconnects = 0;
+  }
+
+let create ?handshake ?connect_timeout_s hosts =
+  (* a write into a socket whose peer just died must surface as an
+     error, not kill the coordinator *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let connect_timeout_s =
+    match connect_timeout_s with
+    | Some s -> s
+    | None -> default_connect_timeout_s ()
+  in
+  {
+    handshake;
+    connect_timeout_s;
+    lock = Mutex.create ();
+    peers = Array.of_list (List.map fresh_peer hosts);
+  }
+
+let size t = Array.length t.peers
+
+let resolve host port =
+  match Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] -> None
+  | ai :: _ -> Some ai.Unix.ai_addr
+
+(* Non-blocking connect + select + SO_ERROR, so a black-holed host
+   costs [connect_timeout_s] instead of the kernel's minutes-long
+   default. The socket stays non-blocking afterwards: frame writes go
+   through [Transport.write_all], which handles EAGAIN with the send
+   deadline, and reads always pass through select. *)
+let connect_fd t peer =
+  match resolve peer.p_host peer.p_port with
+  | None -> None
+  | Some addr ->
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec fd;
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    let ok =
+      match Unix.connect fd addr with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+        (match Unix.select [] [ fd ] [] t.connect_timeout_s with
+         | _, [ _ ], _ -> Unix.getsockopt_error fd = None
+         | _ -> false
+         | exception _ -> false)
+      | exception _ -> false
+    in
+    if not ok then begin
+      (try Unix.close fd with _ -> ());
+      None
+    end
+    else Some fd
+
+(* The handshake makes wire-compatibility explicit instead of hoping:
+   both ends exchange one frame carrying the protocol tag plus the
+   measurement-cache namespace (schema version + binary digest), and a
+   mismatch rejects the peer before any Marshal.Closures payload is
+   ever decoded against the wrong binary. *)
+let handshake_ok t fd =
+  match t.handshake with
+  | None -> true
+  | Some hs ->
+    let deadline = Unix.gettimeofday () +. t.connect_timeout_s in
+    (match Transport.write_frame ~deadline fd hs with
+     | exception _ -> false
+     | () ->
+       (match Transport.read_frame ~timeout_s:t.connect_timeout_s fd with
+        | Some reply -> Bytes.equal reply hs
+        | None -> false))
+
+(* must hold t.lock *)
+let reap_locked peer =
+  (match peer.p_fd with
+   | Some fd -> (try Unix.close fd with _ -> ())
+   | None -> ());
+  peer.p_fd <- None
+
+(* must hold t.lock; returns the live fd or None. Respects the backoff
+   window so a down host fast-fails instead of paying the connect
+   timeout on every send. *)
+let ensure_connected_locked t peer =
+  match peer.p_fd with
+  | Some fd -> Some fd
+  | None ->
+    let now = Unix.gettimeofday () in
+    if now < peer.p_next_attempt then None
+    else begin
+      match connect_fd t peer with
+      | Some fd when handshake_ok t fd ->
+        if peer.p_connected_once then begin
+          peer.p_reconnects <- peer.p_reconnects + 1;
+          Atomic.incr reconnects
+        end;
+        peer.p_connected_once <- true;
+        peer.p_backoff_s <- backoff_initial_s;
+        peer.p_next_attempt <- 0.0;
+        peer.p_fd <- Some fd;
+        Some fd
+      | Some fd ->
+        (* reachable but wrong protocol/namespace: still back off, or a
+           stale worker would be re-handshaken on every send *)
+        (try Unix.close fd with _ -> ());
+        peer.p_next_attempt <- now +. peer.p_backoff_s;
+        peer.p_backoff_s <- Float.min backoff_cap_s (peer.p_backoff_s *. 2.0);
+        None
+      | None ->
+        peer.p_next_attempt <- now +. peer.p_backoff_s;
+        peer.p_backoff_s <- Float.min backoff_cap_s (peer.p_backoff_s *. 2.0);
+        None
+    end
+
+let connect ?(retry_for_s = 0.0) t i =
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec loop () =
+    Mutex.lock t.lock;
+    let peer = t.peers.(i) in
+    (* an explicit connect is a caller saying "try now" — e.g. a test
+       that just restarted the worker — so skip the backoff window *)
+    peer.p_next_attempt <- 0.0;
+    let ok = ensure_connected_locked t peer <> None in
+    Mutex.unlock t.lock;
+    if ok then true
+    else if Unix.gettimeofday () < deadline then begin
+      Unix.sleepf 0.02;
+      loop ()
+    end
+    else false
+  in
+  loop ()
+
+let send ?timeout_s t i payload =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  Mutex.lock t.lock;
+  let peer = t.peers.(i) in
+  let ok =
+    match ensure_connected_locked t peer with
+    | None -> false
+    | Some fd ->
+      (match Transport.write_frame ?deadline fd payload with
+       | () ->
+         let n = Bytes.length payload + Transport.frame_header_bytes in
+         peer.p_frames_sent <- peer.p_frames_sent + 1;
+         peer.p_bytes_sent <- peer.p_bytes_sent + n;
+         Atomic.incr sent;
+         ignore (Atomic.fetch_and_add bytes_total n);
+         true
+       | exception _ ->
+         reap_locked peer;
+         false)
+  in
+  Mutex.unlock t.lock;
+  ok
+
+let recv ?timeout_s t i =
+  let fd =
+    Mutex.lock t.lock;
+    let fd = t.peers.(i).p_fd in
+    Mutex.unlock t.lock;
+    fd
+  in
+  match fd with
+  | None -> None
+  | Some fd ->
+    (* the read itself runs outside the lock — a slow peer must not
+       block sends to its siblings *)
+    (match Transport.read_frame ?timeout_s fd with
+     | Some payload ->
+       let n = Bytes.length payload + Transport.frame_header_bytes in
+       Mutex.lock t.lock;
+       let peer = t.peers.(i) in
+       peer.p_frames_received <- peer.p_frames_received + 1;
+       peer.p_bytes_received <- peer.p_bytes_received + n;
+       Mutex.unlock t.lock;
+       Atomic.incr received;
+       ignore (Atomic.fetch_and_add bytes_total n);
+       Some payload
+     | None ->
+       Mutex.lock t.lock;
+       reap_locked t.peers.(i);
+       Mutex.unlock t.lock;
+       None)
+
+let reap t i =
+  Mutex.lock t.lock;
+  reap_locked t.peers.(i);
+  Mutex.unlock t.lock
+
+let connected t i =
+  Mutex.lock t.lock;
+  let up = t.peers.(i).p_fd <> None in
+  Mutex.unlock t.lock;
+  up
+
+let label t i = t.peers.(i).p_label
+
+let stats t i =
+  Mutex.lock t.lock;
+  let p = t.peers.(i) in
+  let s =
+    {
+      st_frames_sent = p.p_frames_sent;
+      st_frames_received = p.p_frames_received;
+      st_bytes_sent = p.p_bytes_sent;
+      st_bytes_received = p.p_bytes_received;
+      st_reconnects = p.p_reconnects;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let endpoint t i =
+  {
+    Transport.ep_label = label t i;
+    ep_send = (fun ?timeout_s payload -> send ?timeout_s t i payload);
+    ep_recv = (fun ?timeout_s () -> recv ?timeout_s t i);
+    ep_reap = (fun () -> reap t i);
+  }
+
+let shutdown t =
+  Mutex.lock t.lock;
+  Array.iter reap_locked t.peers;
+  Mutex.unlock t.lock

@@ -1,0 +1,89 @@
+(** A crash-tolerant pool of remote workers driven over TCP sockets.
+
+    The socket sibling of {!Procpool}: same frame codec ({!Transport}),
+    same failure contract. Every failure mode — connect refused or
+    timed out, a reset connection, a truncated or oversized frame, a
+    read timeout — degrades to "this peer is gone": the slot is reaped
+    (socket closed) and the call reports failure, leaving the {e
+    caller} to re-run whatever was in flight. A reaped slot reconnects
+    lazily on the next {!send}, with capped exponential backoff so a
+    down host costs a bounded fast-fail per batch instead of a connect
+    timeout.
+
+    Sockets are non-blocking with [TCP_NODELAY]; connects are bounded
+    by [connect_timeout_s] (default from [MP_NET_CONNECT_TIMEOUT_S],
+    else 10 s) via select + [SO_ERROR]. When a [handshake] payload is
+    given, each (re)connect exchanges it as one frame in both
+    directions and rejects the peer unless the reply is byte-identical
+    — the coordinator and worker prove they run the same binary and
+    schema before any closure-bearing payload crosses the wire.
+    SIGPIPE is ignored process-wide at pool creation.
+
+    All operations are domain-safe; sends serialize on the pool lock,
+    the blocking read itself runs outside it. *)
+
+type t
+
+type stats = {
+  st_frames_sent : int;
+  st_frames_received : int;
+  st_bytes_sent : int;
+  st_bytes_received : int;
+  st_reconnects : int;
+}
+
+val create :
+  ?handshake:bytes -> ?connect_timeout_s:float -> (string * int) list -> t
+(** [create hosts] builds one slot per [host, port] pair. No connection
+    is attempted until the first {!send} (or explicit {!connect}). *)
+
+val size : t -> int
+
+val connect : ?retry_for_s:float -> t -> int -> bool
+(** Eagerly connect slot [i], bypassing the backoff window, retrying
+    every 20 ms for up to [retry_for_s] seconds (default 0: one
+    attempt). Used to wait out a just-spawned worker's startup. *)
+
+val send : ?timeout_s:float -> t -> int -> bytes -> bool
+(** Frame and write [payload] to peer [i], (re)connecting first if the
+    slot is down and its backoff window has passed. [false] means the
+    peer is gone (unreachable, handshake rejected, write failed or
+    timed out) and the slot has been reaped — the caller owns whatever
+    it was trying to dispatch. *)
+
+val recv : ?timeout_s:float -> t -> int -> bytes option
+(** Read one frame from peer [i]. [None] means the peer is gone — EOF,
+    reset, malformed frame, or no complete frame within [timeout_s]
+    (wait forever when omitted) — and the slot has been reaped. *)
+
+val reap : t -> int -> unit
+(** Force-close slot [i]'s connection. The next {!send} reconnects. *)
+
+val connected : t -> int -> bool
+
+val label : t -> int -> string
+(** ["host:port"]. *)
+
+val stats : t -> int -> stats
+(** Per-peer cumulative counters (bytes include the 4-byte headers). *)
+
+val endpoint : t -> int -> Transport.endpoint
+(** View slot [i] as a generic transport endpoint. *)
+
+val shutdown : t -> unit
+(** Close every connection. Idempotent; slots may be reused after. *)
+
+(** {2 Process-wide telemetry}
+
+    Cumulative across every pool in the process; monotone, never part
+    of any result. *)
+
+val frames_sent : unit -> int
+val frames_received : unit -> int
+
+val bytes_transferred : unit -> int
+(** Payload + header bytes, both directions summed. *)
+
+val reconnect_count : unit -> int
+(** Connections established to a peer that had already been connected
+    once (first connects excluded). *)

@@ -11,86 +11,13 @@
 
 (* ----- framing ----------------------------------------------------------- *)
 
-(* 4-byte big-endian length prefix + payload. The length guard bounds a
-   corrupt header's damage: a worker that wrote garbage makes recv fail
-   (and the worker get reaped) instead of making the coordinator try to
-   allocate gigabytes. *)
-let max_frame_bytes = 1 lsl 30
-
-let frame_header_bytes = 4
-
-(* writes with an optional absolute deadline: the fd is non-blocking
-   (see [spawn]), so a worker that stopped reading surfaces as EAGAIN +
-   select timeout instead of wedging the coordinator forever *)
-let rec write_all ?deadline fd buf off len =
-  if len > 0 then begin
-    (match deadline with
-     | Some d ->
-       let left = d -. Unix.gettimeofday () in
-       if left <= 0.0 then raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""));
-       (match Unix.select [] [ fd ] [] left with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""))
-        | _ -> ())
-     | None -> ());
-    match Unix.write fd buf off len with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-      ->
-      write_all ?deadline fd buf off len
-    | n -> write_all ?deadline fd buf (off + n) (len - n)
-  end
-
-let write_frame ?deadline fd payload =
-  let len = Bytes.length payload in
-  if len > max_frame_bytes then invalid_arg "Procpool.write_frame: frame too large";
-  let hdr = Bytes.create frame_header_bytes in
-  Bytes.set_int32_be hdr 0 (Int32.of_int len);
-  write_all ?deadline fd hdr 0 frame_header_bytes;
-  write_all ?deadline fd payload 0 len
-
-(* [`Eof] covers every way the stream can end badly — closed pipe, read
-   error — because they all mean the same thing to the caller: the peer
-   is gone. *)
-let read_exact ?deadline fd buf off len =
-  let pos = ref off and left = ref len in
-  let rec loop () =
-    if !left = 0 then `Ok
-    else begin
-      let wait =
-        match deadline with None -> -1.0 | Some d -> d -. Unix.gettimeofday ()
-      in
-      if deadline <> None && wait <= 0.0 then `Timeout
-      else
-        match Unix.select [ fd ] [] [] wait with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-        | [], _, _ -> loop () (* deadline re-checked at the top *)
-        | _ ->
-          (match Unix.read fd buf !pos !left with
-           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-           | exception _ -> `Eof
-           | 0 -> `Eof
-           | n ->
-             pos := !pos + n;
-             left := !left - n;
-             loop ())
-    end
-  in
-  loop ()
-
-let read_frame ?timeout_s fd =
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
-  let hdr = Bytes.create frame_header_bytes in
-  match read_exact ?deadline fd hdr 0 frame_header_bytes with
-  | `Eof | `Timeout -> None
-  | `Ok ->
-    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-    if len < 0 || len > max_frame_bytes then None
-    else begin
-      let payload = Bytes.create len in
-      match read_exact ?deadline fd payload 0 len with
-      | `Ok -> Some payload
-      | `Eof | `Timeout -> None
-    end
+(* The codec itself lives in [Transport] (shared with the socket
+   transport, [Netpool]); these aliases keep the historical Procpool
+   names working for the worker side of the protocol and for tests. *)
+let max_frame_bytes = Transport.max_frame_bytes
+let write_all = Transport.write_all
+let write_frame = Transport.write_frame
+let read_frame = Transport.read_frame
 
 (* ----- process-wide telemetry -------------------------------------------- *)
 
@@ -288,6 +215,16 @@ let kill t i =
   let w = t.workers.(i) in
   if w.pid > 0 then (try Unix.kill w.pid Sys.sigkill with _ -> ());
   Mutex.unlock t.lock
+
+(* view slot [i] as a generic transport endpoint, so Shard_exec can
+   drive a mixed pool of subprocesses and TCP peers uniformly *)
+let endpoint t i =
+  {
+    Transport.ep_label = Printf.sprintf "proc:%d" i;
+    ep_send = (fun ?timeout_s payload -> send ?timeout_s t i payload);
+    ep_recv = (fun ?timeout_s () -> recv ?timeout_s t i);
+    ep_reap = (fun () -> reap t i);
+  }
 
 let shutdown ?(grace_s = 1.0) t =
   Mutex.lock t.lock;

@@ -25,6 +25,13 @@
 
 type t
 
+val child_env : (string * string) list -> string array
+(** The inherited environment with [overrides] applied on top (an
+    override wins over an inherited binding of the same name; the first
+    occurrence of a key within the override list wins). Exposed so
+    other spawners — e.g. loopback TCP workers — build child
+    environments with identical semantics. *)
+
 val create : ?env:(string * string) list -> prog:string -> args:string list ->
   int -> t
 (** [create ~prog ~args n] spawns [n] workers (clamped to at least 1)
@@ -63,6 +70,11 @@ val kill : t -> int -> unit
     untouched, exactly like a real crash — the next {!send} or {!recv}
     discovers the death and reaps. *)
 
+val endpoint : t -> int -> Transport.endpoint
+(** View slot [i] as a generic transport endpoint (label ["proc:i"]),
+    so a coordinator can drive a mixed pool of subprocess and socket
+    workers uniformly. *)
+
 val shutdown : ?grace_s:float -> t -> unit
 (** Close every worker's stdin (EOF lets healthy workers exit on their
     own), wait up to [grace_s] seconds (default 1.0) per straggler,
@@ -84,8 +96,9 @@ val frames_received : unit -> int
 
 (** {2 Framing primitives}
 
-    Exposed so the worker side of a protocol (which talks over its own
-    stdin/stdout) reuses the exact same wire format, and for tests. *)
+    Aliases for {!Transport}'s codec (the shared wire format under both
+    this pool and {!Netpool}), kept so the worker side of a protocol
+    and existing tests keep compiling against the historical names. *)
 
 val max_frame_bytes : int
 

@@ -1,0 +1,63 @@
+(** The frame codec and endpoint interface shared by every worker
+    transport.
+
+    Frames are a 4-byte big-endian length followed by the payload,
+    bounded by a 1 GiB guard so a corrupt header cannot make the reader
+    allocate garbage. {!Procpool} (cloexec pipes to subprocesses) and
+    {!Netpool} (TCP sockets to remote peers) both speak exactly this
+    format — a worker loop written against one transport keeps working
+    over the other, and the coordinator in [Mp_sim.Shard_exec] drives a
+    mixed pool of {!endpoint}s without knowing which kind each slot
+    is. *)
+
+val max_frame_bytes : int
+(** 1 GiB. A header claiming more (or a negative length) makes
+    {!read_frame} return [None]; {!write_frame} raises [Invalid_argument]
+    rather than emit such a frame. *)
+
+val frame_header_bytes : int
+(** 4 — the big-endian length prefix. *)
+
+val write_all : ?deadline:float -> Unix.file_descr -> bytes -> int -> int -> unit
+(** [write_all ?deadline fd buf off len] writes exactly [len] bytes,
+    retrying short writes and EAGAIN/EINTR. [deadline] is an absolute
+    [Unix.gettimeofday] time; raises [Unix.Unix_error (ETIMEDOUT, _, _)]
+    when it passes (the fd should be non-blocking for the deadline to be
+    honoured mid-write). *)
+
+val read_exact :
+  ?deadline:float -> Unix.file_descr -> bytes -> int -> int ->
+  [ `Ok | `Eof | `Timeout ]
+(** Read exactly [len] bytes or report why not. [`Eof] covers every
+    terminal failure (closed pipe, reset connection, read error): they
+    all mean "the peer is gone". *)
+
+val write_frame : ?deadline:float -> Unix.file_descr -> bytes -> unit
+(** Frame and write [payload]. Raises [Unix.Unix_error] on timeout or
+    write failure, [Invalid_argument] if the payload exceeds
+    {!max_frame_bytes}. *)
+
+val read_frame : ?timeout_s:float -> Unix.file_descr -> bytes option
+(** Read one frame. [None] on EOF, malformed length (negative or above
+    the guard — nothing is allocated for such a header), or when no
+    complete frame arrives within [timeout_s] (wait forever when
+    omitted). Never raises on wire-level garbage. *)
+
+(** {2 Endpoints}
+
+    One addressable worker slot, however it is reached. On any failure
+    the slot degrades to "this worker is gone": send/recv report
+    failure, the caller reaps the slot and re-runs whatever was in
+    flight. *)
+
+type endpoint = {
+  ep_label : string;
+  ep_send : ?timeout_s:float -> bytes -> bool;
+  ep_recv : ?timeout_s:float -> unit -> bytes option;
+  ep_reap : unit -> unit;
+}
+
+val send : ?timeout_s:float -> endpoint -> bytes -> bool
+val recv : ?timeout_s:float -> endpoint -> bytes option
+val reap : endpoint -> unit
+val label : endpoint -> string

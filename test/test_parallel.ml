@@ -470,6 +470,98 @@ let test_run_batch_worker_crash_recovers () =
     check_identical "respawned pool vs serial" serial
       (Machine.run_batch ~procs:2 m3 jobs)
 
+(* ----- multi-host run_batch -------------------------------------------------- *)
+
+(* Remote workers are re-execs of this test binary serving the shard
+   protocol over loopback TCP (MP_NET_WORKER), so these tests exercise
+   the socket transport, the namespace handshake and the reconnect
+   path end to end against the real executor. *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> Alcotest.fail "free_port: unexpected socket address")
+
+let stop_worker pid =
+  (try Unix.kill pid Sys.sigterm with _ -> ());
+  (try ignore (Unix.waitpid [] pid) with _ -> ())
+
+let test_run_batch_remote_matches_serial () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let port = free_port () in
+  let pid = Mp_sim.Shard_exec.spawn_worker ~port () in
+  Fun.protect
+    ~finally:(fun () -> stop_worker pid)
+    (fun () ->
+      let hosts = [ ("127.0.0.1", port) ] in
+      let rec0 = Machine.jobs_recovered () in
+      let nf0 = Mp_util.Netpool.frames_sent () in
+      (* remote-only pool: every fanned job crosses the socket *)
+      let m2 = Machine.create ~cache:false a.Arch.uarch in
+      check_identical "remote-only vs serial" serial
+        (Machine.run_batch ~procs:0 ~hosts m2 jobs);
+      Alcotest.(check int) "no recoveries over a healthy peer" rec0
+        (Machine.jobs_recovered ());
+      Alcotest.(check bool) "request frames crossed the socket" true
+        (Mp_util.Netpool.frames_sent () > nf0);
+      (* mixed pool: one local subprocess plus the remote peer, same
+         placement fold, still bit-identical *)
+      let m3 = Machine.create ~cache:false a.Arch.uarch in
+      check_identical "mixed local+remote vs serial" serial
+        (Machine.run_batch ~procs:1 ~hosts m3 jobs);
+      Alcotest.(check int) "no recoveries in the mixed pool" rec0
+        (Machine.jobs_recovered ()))
+
+let test_run_batch_remote_crash_recovers () =
+  let a = Arch.power7 () in
+  let jobs = mixed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let port = free_port () in
+  let hosts = [ ("127.0.0.1", port) ] in
+  let pid = Mp_sim.Shard_exec.spawn_worker ~port () in
+  (* prime the connection so the SIGKILL severs an established peer
+     (the hardest variant: the coordinator only learns at recv time) *)
+  (match Mp_sim.Shard_exec.get_pool ~hosts 0 with
+   | None -> Alcotest.fail "could not create the remote pool"
+   | Some p ->
+     (match Mp_sim.Shard_exec.netpool p with
+      | None -> Alcotest.fail "remote pool has no netpool"
+      | Some np ->
+        Alcotest.(check bool) "peer connected" true
+          (Mp_util.Netpool.connect ~retry_for_s:5.0 np 0)));
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  let rec0 = Machine.jobs_recovered () in
+  let m2 = Machine.create ~cache:false a.Arch.uarch in
+  check_identical "dead peer vs serial" serial
+    (Machine.run_batch ~procs:0 ~hosts m2 jobs);
+  Alcotest.(check bool) "lost jobs recovered in-process" true
+    (Machine.jobs_recovered () > rec0);
+  (* a fresh worker on the same port: the next batch reconnects the
+     reaped slot transparently and loses nothing *)
+  let pid2 = Mp_sim.Shard_exec.spawn_worker ~port () in
+  Fun.protect
+    ~finally:(fun () -> stop_worker pid2)
+    (fun () ->
+      let rc0 = Mp_util.Netpool.reconnect_count () in
+      let rec1 = Machine.jobs_recovered () in
+      let m3 = Machine.create ~cache:false a.Arch.uarch in
+      check_identical "reconnected peer vs serial" serial
+        (Machine.run_batch ~procs:0 ~hosts m3 jobs);
+      Alcotest.(check int) "no recoveries after reconnect" rec1
+        (Machine.jobs_recovered ());
+      Alcotest.(check bool) "reconnect counted" true
+        (Mp_util.Netpool.reconnect_count () > rc0))
+
 let () =
   Alcotest.run "mp_parallel"
     [
@@ -514,4 +606,9 @@ let () =
            test_run_batch_procs_matches_serial;
          Alcotest.test_case "worker crash recovers" `Quick
            test_run_batch_worker_crash_recovers ]);
+      ("multi-host",
+       [ Alcotest.test_case "remote bit-identical vs serial" `Quick
+           test_run_batch_remote_matches_serial;
+         Alcotest.test_case "remote crash recovers + reconnects" `Quick
+           test_run_batch_remote_crash_recovers ]);
     ]

@@ -258,10 +258,120 @@ let test_csv_padding () =
   Csv.add_row c [ "1"; "2"; "3"; "4" ];
   Alcotest.(check string) "padded/truncated" "a,b,c\n1,,\n1,2,3\n" (Csv.render c)
 
+(* ----- transport frame codec --------------------------------------------- *)
+
+(* The wire format shared by the pipe (Procpool) and socket (Netpool)
+   transports. Everything runs over a plain Unix pipe: the codec only
+   sees fds, so a pipe exercises exactly the byte paths a socket
+   would. Payload sizes stay under the kernel pipe buffer so a single
+   thread can write-then-read without deadlocking. *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with _ -> ());
+      (try Unix.close w with _ -> ()))
+    (fun () -> f r w)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame round-trip (any payload, incl. empty)"
+    ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 16384))
+    (fun s ->
+      with_pipe (fun r w ->
+          let payload = Bytes.of_string s in
+          Transport.write_frame w payload;
+          match Transport.read_frame ~timeout_s:5.0 r with
+          | Some got -> Bytes.equal got payload
+          | None -> false))
+
+let prop_frame_garbage_total =
+  (* arbitrary bytes after a small claimed length: the reader either
+     produces a frame or None — never an exception. The first two
+     header bytes are forced to zero so a garbage header can't demand
+     a gigabyte allocation inside the property loop. *)
+  QCheck.Test.make ~name:"garbage on the wire never raises" ~count:200
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s ->
+      with_pipe (fun r w ->
+          let junk = Bytes.cat (Bytes.make 2 '\000') (Bytes.of_string s) in
+          Transport.write_all w junk 0 (Bytes.length junk);
+          Unix.close w;
+          match Transport.read_frame ~timeout_s:1.0 r with
+          | Some _ | None -> true
+          | exception _ -> false))
+
+let test_frame_empty_roundtrip () =
+  with_pipe (fun r w ->
+      Transport.write_frame w Bytes.empty;
+      match Transport.read_frame ~timeout_s:5.0 r with
+      | Some got -> Alcotest.(check int) "empty" 0 (Bytes.length got)
+      | None -> Alcotest.fail "empty frame lost")
+
+let test_frame_over_guard_rejected () =
+  (* a header claiming max_frame_bytes + 1: the reader must reject it
+     from the header alone — returning None without allocating the
+     claimed payload (nothing but the header is ever written) *)
+  with_pipe (fun r w ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 (Int32.of_int (Transport.max_frame_bytes + 1));
+      Transport.write_all w hdr 0 4;
+      Unix.close w;
+      Alcotest.(check bool) "over-guard -> None" true
+        (Transport.read_frame ~timeout_s:1.0 r = None))
+
+let test_frame_negative_length_rejected () =
+  with_pipe (fun r w ->
+      Transport.write_all w (Bytes.make 4 '\xff') 0 4;
+      Unix.close w;
+      Alcotest.(check bool) "negative length -> None" true
+        (Transport.read_frame ~timeout_s:1.0 r = None))
+
+let test_frame_truncated_header () =
+  with_pipe (fun r w ->
+      Transport.write_all w (Bytes.make 2 'x') 0 2;
+      Unix.close w;
+      Alcotest.(check bool) "truncated header -> None" true
+        (Transport.read_frame ~timeout_s:1.0 r = None))
+
+let test_frame_truncated_payload () =
+  with_pipe (fun r w ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 100l;
+      Transport.write_all w hdr 0 4;
+      Transport.write_all w (Bytes.make 50 'p') 0 50;
+      Unix.close w;
+      Alcotest.(check bool) "truncated payload -> None" true
+        (Transport.read_frame ~timeout_s:1.0 r = None))
+
+let test_frame_timeout () =
+  with_pipe (fun r _w ->
+      let t0 = Unix.gettimeofday () in
+      let got = Transport.read_frame ~timeout_s:0.05 r in
+      Alcotest.(check bool) "no frame -> None" true (got = None);
+      Alcotest.(check bool) "returned promptly" true
+        (Unix.gettimeofday () -. t0 < 2.0))
+
+let test_frame_oversized_write_rejected () =
+  (* the writer refuses to emit a frame the reader's guard would kill.
+     Bytes.create leaves the buffer uninitialised, so the guard+1
+     allocation is untouched virtual memory and the length check fires
+     before a single byte reaches the fd *)
+  with_pipe (fun _r w ->
+      let huge = Bytes.create (Transport.max_frame_bytes + 1) in
+      Alcotest.check_raises "over guard"
+        (Invalid_argument "Transport.write_frame: frame too large")
+        (fun () -> Transport.write_frame w huge))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_int_in_bounds; prop_int_in_range; prop_shuffle_permutation;
       prop_float_bounds; prop_percentile_monotone; prop_mean_bounded;
       prop_transpose_involution; prop_solve_random_spd ]
+
+let transport_qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_frame_roundtrip; prop_frame_garbage_total ]
 
 let () =
   Alcotest.run "mp_util"
@@ -295,5 +405,18 @@ let () =
        [ Alcotest.test_case "basic" `Quick test_csv_basic;
          Alcotest.test_case "quoting" `Quick test_csv_quoting;
          Alcotest.test_case "padding" `Quick test_csv_padding ]);
+      ("transport",
+       Alcotest.
+         [ test_case "empty round-trip" `Quick test_frame_empty_roundtrip;
+           test_case "over-guard header rejected" `Quick
+             test_frame_over_guard_rejected;
+           test_case "negative length rejected" `Quick
+             test_frame_negative_length_rejected;
+           test_case "truncated header" `Quick test_frame_truncated_header;
+           test_case "truncated payload" `Quick test_frame_truncated_payload;
+           test_case "read timeout" `Quick test_frame_timeout;
+           test_case "oversized write rejected" `Quick
+             test_frame_oversized_write_rejected ]
+       @ transport_qsuite);
       ("properties", qsuite);
     ]
