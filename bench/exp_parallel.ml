@@ -105,7 +105,8 @@ let lap machine pool jobs =
    show the oversubscription plateau, not hide it. *)
 let scaling_workers = [ 1; 2; 4; 8 ]
 
-let write_scaling_json ~quick ~jobs ~procpool ~netpool ~stride entries =
+let write_scaling_json ~quick ~jobs ~procpool ~netpool ~sched_skew ~stride
+    entries =
   let path = "BENCH_scaling.json" in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -163,6 +164,14 @@ let write_scaling_json ~quick ~jobs ~procpool ~netpool ~stride entries =
          (if i = List.length nentries - 1 then "" else ","))
      nentries;
    out "    ]\n";
+   out "  },\n");
+  (let skew_jobs, t_static, t_dynamic, speedup, fanned = sched_skew in
+   out "  \"sched_skew\": {\n";
+   out "    \"fanned_out\": %b,\n" fanned;
+   out "    \"jobs\": %d,\n" skew_jobs;
+   out "    \"static_seconds\": %.6f,\n" t_static;
+   out "    \"dynamic_seconds\": %.6f,\n" t_dynamic;
+   out "    \"dynamic_speedup\": %.6f\n" speedup;
    out "  }\n");
   out "}\n";
   close_out oc;
@@ -350,6 +359,164 @@ let netpool_curve (ctx : Context.t) machine jobs =
     Context.log "recovery gate skipped (dispatch stayed in-process)";
   ([ (0, t_local); (1, t_remote) ], recovered, dispatched)
 
+(* ----- scheduling skew --------------------------------------------------- *)
+
+(* A deliberately skewed batch: one heavy program measured under many
+   configurations — placement ignores configuration, so every heavy
+   job lands on the same slot — plus light programs that spread over
+   the rest of the pool. Under the static one-frame-per-slot barrier
+   the batch completes at the heavy slot's pace while its siblings
+   idle after their light shards; the dynamic scheduler drains the
+   heavy slot's chunks onto those idle siblings and must at least
+   match static (and beat it whenever the pool genuinely fans out).
+   The pool is the tentpole topology — 2 subprocess workers plus 1
+   loopback TCP worker — each restricted to a single domain so the
+   skew is carried by the scheduling layer, not washed out by
+   intra-worker parallelism; period skipping is off so the heavy jobs
+   genuinely cost what their loop size says. *)
+let sched_skew_curve (ctx : Context.t) =
+  Context.section "Scheduling skew — static barrier vs dynamic scheduler";
+  let arch = ctx.Context.arch in
+  let synth name size =
+    let ins = Arch.find_instruction arch "fadd" in
+    let s = Synthesizer.create ~name arch in
+    Synthesizer.add_pass s (Passes.skeleton ~size);
+    Synthesizer.add_pass s (Passes.fill_sequence [ ins ]);
+    Synthesizer.add_pass s (Passes.dependency Builder.No_deps);
+    Synthesizer.synthesize ~seed:11 s
+  in
+  let heavy = synth "skew-heavy" (if ctx.Context.quick then 400 else 600) in
+  let lights =
+    List.init 6 (fun i -> synth (Printf.sprintf "skew-light-%d" i) (40 + i))
+  in
+  let heavy_configs =
+    List.map
+      (fun (cores, smt) -> Context.config ctx ~cores ~smt)
+      [ (8, 4); (4, 4); (2, 4); (8, 2); (4, 2); (2, 2) ]
+  in
+  let light_config = Context.config ctx ~cores:1 ~smt:1 in
+  let jobs =
+    List.map (fun c -> (c, heavy)) heavy_configs
+    @ List.map (fun p -> (light_config, p)) lights
+  in
+  let slots = 3 in
+  let heavy_slot = Shard_exec.shard_index ~shards:slots [ heavy ] in
+  let light_spread =
+    List.exists
+      (fun p -> Shard_exec.shard_index ~shards:slots [ p ] <> heavy_slot)
+      lights
+  in
+  Context.log
+    "%d jobs: %d heavy (one program x %d configurations, all on slot %d)\n\
+     + %d light; 2 proc workers + 1 loopback TCP worker, 1 domain each"
+    (List.length jobs) (List.length heavy_configs) (List.length heavy_configs)
+    heavy_slot (List.length lights);
+  let machine = Machine.create ~cache:false ~replay:false arch.Arch.uarch in
+  (* a widened dense window makes each heavy job cost tens of
+     milliseconds, so the skew dominates per-chunk framing overhead
+     and the static-vs-dynamic gap measures scheduling, not Marshal *)
+  let measure = 24 in
+  let reference =
+    Machine.run_batch ~measure ~period:false ~procs:0 machine jobs
+  in
+  (* speculation off for the timed laps: the section times
+     work-conserving dispatch, and tail re-dispatch would leave
+     duplicate frames to drain at batch end — timer noise, and covered
+     by its own test *)
+  let speculate0 =
+    match Sys.getenv_opt "MP_SPECULATE" with Some s -> s | None -> ""
+  in
+  Unix.putenv "MP_SPECULATE" "off";
+  let port = free_port () in
+  let pid =
+    Shard_exec.spawn_worker ~env:[ ("MP_POOL_SIZE", "1") ] ~port ()
+  in
+  let rec0 = Machine.jobs_recovered () in
+  let sent0 = Mp_util.Procpool.frames_sent () + Mp_util.Netpool.frames_sent () in
+  let t_static, t_dynamic =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "MP_SPECULATE" speculate0;
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid))
+      (fun () ->
+        let sp =
+          Shard_exec.create_pool
+            ~env:[ ("MP_POOL_SIZE", "1") ]
+            ~hosts:[ ("127.0.0.1", port) ]
+            2
+        in
+        Fun.protect
+          ~finally:(fun () -> Shard_exec.shutdown_pool sp)
+          (fun () ->
+            let lap sched =
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Machine.run_batch ~measure ~period:false ~shard_pool:sp
+                  ~shard_sched:sched machine jobs
+              in
+              (r, Unix.gettimeofday () -. t0)
+            in
+            (* prime lap: spawns/connects the workers and warms their
+               machines outside the timed windows *)
+            let prime, _ = lap Shard_exec.Static in
+            let r_static, t_static = lap Shard_exec.Static in
+            let r_dynamic, t_dynamic = lap Shard_exec.Dynamic in
+            if
+              compare reference prime <> 0
+              || compare reference r_static <> 0
+              || compare reference r_dynamic <> 0
+            then
+              failwith
+                "sched skew: static/dynamic results diverge from in-process \
+                 execution";
+            (t_static, t_dynamic)))
+  in
+  let recovered = Machine.jobs_recovered () - rec0 in
+  let dispatched =
+    Mp_util.Procpool.frames_sent () + Mp_util.Netpool.frames_sent () > sent0
+  in
+  let speedup = t_static /. Float.max t_dynamic 1e-9 in
+  (* "genuinely fanned out": frames actually crossed process
+     boundaries, nothing had to be recovered, the injected skew really
+     was one-sided (heavy on one slot, light work elsewhere), and the
+     runner has a second core to schedule onto *)
+  let fanned =
+    dispatched && recovered = 0 && light_spread
+    && Mp_util.Parallel.detected_cores () >= 2
+  in
+  Context.record_metric ctx "sched_skew_static_seconds" t_static;
+  Context.record_metric ctx "sched_skew_dynamic_seconds" t_dynamic;
+  Context.record_metric ctx "sched_skew_speedup" speedup;
+  Context.record_metric ctx "sched_skew_fanned_out" (if fanned then 1. else 0.);
+  Context.record_metric ctx "sched_skew_jobs_recovered_delta"
+    (float_of_int recovered);
+  Context.log
+    "static %.2fs, dynamic %.2fs -> %.2fx; %d jobs recovered;\n\
+     all laps bit-identical to in-process execution"
+    t_static t_dynamic speedup recovered;
+  (* CI gate: on a pool that genuinely fanned out over an injected
+     one-sided skew, the work-conserving scheduler must not lose to
+     the barrier it replaces — below parity the chunking, stealing or
+     requeue path has regressed. When the dispatch never fanned out
+     (1-core container, adaptive serial fallback), a worker had to be
+     recovered mid-lap, or the skew collapsed onto one slot,
+     wall-clock comparisons say nothing about the scheduler, so the
+     gate stands down. *)
+  if fanned && speedup < 1.0 then
+    failwith
+      (Printf.sprintf
+         "sched skew: dynamic only %.2fx vs static barrier (floor 1.0x, \
+          fanned out)"
+         speedup);
+  if not fanned then
+    Context.log "speedup gate skipped (%s)"
+      (if not dispatched then "dispatch stayed in-process"
+       else if recovered > 0 then "jobs were recovered mid-lap"
+       else if not light_spread then "skew collapsed onto one slot"
+       else "single detected core");
+  (List.length jobs, t_static, t_dynamic, speedup, fanned)
+
 let scaling_curve (ctx : Context.t) =
   Context.section "Worker scaling curve — one batch, pools of 1/2/4/8";
   let arch = ctx.Context.arch in
@@ -408,8 +575,9 @@ let scaling_curve (ctx : Context.t) =
     curve;
   let procpool = procpool_curve ctx machine jobs in
   let netpool = netpool_curve ctx machine jobs in
+  let sched_skew = sched_skew_curve ctx in
   write_scaling_json ~quick:ctx.Context.quick ~jobs:(List.length jobs)
-    ~procpool ~netpool ~stride:ctx.Context.membench_stride curve
+    ~procpool ~netpool ~sched_skew ~stride:ctx.Context.membench_stride curve
 
 (* ----- parbench ---------------------------------------------------------- *)
 

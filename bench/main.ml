@@ -48,6 +48,32 @@ let write_bench_json ~path ~quick ~total (ctx : Context.t) timings =
         (if i = List.length timings - 1 then "" else ","))
     timings;
   out "  ],\n";
+  (* per-slot scheduling telemetry: where dynamically-scheduled chunks
+     actually ran, how often speculation fired, and each slot's busy
+     fraction — labels are strings, so this is its own array section
+     rather than a flat metric *)
+  out "  \"shard_slot_stats\": [\n";
+  let slot_stats = Microprobe.Shard_exec.slot_stats () in
+  List.iteri
+    (fun i (label, (s : Microprobe.Shard_exec.slot_stat)) ->
+      let busy_frac =
+        if s.Microprobe.Shard_exec.sl_wall_s > 0.0 then
+          s.Microprobe.Shard_exec.sl_busy_s
+          /. s.Microprobe.Shard_exec.sl_wall_s
+        else Float.nan
+      in
+      out
+        "    { \"slot\": %S, \"jobs\": %d, \"chunks\": %d, \"speculated\": \
+         %d, \"cancelled\": %d, \"busy_s\": %s, \"busy_fraction\": %s }%s\n"
+        label s.Microprobe.Shard_exec.sl_jobs
+        s.Microprobe.Shard_exec.sl_chunks
+        s.Microprobe.Shard_exec.sl_speculated
+        s.Microprobe.Shard_exec.sl_cancelled
+        (json_f s.Microprobe.Shard_exec.sl_busy_s)
+        (json_f busy_frac)
+        (if i = List.length slot_stats - 1 then "" else ","))
+    slot_stats;
+  out "  ],\n";
   out "  \"metrics\": {\n";
   let metrics = Context.metrics ctx in
   List.iteri
@@ -200,6 +226,27 @@ let () =
       (float_of_int (Mp_util.Netpool.reconnect_count ()));
     Context.record_metric ctx "hosts_effective"
       (float_of_int (Microprobe.Shard_exec.global_remote_size ()));
+    (* dynamic shard scheduling: duplicate chunk copies dispatched to
+       idle slots, and completions discarded because a sibling's copy
+       won (both zero under MP_SHARD_SCHED=static or MP_SPECULATE=off) *)
+    Context.record_metric ctx "chunks_speculated"
+      (float_of_int (Microprobe.Shard_exec.chunks_speculated ()));
+    Context.record_metric ctx "chunks_cancelled"
+      (float_of_int (Microprobe.Shard_exec.chunks_cancelled ()));
+    (* how sharded the on-disk replay store ended up — the same figure
+       `mp-cache stat --json` reports *)
+    (let dir =
+       match Microprobe.Measurement_cache.env_disk () with
+       | Some d -> d.Microprobe.Measurement_cache.dir
+       | None -> "_mp_cache"
+     in
+     let rdir = Filename.concat dir "replay" in
+     Context.record_metric ctx "replay_store_shards"
+       (if Sys.file_exists rdir then
+          float_of_int
+            (Microprobe.Measurement_cache.disk_stats rdir)
+              .Microprobe.Measurement_cache.ds_shards
+        else 0.0));
     (* duplicate points collapsed before simulation, at both layers:
        Machine.run_batch within-batch dedup and Driver.eval_list keyed
        dedup *)

@@ -591,6 +591,12 @@ let mem_stat_cmd =
 (* ----- main ------------------------------------------------------------------------- *)
 
 let () =
+  (* process-wide: a peer (coordinator, worker, or a pager on stdout)
+     closing its end mid-write must surface as EPIPE on that write, not
+     kill the process — the worker/coordinator socket paths depend on
+     it, and the pool constructors only cover processes that build
+     pools *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let doc = "automated micro-benchmark generation for energy characterization" in
   let info = Cmd.info "microprobe" ~version ~doc in
   let group =

@@ -290,13 +290,24 @@ let cache_insert t ~warmup ~measure config name per_thread m =
     in
     Measurement_cache.add cache key m
 
-(* Dispatch already-deduplicated jobs to the worker pool. Positions a
-   worker lost (crash, timeout, garbage frame) come back [None] and are
-   re-run through [in_process] — the coordinator's own domain pool — so
-   a dying worker degrades to a slower batch, never a failed or wrong
-   one; [jobs_recovered] counts them. *)
-let sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool ~to_job
-    ~insert ~in_process jobs =
+(* Chunk sizing for the dynamic shard scheduler, from what Machine
+   knows at dispatch time: the deduplicated job count, the slot count,
+   and the pipeline depth knob. Delegates to the scheduler's own
+   heuristic so callers, tests and the bench harness all agree on the
+   granularity. *)
+let shard_chunk_jobs ~jobs ~slots =
+  Shard_exec.default_chunk_jobs ~jobs ~slots
+    ~inflight:(Shard_exec.env_inflight ())
+
+(* Dispatch already-deduplicated jobs to the worker pool. Under the
+   dynamic scheduler a crashed slot's chunks re-enter the shared queue
+   and finish on surviving slots, so positions come back [None] only
+   when no worker could run them; those are re-run through
+   [in_process] — the coordinator's own domain pool — and
+   [jobs_recovered] counts them. A dying worker degrades to a slower
+   batch, never a failed or wrong one. *)
+let sharded_exec t ~warmup ~measure ?period ?shard_sched ~procs ~hosts
+    ~shard_pool ~to_job ~insert ~in_process jobs =
   let sjobs = List.map to_job jobs in
   let slots =
     match shard_pool with
@@ -327,7 +338,14 @@ let sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool ~to_job
   match pool with
   | None -> in_process jobs
   | Some p ->
-    let res = Shard_exec.run_jobs p ~spec:(spec t) ~warmup ~measure ?period sjobs in
+    let res =
+      Shard_exec.run_jobs p ~spec:(spec t) ~warmup ~measure ?period
+        ?sched:shard_sched
+        ~chunk_jobs:
+          (shard_chunk_jobs ~jobs:(List.length sjobs)
+             ~slots:(Shard_exec.pool_size p))
+        sjobs
+    in
     let jobs_arr = Array.of_list jobs in
     let from_worker = Array.map Option.is_some res in
     let missing = ref [] in
@@ -413,7 +431,7 @@ let resolve_hosts hosts shard_pool =
   | None, None -> Shard_exec.env_hosts ()
 
 let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
-    ?hosts ?shard_pool ?(dedup = true) t jobs =
+    ?hosts ?shard_pool ?shard_sched ?(dedup = true) t jobs =
   (* deterministic id assignment: intern everything in job order —
      duplicates included — before any worker touches the opmap *)
   List.iter (fun (_, p) -> pre_intern t p) jobs;
@@ -435,7 +453,8 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
   let exec jobs =
     if procs <= 0 && hosts = [] then in_process jobs
     else
-      sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool
+      sharded_exec t ~warmup ~measure ?period ?shard_sched ~procs ~hosts
+        ~shard_pool
         ~to_job:(fun (config, p) ->
           {
             Shard_exec.j_config = config;
@@ -454,7 +473,7 @@ let run_batch ?(warmup = 1) ?(measure = default_measure) ?period ?pool ?procs
   else exec jobs
 
 let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
-    ?pool ?procs ?hosts ?shard_pool ?(dedup = true) t jobs =
+    ?pool ?procs ?hosts ?shard_pool ?shard_sched ?(dedup = true) t jobs =
   List.iter (fun (_, ps) -> List.iter (pre_intern t) ps) jobs;
   let pool =
     match pool with Some p -> p | None -> Mp_util.Parallel.global ()
@@ -472,7 +491,8 @@ let run_heterogeneous_batch ?(warmup = 1) ?(measure = default_measure) ?period
   let exec jobs =
     if procs <= 0 && hosts = [] then in_process jobs
     else
-      sharded_exec t ~warmup ~measure ?period ~procs ~hosts ~shard_pool
+      sharded_exec t ~warmup ~measure ?period ?shard_sched ~procs ~hosts
+        ~shard_pool
         ~to_job:(fun (config, ps) ->
           { Shard_exec.j_config = config; j_programs = ps; j_cost = job_cost config ps })
         ~insert:(fun (config, ps) m ->

@@ -37,6 +37,7 @@ type job = {
 
 type request = {
   rq_ns : string; (* Measurement_cache.namespace () of the sender *)
+  rq_chunk : int; (* echoed back verbatim: which chunk this frame carries *)
   rq_warmup : int;
   rq_measure : int;
   rq_period : bool option;
@@ -46,6 +47,9 @@ type request = {
 
 type response = {
   rs_ns : string;
+  rs_chunk : int; (* the request's [rq_chunk] — pipelined and speculated
+                     dispatch means a slot's responses are matched by
+                     tag, never by arrival order alone *)
   rs_results : (Measurement.t array, string) result;
 }
 
@@ -116,6 +120,115 @@ let env_hosts () =
   if in_worker_process () then []
   else
     match Sys.getenv_opt "MP_HOSTS" with None -> [] | Some s -> parse_hosts s
+
+(* MP_SHARD_SCHED: how a batch is spread over the pool. [Dynamic] (the
+   default) splits each shard into chunks and dispatches them
+   work-conservingly — fast slots drain work slow slots haven't
+   started; [Static] is the original one-frame-per-slot barrier, kept
+   as a fallback and as the baseline the scheduling bench compares
+   against. *)
+type sched = Static | Dynamic
+
+let env_sched () =
+  match Sys.getenv_opt "MP_SHARD_SCHED" with
+  | Some s when String.lowercase_ascii (String.trim s) = "static" -> Static
+  | _ -> Dynamic
+
+(* MP_INFLIGHT: chunk frames kept in flight per slot under the dynamic
+   scheduler. Workers serve strictly one request at a time, so a second
+   outstanding frame sits in the pipe/socket buffer — its transfer and
+   decode overlap the previous chunk's compute. 1 disables pipelining. *)
+let default_inflight = 2
+
+let env_inflight () =
+  match Sys.getenv_opt "MP_INFLIGHT" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> min n 64
+     | _ -> default_inflight)
+  | None -> default_inflight
+
+(* MP_SPECULATE: what an idle slot does once the queue is empty but
+   chunks are still outstanding elsewhere. [Spec_on] (default)
+   re-dispatches the oldest outstanding chunk to the idle slot and the
+   first response wins — a straggler or silently-dead peer no longer
+   gates the batch. [Spec_off] disables tail re-dispatch. [Spec_force]
+   is a test hook: duplicate eagerly whenever a slot merely has spare
+   capacity, guaranteeing duplicate completions so the first-result-wins
+   merge path is exercised deterministically. *)
+type speculate = Spec_off | Spec_on | Spec_force
+
+let env_speculate () =
+  match Sys.getenv_opt "MP_SPECULATE" with
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "off" | "0" | "false" -> Spec_off
+    | "force" -> Spec_force
+    | _ -> Spec_on)
+  | None -> Spec_on
+
+(* ----- per-slot telemetry ------------------------------------------------- *)
+
+(* Cumulative per endpoint label over every batch in the process, so
+   the bench harness can report where the work actually ran (and how
+   often speculation fired) without threading pool handles around. *)
+
+type slot_stat = {
+  sl_jobs : int; (* jobs whose first-accepted result came from here *)
+  sl_chunks : int; (* chunks whose first-accepted result came from here *)
+  sl_speculated : int; (* duplicate chunk copies dispatched to this slot *)
+  sl_cancelled : int; (* completions discarded because a sibling won *)
+  sl_busy_s : float; (* wall time with >= 1 chunk in flight here *)
+  sl_wall_s : float; (* wall time of batches this slot participated in *)
+}
+
+let zero_stat =
+  {
+    sl_jobs = 0;
+    sl_chunks = 0;
+    sl_speculated = 0;
+    sl_cancelled = 0;
+    sl_busy_s = 0.0;
+    sl_wall_s = 0.0;
+  }
+
+let slot_stats_tbl : (string, slot_stat) Hashtbl.t = Hashtbl.create 8
+let slot_stats_lock = Mutex.create ()
+
+let record_slot_stat label d =
+  Mutex.lock slot_stats_lock;
+  let cur =
+    match Hashtbl.find_opt slot_stats_tbl label with
+    | Some s -> s
+    | None -> zero_stat
+  in
+  Hashtbl.replace slot_stats_tbl label
+    {
+      sl_jobs = cur.sl_jobs + d.sl_jobs;
+      sl_chunks = cur.sl_chunks + d.sl_chunks;
+      sl_speculated = cur.sl_speculated + d.sl_speculated;
+      sl_cancelled = cur.sl_cancelled + d.sl_cancelled;
+      sl_busy_s = cur.sl_busy_s +. d.sl_busy_s;
+      sl_wall_s = cur.sl_wall_s +. d.sl_wall_s;
+    };
+  Mutex.unlock slot_stats_lock
+
+let slot_stats () =
+  Mutex.lock slot_stats_lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) slot_stats_tbl [] in
+  Mutex.unlock slot_stats_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let reset_slot_stats () =
+  Mutex.lock slot_stats_lock;
+  Hashtbl.reset slot_stats_tbl;
+  Mutex.unlock slot_stats_lock
+
+let chunks_speculated () =
+  List.fold_left (fun a (_, s) -> a + s.sl_speculated) 0 (slot_stats ())
+
+let chunks_cancelled () =
+  List.fold_left (fun a (_, s) -> a + s.sl_cancelled) 0 (slot_stats ())
 
 (* the handshake both ends of a TCP connection must present: protocol
    tag plus the measurement-cache namespace (schema version + binary
@@ -196,7 +309,13 @@ let serve_loop ?(stop = ref false) ?idle_tick_s inp out =
       (match (Marshal.from_bytes payload 0 : request) with
        | exception _ -> () (* garbage on the wire: bail out, get reaped *)
        | rq ->
-         let rs = { rs_ns = ns; rs_results = execute_request ns rq } in
+         let rs =
+           {
+             rs_ns = ns;
+             rs_chunk = rq.rq_chunk;
+             rs_results = execute_request ns rq;
+           }
+         in
          (match Mp_util.Transport.write_frame out (Marshal.to_bytes rs []) with
           | () -> loop ()
           | exception _ -> () (* coordinator gone *)))
@@ -204,6 +323,10 @@ let serve_loop ?(stop = ref false) ?idle_tick_s inp out =
   loop ()
 
 let worker_main () =
+  (* A coordinator that died mid-exchange turns our response write into
+     EPIPE, which must surface as an exception (the loop exits cleanly),
+     not a fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   (* Keep private copies of the protocol fds and point stdout at stderr
      for everyone else: any stray [print_string] in simulation code
      would otherwise corrupt the frame stream. *)
@@ -431,12 +554,443 @@ let shutdown_pool p =
   Option.iter Mp_util.Procpool.shutdown p.pp;
   Option.iter Mp_util.Netpool.shutdown p.np
 
-(* One sharded dispatch at a time per coordinator: each worker's pipe
-   carries one request/response exchange, so interleaving two batches
-   over the same pool would cross their frames. *)
+(* One sharded dispatch at a time per coordinator: each slot's
+   pipe/socket carries one request/response conversation (a window of
+   pipelined frames under the dynamic scheduler), so interleaving two
+   batches over the same pool would cross their frames. *)
 let dispatch_lock = Mutex.create ()
 
-let run_jobs p ~spec ~warmup ~measure ?period jobs =
+(* ----- static scheduler --------------------------------------------------- *)
+
+(* The original one-frame-per-slot barrier: each shard travels as a
+   single request, every shard is sent before any response is read, and
+   the batch takes as long as its slowest shard. Kept as the
+   MP_SHARD_SCHED=static fallback and as the baseline the scheduling
+   bench compares against. *)
+let run_static p ~spec ~warmup ~measure ~period jobs results =
+  let shards = pool_size p in
+  let buckets = Array.make shards [] in
+  Array.iteri
+    (fun i j ->
+      let s = shard_index ~shards j.j_programs in
+      buckets.(s) <- i :: buckets.(s))
+    jobs;
+  let buckets = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  let ns = Measurement_cache.namespace () in
+  (* send every shard first, then collect: workers compute their
+     shards concurrently while the coordinator waits on the first *)
+  let in_flight = Array.make shards false in
+  Array.iteri
+    (fun s bucket ->
+      if Array.length bucket > 0 then begin
+        let rq =
+          {
+            rq_ns = ns;
+            rq_chunk = s;
+            rq_warmup = warmup;
+            rq_measure = measure;
+            rq_period = period;
+            rq_spec = spec;
+            rq_jobs = Array.map (fun i -> jobs.(i)) bucket;
+          }
+        in
+        match Marshal.to_bytes rq [ Marshal.Closures ] with
+        | exception _ -> () (* unmarshalable spec: caller recovers *)
+        | payload ->
+          in_flight.(s) <-
+            Mp_util.Transport.send ~timeout_s:p.timeout_s (slot_endpoint p s)
+              payload
+      end)
+    buckets;
+  Array.iteri
+    (fun s bucket ->
+      if in_flight.(s) then begin
+        let ep = slot_endpoint p s in
+        match Mp_util.Transport.recv ~timeout_s:p.timeout_s ep with
+        | None -> () (* crash/timeout: slot reaped, jobs recovered *)
+        | Some payload ->
+          (match (Marshal.from_bytes payload 0 : response) with
+           | exception _ -> Mp_util.Transport.reap ep
+           | rs ->
+             if rs.rs_ns <> ns then Mp_util.Transport.reap ep
+             else (
+               match rs.rs_results with
+               | Error _ -> () (* worker-reported failure *)
+               | Ok arr ->
+                 if Array.length arr = Array.length bucket then
+                   Array.iteri (fun k i -> results.(i) <- Some arr.(k)) bucket
+                 else Mp_util.Transport.reap ep))
+      end)
+    buckets
+
+(* ----- dynamic scheduler -------------------------------------------------- *)
+
+(* Aim for enough chunks that every slot refills its pipeline window a
+   few times over — that is what lets fast slots drain a skewed shard —
+   while keeping per-chunk framing overhead amortized. *)
+let default_chunk_jobs ~jobs ~slots ~inflight =
+  max 1 (jobs / (max 1 slots * max 1 inflight * 4))
+
+type chunk_state = C_live | C_done | C_failed
+
+type chunk = {
+  c_id : int;
+  c_jobs : int array; (* indices into the batch *)
+  mutable c_state : chunk_state;
+  mutable c_copies : int; (* dispatched copies currently outstanding *)
+  mutable c_slots : int list; (* slots running those copies *)
+  mutable c_first_sent : float;
+}
+
+(* per-batch, per-slot stat accumulator (merged into the process-wide
+   table once the batch completes) *)
+type slot_acc = {
+  mutable a_jobs : int;
+  mutable a_chunks : int;
+  mutable a_spec : int;
+  mutable a_cancel : int;
+  mutable a_busy : float;
+}
+
+(* Work-conserving chunked dispatch. The batch is split into
+   affinity-keyed chunks (the struct-hash fold still picks each chunk's
+   *preferred* slot, so warm replay/cache state keeps accruing where it
+   always did); every live slot keeps up to [inflight] chunk frames
+   outstanding, and as completions arrive the next chunk is pulled from
+   the slot's own queue, then from re-queued work of dead slots, then
+   stolen from the longest sibling queue. Once the queues are dry, idle
+   slots re-dispatch the oldest outstanding chunk ([speculate]) and the
+   first response wins — a straggling or silently-dead slot no longer
+   gates the batch. Results are scattered by the chunk's own job
+   indices, so placement never affects what the caller sees. *)
+let run_dynamic p ~spec ~warmup ~measure ~period ~chunk_jobs ~inflight
+    ~speculate jobs results =
+  let slots = pool_size p in
+  let ns = Measurement_cache.namespace () in
+  let t_start = Unix.gettimeofday () in
+  (* chunking: bucket job indices by preferred slot, split each bucket
+     into runs of [chunk_jobs] *)
+  let buckets = Array.make slots [] in
+  Array.iteri
+    (fun i j ->
+      let s = shard_index ~shards:slots j.j_programs in
+      buckets.(s) <- i :: buckets.(s))
+    jobs;
+  let rev_chunks = ref [] in
+  let n_chunks = ref 0 in
+  let pending = Array.init slots (fun _ -> Queue.create ()) in
+  Array.iteri
+    (fun s l ->
+      let idxs = Array.of_list (List.rev l) in
+      let len = Array.length idxs in
+      let step = max 1 chunk_jobs in
+      let off = ref 0 in
+      while !off < len do
+        let k = min step (len - !off) in
+        let c =
+          {
+            c_id = !n_chunks;
+            c_jobs = Array.sub idxs !off k;
+            c_state = C_live;
+            c_copies = 0;
+            c_slots = [];
+            c_first_sent = 0.0;
+          }
+        in
+        incr n_chunks;
+        rev_chunks := c :: !rev_chunks;
+        Queue.push c pending.(s);
+        off := !off + k
+      done)
+    buckets;
+  let chunks = Array.of_list (List.rev !rev_chunks) in
+  let live_left = ref (Array.length chunks) in
+  let ep = Array.init slots (slot_endpoint p) in
+  let live = Array.make slots true in
+  let requeue = Queue.create () in
+  let inflightq = Array.make slots [] in (* oldest dispatch first *)
+  let deadline = Array.make slots infinity in
+  let busy_since = Array.make slots None in
+  let stats =
+    Array.init slots (fun _ ->
+        { a_jobs = 0; a_chunks = 0; a_spec = 0; a_cancel = 0; a_busy = 0.0 })
+  in
+  let now () = Unix.gettimeofday () in
+  let flush_busy s t =
+    match busy_since.(s) with
+    | Some t0 ->
+      stats.(s).a_busy <- stats.(s).a_busy +. (t -. t0);
+      busy_since.(s) <- None
+    | None -> ()
+  in
+  let remove_slot s c = c.c_slots <- List.filter (fun x -> x <> s) c.c_slots in
+  let fail_slot s =
+    if live.(s) then begin
+      live.(s) <- false;
+      flush_busy s (now ());
+      Mp_util.Transport.reap ep.(s);
+      (* copies lost with the slot re-enter the queue — unless another
+         copy is still running (speculation) or the chunk already
+         finished *)
+      List.iter
+        (fun c ->
+          c.c_copies <- c.c_copies - 1;
+          remove_slot s c;
+          if c.c_state = C_live && c.c_copies = 0 then Queue.push c requeue)
+        inflightq.(s);
+      inflightq.(s) <- [];
+      deadline.(s) <- infinity;
+      (* its never-dispatched affinity work too *)
+      Queue.transfer pending.(s) requeue
+    end
+  in
+  let dispatch s c ~spec_copy =
+    let rq =
+      {
+        rq_ns = ns;
+        rq_chunk = c.c_id;
+        rq_warmup = warmup;
+        rq_measure = measure;
+        rq_period = period;
+        rq_spec = spec;
+        rq_jobs = Array.map (fun i -> jobs.(i)) c.c_jobs;
+      }
+    in
+    match Marshal.to_bytes rq [ Marshal.Closures ] with
+    | exception _ ->
+      (* unmarshalable spec: deterministic, don't re-queue — the
+         caller's in-process recovery picks these jobs up *)
+      if c.c_state = C_live && c.c_copies = 0 then begin
+        c.c_state <- C_failed;
+        decr live_left
+      end;
+      `Chunk_failed
+    | payload ->
+      if Mp_util.Transport.send ~timeout_s:p.timeout_s ep.(s) payload then begin
+        let t = now () in
+        if c.c_copies = 0 then c.c_first_sent <- t;
+        c.c_copies <- c.c_copies + 1;
+        c.c_slots <- s :: c.c_slots;
+        if inflightq.(s) = [] then begin
+          busy_since.(s) <- Some t;
+          deadline.(s) <- t +. p.timeout_s
+        end;
+        inflightq.(s) <- inflightq.(s) @ [ c ];
+        if spec_copy then stats.(s).a_spec <- stats.(s).a_spec + 1;
+        `Sent
+      end
+      else begin
+        fail_slot s;
+        (* the chunk in hand was popped from a queue and never made it
+           into this slot's in-flight list, so [fail_slot] cannot see
+           it — re-queue it here unless a speculated copy still runs *)
+        if c.c_state = C_live && c.c_copies = 0 then Queue.push c requeue;
+        `Slot_dead
+      end
+  in
+  let steal_victim s =
+    let best = ref (-1) and best_len = ref 0 in
+    Array.iteri
+      (fun v q ->
+        if v <> s then begin
+          let len = Queue.length q in
+          if len > !best_len then begin
+            best := v;
+            best_len := len
+          end
+        end)
+      pending;
+    if !best >= 0 then Some pending.(!best) else None
+  in
+  let rec next_work s =
+    let popped =
+      if not (Queue.is_empty pending.(s)) then Some (Queue.pop pending.(s))
+      else if not (Queue.is_empty requeue) then Some (Queue.pop requeue)
+      else
+        match steal_victim s with Some q -> Some (Queue.pop q) | None -> None
+    in
+    match popped with
+    | Some c when c.c_state <> C_live -> next_work s (* defensive skip *)
+    | x -> x
+  in
+  (* the oldest still-outstanding chunk not already running here, one
+     duplicate copy at most *)
+  let pick_speculation s =
+    let best = ref None in
+    Array.iter
+      (fun c ->
+        if
+          c.c_state = C_live && c.c_copies >= 1 && c.c_copies < 2
+          && not (List.mem s c.c_slots)
+        then
+          match !best with
+          | Some b when b.c_first_sent <= c.c_first_sent -> ()
+          | _ -> best := Some c)
+      chunks;
+    !best
+  in
+  let recv_one s =
+    match Mp_util.Transport.recv ~timeout_s:p.timeout_s ep.(s) with
+    | None -> fail_slot s
+    | Some payload ->
+      (match (Marshal.from_bytes payload 0 : response) with
+       | exception _ -> fail_slot s
+       | rs ->
+         if rs.rs_ns <> ns then fail_slot s
+         else (
+           match
+             List.find_opt (fun c -> c.c_id = rs.rs_chunk) inflightq.(s)
+           with
+           | None -> fail_slot s (* a tag we never sent here *)
+           | Some c ->
+             inflightq.(s) <- List.filter (fun x -> x != c) inflightq.(s);
+             c.c_copies <- c.c_copies - 1;
+             remove_slot s c;
+             let t = now () in
+             if inflightq.(s) = [] then begin
+               flush_busy s t;
+               deadline.(s) <- infinity
+             end
+             else deadline.(s) <- t +. p.timeout_s;
+             if c.c_state <> C_live then
+               (* a sibling's copy already won: first result stands *)
+               stats.(s).a_cancel <- stats.(s).a_cancel + 1
+             else (
+               match rs.rs_results with
+               | Error _ ->
+                 (* executor-reported failure. With another copy still
+                    running, let it decide (the failure may be
+                    slot-local); with none, it is deterministic — do
+                    NOT re-queue (that would loop), leave the jobs for
+                    the caller's in-process recovery *)
+                 if c.c_copies = 0 then begin
+                   c.c_state <- C_failed;
+                   decr live_left
+                 end
+               | Ok arr when Array.length arr = Array.length c.c_jobs ->
+                 Array.iteri (fun k i -> results.(i) <- Some arr.(k)) c.c_jobs;
+                 c.c_state <- C_done;
+                 decr live_left;
+                 stats.(s).a_jobs <- stats.(s).a_jobs + Array.length c.c_jobs;
+                 stats.(s).a_chunks <- stats.(s).a_chunks + 1
+               | Ok _ ->
+                 (* wrong cardinality: protocol violation — the chunk is
+                    lost here but not deterministically failed *)
+                 if c.c_copies = 0 then Queue.push c requeue;
+                 fail_slot s)))
+  in
+  let any_live () = Array.exists Fun.id live in
+  let rec loop () =
+    if !live_left > 0 && any_live () then begin
+      (* dispatch: keep every live slot's window full. The first frame
+         may block like a static send; refills are gated on a
+         zero-timeout writability probe so one slot's full buffer never
+         wedges the whole loop. *)
+      for s = 0 to slots - 1 do
+        let rec fill () =
+          if live.(s) && List.length inflightq.(s) < inflight then begin
+            let can_send =
+              inflightq.(s) = [] || Mp_util.Transport.writable ep.(s)
+            in
+            if can_send then (
+              match next_work s with
+              | Some c -> (
+                match dispatch s c ~spec_copy:false with
+                | `Sent | `Chunk_failed -> fill ()
+                | `Slot_dead -> ())
+              | None ->
+                let want_spec =
+                  match speculate with
+                  | Spec_off -> false
+                  | Spec_on -> inflightq.(s) = []
+                  | Spec_force -> true
+                in
+                if want_spec then (
+                  match pick_speculation s with
+                  | Some c -> (
+                    match dispatch s c ~spec_copy:true with
+                    | `Sent -> fill ()
+                    | `Chunk_failed | `Slot_dead -> ())
+                  | None -> ()))
+          end
+        in
+        fill ()
+      done;
+      (* collect: wait for any completion, bounded by the nearest slot
+         deadline (a slot that goes silent for timeout_s between frames
+         is declared dead and its chunks re-queued) *)
+      let waiting = ref [] in
+      for s = slots - 1 downto 0 do
+        if live.(s) && inflightq.(s) <> [] then
+          waiting := (s, ep.(s)) :: !waiting
+      done;
+      if !waiting <> [] then begin
+        let t = now () in
+        let nearest =
+          List.fold_left (fun a (s, _) -> Float.min a deadline.(s)) infinity
+            !waiting
+        in
+        let tick = Float.max 0.0 (Float.min 0.25 (nearest -. t)) in
+        let ready = Mp_util.Transport.select_readable ~timeout_s:tick !waiting in
+        List.iter (fun s -> if live.(s) then recv_one s) ready;
+        let t = now () in
+        for s = 0 to slots - 1 do
+          if live.(s) && inflightq.(s) <> [] && t > deadline.(s) then
+            fail_slot s
+        done;
+        loop ()
+      end
+      (* waiting = [] with work left only happens when every remaining
+         chunk just failed or every slot died mid-dispatch: fall out,
+         the caller recovers the [None] positions *)
+    end
+  in
+  loop ();
+  (* Speculated copies may still be in flight after the last chunk
+     completed. Their frames must not survive into the next batch, so
+     drain them briefly (counting late duplicates as cancelled); a slot
+     still silent after the grace window is reaped — it was the
+     straggler speculation routed around, and a reap now beats a stale
+     frame later. *)
+  let drain_deadline = now () +. Float.min 1.0 p.timeout_s in
+  let rec drain () =
+    let waiting = ref [] in
+    for s = slots - 1 downto 0 do
+      if live.(s) && inflightq.(s) <> [] then waiting := (s, ep.(s)) :: !waiting
+    done;
+    if !waiting <> [] then begin
+      let left = drain_deadline -. now () in
+      if left <= 0.0 then List.iter (fun (s, _) -> fail_slot s) !waiting
+      else begin
+        let ready =
+          Mp_util.Transport.select_readable ~timeout_s:(Float.min left 0.1)
+            !waiting
+        in
+        List.iter (fun s -> if live.(s) then recv_one s) ready;
+        drain ()
+      end
+    end
+  in
+  drain ();
+  let t_end = now () in
+  let wall = t_end -. t_start in
+  Array.iteri
+    (fun s a ->
+      flush_busy s t_end;
+      record_slot_stat
+        (Mp_util.Transport.label ep.(s))
+        {
+          sl_jobs = a.a_jobs;
+          sl_chunks = a.a_chunks;
+          sl_speculated = a.a_spec;
+          sl_cancelled = a.a_cancel;
+          sl_busy_s = a.a_busy;
+          sl_wall_s = wall;
+        })
+    stats
+
+let run_jobs p ~spec ~warmup ~measure ?period ?sched ?chunk_jobs ?inflight
+    ?speculate jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let results = Array.make n None in
@@ -445,61 +999,22 @@ let run_jobs p ~spec ~warmup ~measure ?period jobs =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock dispatch_lock)
       (fun () ->
-        let shards = pool_size p in
-        let buckets = Array.make shards [] in
-        Array.iteri
-          (fun i j ->
-            let s = shard_index ~shards j.j_programs in
-            buckets.(s) <- i :: buckets.(s))
-          jobs;
-        let buckets = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
-        let ns = Measurement_cache.namespace () in
-        (* send every shard first, then collect: workers compute their
-           shards concurrently while the coordinator waits on the first *)
-        let in_flight = Array.make shards false in
-        Array.iteri
-          (fun s bucket ->
-            if Array.length bucket > 0 then begin
-              let rq =
-                {
-                  rq_ns = ns;
-                  rq_warmup = warmup;
-                  rq_measure = measure;
-                  rq_period = period;
-                  rq_spec = spec;
-                  rq_jobs = Array.map (fun i -> jobs.(i)) bucket;
-                }
-              in
-              match Marshal.to_bytes rq [ Marshal.Closures ] with
-              | exception _ -> () (* unmarshalable spec: caller recovers *)
-              | payload ->
-                in_flight.(s) <-
-                  Mp_util.Transport.send ~timeout_s:p.timeout_s
-                    (slot_endpoint p s) payload
-            end)
-          buckets;
-        Array.iteri
-          (fun s bucket ->
-            if in_flight.(s) then begin
-              let ep = slot_endpoint p s in
-              match Mp_util.Transport.recv ~timeout_s:p.timeout_s ep with
-              | None -> () (* crash/timeout: slot reaped, jobs recovered *)
-              | Some payload ->
-                (match (Marshal.from_bytes payload 0 : response) with
-                 | exception _ -> Mp_util.Transport.reap ep
-                 | rs ->
-                   if rs.rs_ns <> ns then Mp_util.Transport.reap ep
-                   else (
-                     match rs.rs_results with
-                     | Error _ -> () (* worker-reported failure *)
-                     | Ok arr ->
-                       if Array.length arr = Array.length bucket then
-                         Array.iteri
-                           (fun k i -> results.(i) <- Some arr.(k))
-                           bucket
-                       else Mp_util.Transport.reap ep))
-            end)
-          buckets)
+        match (match sched with Some s -> s | None -> env_sched ()) with
+        | Static -> run_static p ~spec ~warmup ~measure ~period jobs results
+        | Dynamic ->
+          let inflight =
+            match inflight with Some i -> max 1 i | None -> env_inflight ()
+          in
+          let chunk_jobs =
+            match chunk_jobs with
+            | Some c -> max 1 c
+            | None -> default_chunk_jobs ~jobs:n ~slots:(pool_size p) ~inflight
+          in
+          let speculate =
+            match speculate with Some s -> s | None -> env_speculate ()
+          in
+          run_dynamic p ~spec ~warmup ~measure ~period ~chunk_jobs ~inflight
+            ~speculate jobs results)
   end;
   results
 

@@ -68,6 +68,10 @@ type job = {
 
 type request = {
   rq_ns : string;
+  rq_chunk : int;
+      (** echoed back verbatim in {!response.rs_chunk}: with pipelined
+          and speculated dispatch, responses are matched by tag, never
+          by arrival order alone *)
   rq_warmup : int;
   rq_measure : int;
   rq_period : bool option;
@@ -77,6 +81,7 @@ type request = {
 
 type response = {
   rs_ns : string;
+  rs_chunk : int;
   rs_results : (Measurement.t array, string) result;
 }
 
@@ -102,6 +107,68 @@ val env_hosts : unit -> (string * int) list
 
 val parse_hosts : string -> (string * int) list
 (** The parser under {!env_hosts}, exposed for the CLI and tests. *)
+
+(** How a batch is spread over the pool (see {!run_jobs}). *)
+type sched = Static | Dynamic
+
+val env_sched : unit -> sched
+(** [MP_SHARD_SCHED] parsed: [static] selects the original
+    one-frame-per-slot barrier; anything else (including unset) selects
+    the work-conserving dynamic scheduler. *)
+
+val default_inflight : int
+(** 2 — one chunk computing, one in the pipe. *)
+
+val env_inflight : unit -> int
+(** [MP_INFLIGHT] parsed: chunk frames kept in flight per slot under
+    the dynamic scheduler, clamped to [1..64] (default
+    {!default_inflight}; [1] disables pipelining). Workers serve one
+    request at a time, so extra frames wait in the transport buffer —
+    their transfer overlaps the previous chunk's compute. *)
+
+(** What an idle slot does once the shared queue is empty but chunks
+    are still outstanding elsewhere. [Spec_force] is a test hook:
+    duplicate eagerly whenever a slot merely has spare window,
+    guaranteeing duplicate completions so the first-result-wins merge
+    is exercised deterministically. *)
+type speculate = Spec_off | Spec_on | Spec_force
+
+val env_speculate : unit -> speculate
+(** [MP_SPECULATE] parsed: [off]/[0]/[false] → [Spec_off], [force] →
+    [Spec_force], anything else (including unset) → [Spec_on]. *)
+
+val default_chunk_jobs : jobs:int -> slots:int -> inflight:int -> int
+(** The chunk-size heuristic under the dynamic scheduler: jobs per
+    chunk such that each slot's pipeline window refills about four
+    times over a balanced batch ([jobs / (slots * inflight * 4)], at
+    least 1) — enough granularity for fast slots to drain a skewed
+    shard, coarse enough to amortize framing. *)
+
+(** {3 Per-slot telemetry}
+
+    Cumulative per endpoint label ([proc:N] or [host:port]) over every
+    dynamically-scheduled batch in the process. *)
+
+type slot_stat = {
+  sl_jobs : int;  (** jobs whose first-accepted result came from here *)
+  sl_chunks : int;  (** chunks whose first-accepted result came from here *)
+  sl_speculated : int;  (** duplicate chunk copies dispatched to this slot *)
+  sl_cancelled : int;
+      (** completions discarded because a sibling's copy won *)
+  sl_busy_s : float;  (** wall time with at least one chunk in flight here *)
+  sl_wall_s : float;  (** wall time of the batches this slot took part in *)
+}
+
+val slot_stats : unit -> (string * slot_stat) list
+(** Sorted by label. Empty until a dynamic batch has run. *)
+
+val reset_slot_stats : unit -> unit
+
+val chunks_speculated : unit -> int
+(** Sum of [sl_speculated] over all slots. *)
+
+val chunks_cancelled : unit -> int
+(** Sum of [sl_cancelled] over all slots. *)
 
 val in_worker_process : unit -> bool
 (** True when this process was spawned as a shard worker (pipe or TCP)
@@ -191,16 +258,39 @@ val run_jobs :
   warmup:int ->
   measure:int ->
   ?period:bool ->
+  ?sched:sched ->
+  ?chunk_jobs:int ->
+  ?inflight:int ->
+  ?speculate:speculate ->
   job list ->
   Measurement.t option array
-(** Shard the jobs across the pool by {!shard_index}, send each
-    non-empty shard as one request, collect responses (each worker
-    gets [timeout_s] from its read's start), and scatter results back
-    positionally. [None] positions belong to shards whose worker was
-    lost (crash, timeout, garbage frame, namespace mismatch) or whose
-    request could not be marshalled — the caller re-runs those jobs
-    in-process. Dispatches are serialized process-wide (one exchange
-    per worker pipe at a time). *)
+(** Run the jobs on the pool and scatter results back positionally;
+    every parameter that is not given falls back to its [MP_*] knob.
+
+    Under [Static], each slot's {!shard_index} bucket travels as one
+    request, every shard is sent before any response is read, and the
+    batch takes as long as its slowest shard. A slot lost to a crash,
+    timeout, garbage frame, or namespace mismatch leaves [None] at its
+    bucket's positions.
+
+    Under [Dynamic] (the default), each bucket is split into chunks of
+    [chunk_jobs] ({!default_chunk_jobs} when omitted) that still
+    {e prefer} their affinity slot — warm replay/cache state keeps
+    accruing where placement always put it — but dispatch is
+    work-conserving: every live slot keeps up to [inflight] chunk
+    frames outstanding, completions refill from the slot's own queue,
+    then from re-queued chunks of dead slots, then by stealing from
+    the longest sibling queue. Once queues are dry, idle slots
+    re-dispatch the oldest outstanding chunk ([speculate]) and the
+    first response wins — a straggler or silently-dead slot no longer
+    gates the batch, and a crashed slot's chunks re-enter the queue
+    instead of falling back to the coordinator. [None] positions
+    remain only for chunks no live slot could complete (deterministic
+    executor failure, unmarshalable request, or every slot dead).
+
+    Either way the result is bit-identical to in-process execution,
+    and dispatches are serialized process-wide (one conversation per
+    slot at a time). *)
 
 (** {2 The shared pool} *)
 

@@ -288,11 +288,21 @@ let stats t i =
   s
 
 let endpoint t i =
+  let fd () =
+    Mutex.lock t.lock;
+    let fd = t.peers.(i).p_fd in
+    Mutex.unlock t.lock;
+    fd
+  in
   {
     Transport.ep_label = label t i;
     ep_send = (fun ?timeout_s payload -> send ?timeout_s t i payload);
     ep_recv = (fun ?timeout_s () -> recv ?timeout_s t i);
     ep_reap = (fun () -> reap t i);
+    (* one socket carries both directions; unconnected peers expose
+       neither side, so the poll loop skips them until a send connects *)
+    ep_rfd = fd;
+    ep_wfd = fd;
   }
 
 let shutdown t =

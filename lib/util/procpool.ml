@@ -219,11 +219,19 @@ let kill t i =
 (* view slot [i] as a generic transport endpoint, so Shard_exec can
    drive a mixed pool of subprocesses and TCP peers uniformly *)
 let endpoint t i =
+  let field f =
+    Mutex.lock t.lock;
+    let fd = f t.workers.(i) in
+    Mutex.unlock t.lock;
+    fd
+  in
   {
     Transport.ep_label = Printf.sprintf "proc:%d" i;
     ep_send = (fun ?timeout_s payload -> send ?timeout_s t i payload);
     ep_recv = (fun ?timeout_s () -> recv ?timeout_s t i);
     ep_reap = (fun () -> reap t i);
+    ep_rfd = (fun () -> field (fun w -> w.from_fd));
+    ep_wfd = (fun () -> field (fun w -> w.to_fd));
   }
 
 let shutdown ?(grace_s = 1.0) t =

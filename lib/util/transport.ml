@@ -97,9 +97,47 @@ type endpoint = {
   ep_send : ?timeout_s:float -> bytes -> bool;
   ep_recv : ?timeout_s:float -> unit -> bytes option;
   ep_reap : unit -> unit;
+  ep_rfd : unit -> Unix.file_descr option;
+  ep_wfd : unit -> Unix.file_descr option;
 }
 
 let send ?timeout_s ep payload = ep.ep_send ?timeout_s payload
 let recv ?timeout_s ep = ep.ep_recv ?timeout_s ()
 let reap ep = ep.ep_reap ()
 let label ep = ep.ep_label
+let read_fd ep = ep.ep_rfd ()
+let write_fd ep = ep.ep_wfd ()
+
+(* One select over many endpoints: the indices (into [eps]) of those
+   whose read side has data pending. Endpoints with no live read fd are
+   skipped — their slots are already dead or never connected. EINTR and
+   a select refused by the OS both report "nothing readable"; the
+   caller's deadline bookkeeping decides what that means. *)
+let select_readable ?(timeout_s = 0.0) eps =
+  let fds =
+    List.filter_map
+      (fun (i, ep) -> Option.map (fun fd -> (fd, i)) (ep.ep_rfd ()))
+      eps
+  in
+  match fds with
+  | [] -> []
+  | _ -> (
+    match Unix.select (List.map fst fds) [] [] timeout_s with
+    | exception _ -> []
+    | ready, _, _ ->
+      List.filter_map
+        (fun (fd, i) -> if List.memq fd ready then Some i else None)
+        fds)
+
+(* Zero-timeout writability probe: [true] means one more frame can
+   start without blocking the caller (the pipe/socket buffer has room).
+   Used by the pipelined dispatcher to avoid wedging the whole
+   scheduling loop on one slow slot's full buffer. A dead or
+   unconnected endpoint probes [false]. *)
+let writable ep =
+  match ep.ep_wfd () with
+  | None -> false
+  | Some fd -> (
+    match Unix.select [] [ fd ] [] 0.0 with
+    | exception _ -> false
+    | _, w, _ -> w <> [])

@@ -55,9 +55,33 @@ type endpoint = {
   ep_send : ?timeout_s:float -> bytes -> bool;
   ep_recv : ?timeout_s:float -> unit -> bytes option;
   ep_reap : unit -> unit;
+  ep_rfd : unit -> Unix.file_descr option;
+      (** the fd a response frame will arrive on, while the slot is
+          live — what a multi-endpoint poll loop selects on; [None]
+          once reaped (or, for a lazy TCP peer, before it ever
+          connected) *)
+  ep_wfd : unit -> Unix.file_descr option;
+      (** the fd request frames are written to, for zero-timeout
+          writability probes before a pipelined dispatch *)
 }
 
 val send : ?timeout_s:float -> endpoint -> bytes -> bool
 val recv : ?timeout_s:float -> endpoint -> bytes option
 val reap : endpoint -> unit
 val label : endpoint -> string
+val read_fd : endpoint -> Unix.file_descr option
+val write_fd : endpoint -> Unix.file_descr option
+
+val select_readable : ?timeout_s:float -> (int * endpoint) list -> int list
+(** One [Unix.select] across many endpoints: the indices (the [int]
+    the caller paired each endpoint with) of those whose read side has
+    a frame (or EOF) pending after waiting at most [timeout_s]
+    (default [0.0] — pure poll). Endpoints without a live read fd are
+    skipped; EINTR reports nothing readable. This is the primitive
+    under [Mp_sim.Shard_exec]'s dynamic scheduler — completions from
+    any slot, pipe or socket, wake a single loop. *)
+
+val writable : endpoint -> bool
+(** Zero-timeout probe of the endpoint's write side: [true] when
+    another frame can start without blocking (buffer has room). [false]
+    for dead or not-yet-connected slots. *)

@@ -562,6 +562,153 @@ let test_run_batch_remote_crash_recovers () =
       Alcotest.(check bool) "reconnect counted" true
         (Mp_util.Netpool.reconnect_count () > rc0))
 
+(* ----- dynamic shard scheduler ----------------------------------------------- *)
+
+let test_sched_knob_env () =
+  let sched s = Unix.putenv "MP_SHARD_SCHED" s; Shard_exec.env_sched () in
+  Alcotest.(check bool) "static selected" true (sched "static" = Shard_exec.Static);
+  Alcotest.(check bool) "case/space tolerant" true
+    (sched "  Static " = Shard_exec.Static);
+  Alcotest.(check bool) "dynamic selected" true (sched "dynamic" = Shard_exec.Dynamic);
+  Alcotest.(check bool) "garbage means dynamic" true
+    (sched "one-frame-per-slot" = Shard_exec.Dynamic);
+  Alcotest.(check bool) "unset means dynamic" true (sched "" = Shard_exec.Dynamic);
+  let inflight s = Unix.putenv "MP_INFLIGHT" s; Shard_exec.env_inflight () in
+  Alcotest.(check int) "explicit depth" 4 (inflight "4");
+  Alcotest.(check int) "1 disables pipelining" 1 (inflight "1");
+  Alcotest.(check int) "clamped above" 64 (inflight "1000");
+  Alcotest.(check int) "zero falls back" Shard_exec.default_inflight (inflight "0");
+  Alcotest.(check int) "garbage falls back" Shard_exec.default_inflight
+    (inflight "deep");
+  Alcotest.(check int) "unset is the default" Shard_exec.default_inflight
+    (inflight "");
+  let spec s = Unix.putenv "MP_SPECULATE" s; Shard_exec.env_speculate () in
+  Alcotest.(check bool) "off" true (spec "off" = Shard_exec.Spec_off);
+  Alcotest.(check bool) "0 is off" true (spec "0" = Shard_exec.Spec_off);
+  Alcotest.(check bool) "false is off" true (spec "FALSE" = Shard_exec.Spec_off);
+  Alcotest.(check bool) "force" true (spec "force" = Shard_exec.Spec_force);
+  Alcotest.(check bool) "on" true (spec "on" = Shard_exec.Spec_on);
+  Alcotest.(check bool) "unset means on" true (spec "" = Shard_exec.Spec_on)
+
+let test_chunk_heuristic () =
+  (* each slot's pipeline window refills ~4 times over a balanced batch *)
+  Alcotest.(check int) "balanced batch" 4
+    (Shard_exec.default_chunk_jobs ~jobs:96 ~slots:3 ~inflight:2);
+  Alcotest.(check int) "thin batch floors at 1" 1
+    (Shard_exec.default_chunk_jobs ~jobs:5 ~slots:8 ~inflight:2);
+  Alcotest.(check int) "empty batch" 1
+    (Shard_exec.default_chunk_jobs ~jobs:0 ~slots:2 ~inflight:2);
+  Alcotest.(check int) "degenerate pool" 24
+    (Shard_exec.default_chunk_jobs ~jobs:96 ~slots:0 ~inflight:0);
+  (* the Machine-side helper reads the pipeline depth from MP_INFLIGHT *)
+  Unix.putenv "MP_INFLIGHT" "2";
+  Alcotest.(check int) "machine helper agrees" 4
+    (Machine.shard_chunk_jobs ~jobs:96 ~slots:3);
+  Unix.putenv "MP_INFLIGHT" "8";
+  Alcotest.(check int) "machine helper tracks the knob" 1
+    (Machine.shard_chunk_jobs ~jobs:96 ~slots:3);
+  Unix.putenv "MP_INFLIGHT" ""
+
+(* A deliberately skewed batch: one heavy program appearing under four
+   configurations — the config-blind placement fold lands all four on
+   the same slot — plus three light programs. The width (total/max cost)
+   still clears the adaptive fan-out threshold, so the batch genuinely
+   dispatches to the worker pool. *)
+let sized_prog a ~size ~seed ~name mnemonic =
+  let ins = Arch.find_instruction a mnemonic in
+  let synth = Synthesizer.create ~name a in
+  Synthesizer.add_pass synth (Passes.skeleton ~size);
+  Synthesizer.add_pass synth (Passes.fill_sequence [ ins ]);
+  Synthesizer.add_pass synth (Passes.dependency Builder.No_deps);
+  Synthesizer.synthesize ~seed synth
+
+let skewed_jobs a =
+  let heavy = sized_prog a ~size:256 ~seed:11 ~name:"dyn-heavy" "fadd" in
+  let light i m = sized_prog a ~size:64 ~seed:(21 + i) ~name:("dyn-light-" ^ m) m in
+  let cfg c s = Mp_uarch.Uarch_def.config ~cores:c ~smt:s a.Arch.uarch in
+  List.map (fun (c, s) -> (cfg c s, heavy)) [ (2, 4); (4, 2); (8, 1); (4, 4) ]
+  @ List.mapi (fun i m -> (cfg 1 1, light i m)) [ "fadd"; "mullw"; "xvmaddadp" ]
+
+let test_dynamic_skewed_matches_serial () =
+  let a = Arch.power7 () in
+  let jobs = skewed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  let rec0 = Machine.jobs_recovered () in
+  let m2 = Machine.create ~cache:false a.Arch.uarch in
+  check_identical "static vs serial" serial
+    (Machine.run_batch ~procs:2 ~shard_sched:Shard_exec.Static m2 jobs);
+  Shard_exec.reset_slot_stats ();
+  let m3 = Machine.create ~cache:false a.Arch.uarch in
+  check_identical "dynamic vs serial" serial
+    (Machine.run_batch ~procs:2 ~shard_sched:Shard_exec.Dynamic m3 jobs);
+  Alcotest.(check int) "no recoveries in a healthy run" rec0
+    (Machine.jobs_recovered ());
+  (* per-slot telemetry: both subprocess slots got a row, the
+     first-accepted jobs cover the whole batch exactly once, and busy
+     time sits inside the batch's wall time *)
+  let stats = Shard_exec.slot_stats () in
+  Alcotest.(check (list string)) "one row per slot" [ "proc:0"; "proc:1" ]
+    (List.map fst stats);
+  List.iter
+    (fun (label, s) ->
+      Alcotest.(check bool) (label ^ ": busy within wall") true
+        Shard_exec.(s.sl_busy_s >= 0. && s.sl_busy_s <= s.sl_wall_s +. 1e-9))
+    stats;
+  Alcotest.(check int) "every job accepted exactly once" (List.length jobs)
+    (List.fold_left (fun n (_, s) -> n + s.Shard_exec.sl_jobs) 0 stats)
+
+let test_dynamic_crash_requeues () =
+  let a = Arch.power7 () in
+  let jobs = skewed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  match Shard_exec.get_pool 2 with
+  | None -> Alcotest.fail "could not create the shared shard pool"
+  | Some p ->
+    let rec0 = Machine.jobs_recovered () in
+    (* SIGKILL one of the two workers: under the dynamic scheduler the
+       dead slot's chunks re-enter the shared queue and the surviving
+       worker completes them — no coordinator fallback, bit-identical *)
+    Mp_util.Procpool.kill (Shard_exec.procpool p) 0;
+    let m2 = Machine.create ~cache:false a.Arch.uarch in
+    check_identical "one dead worker vs serial" serial
+      (Machine.run_batch ~procs:2 ~shard_sched:Shard_exec.Dynamic m2 jobs);
+    Alcotest.(check int) "requeue absorbed the loss in-pool" rec0
+      (Machine.jobs_recovered ());
+    (* the next dispatch respawns the reaped slot transparently *)
+    let m3 = Machine.create ~cache:false a.Arch.uarch in
+    check_identical "respawned pool vs serial" serial
+      (Machine.run_batch ~procs:2 ~shard_sched:Shard_exec.Dynamic m3 jobs)
+
+let test_speculate_force_first_result_wins () =
+  let a = Arch.power7 () in
+  let jobs = skewed_jobs a in
+  let m1 = Machine.create ~cache:false a.Arch.uarch in
+  let serial = List.map (fun (c, p) -> Machine.run m1 c p) jobs in
+  Unix.putenv "MP_SPECULATE" "force";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "MP_SPECULATE" "")
+    (fun () ->
+      (* Spec_force duplicates eagerly, so some chunk completes twice:
+         the merge must keep the first result and discard the duplicate
+         (counted as cancelled), still bit-identical to serial. The
+         exact duplicate count is timing-dependent, so retry the batch
+         a few times for a run where a duplicate actually landed. *)
+      let rec attempt tries =
+        let s0 = Shard_exec.chunks_speculated () in
+        let c0 = Shard_exec.chunks_cancelled () in
+        let m2 = Machine.create ~cache:false a.Arch.uarch in
+        check_identical "speculated vs serial" serial
+          (Machine.run_batch ~procs:2 ~shard_sched:Shard_exec.Dynamic m2 jobs);
+        if Shard_exec.chunks_cancelled () > c0 then
+          Alcotest.(check bool) "duplicates were dispatched" true
+            (Shard_exec.chunks_speculated () > s0)
+        else if tries > 1 then attempt (tries - 1)
+        else Alcotest.fail "no duplicate completion in five attempts"
+      in
+      attempt 5)
+
 let () =
   Alcotest.run "mp_parallel"
     [
@@ -611,4 +758,14 @@ let () =
            test_run_batch_remote_matches_serial;
          Alcotest.test_case "remote crash recovers + reconnects" `Quick
            test_run_batch_remote_crash_recovers ]);
+      ("dynamic scheduler",
+       [ Alcotest.test_case "MP_SHARD_SCHED / MP_INFLIGHT / MP_SPECULATE"
+           `Quick test_sched_knob_env;
+         Alcotest.test_case "chunk-size heuristic" `Quick test_chunk_heuristic;
+         Alcotest.test_case "skewed batch bit-identical (static+dynamic)"
+           `Quick test_dynamic_skewed_matches_serial;
+         Alcotest.test_case "SIGKILL mid-batch requeues in-pool" `Quick
+           test_dynamic_crash_requeues;
+         Alcotest.test_case "forced speculation: first result wins" `Quick
+           test_speculate_force_first_result_wins ]);
     ]
